@@ -1,0 +1,122 @@
+// Command netstat analyzes an inferred network edge list: summary
+// statistics, degree distribution, hubs, connected components, optional
+// DPI pruning, and — when a ground-truth edge list is supplied —
+// precision/recall/F1.
+//
+// Usage:
+//
+//	netstat -in net.tsv -n 1000 [-truth truth.tsv] [-hubs 10] [-dpi]
+//
+// Inputs use the numeric "i<TAB>j<TAB>weight" format produced by
+// cmd/tinge with -names=false and by cmd/genexpr -truth.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/tinge"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netstat: ")
+	var (
+		in     = flag.String("in", "", "input edge TSV (required)")
+		n      = flag.Int("n", 0, "gene universe size (required)")
+		truth  = flag.String("truth", "", "optional ground-truth edge TSV for scoring")
+		hubs   = flag.Int("hubs", 10, "number of top-degree genes to list")
+		dpi    = flag.Bool("dpi", false, "apply DPI pruning before analysis")
+		dpiTol = flag.Float64("dpi-tolerance", 0.1, "DPI near-tie tolerance")
+		alpha  = flag.Int("alpha-dmin", 2, "minimum degree for the power-law fit")
+		dot    = flag.String("dot", "", "write the network as Graphviz DOT to this file")
+	)
+	flag.Parse()
+	if *in == "" || *n <= 0 {
+		flag.Usage()
+		log.Fatal("missing -in or -n")
+	}
+
+	net := readNet(*in, *n)
+	fmt.Printf("loaded %s\n", net.Summary())
+
+	if *dpi {
+		before := net.Len()
+		net = net.DPI(*dpiTol)
+		fmt.Printf("DPI(tol=%.2f): %d -> %d edges\n", *dpiTol, before, net.Len())
+	}
+
+	if *hubs > 0 {
+		fmt.Printf("top %d hubs (gene: degree, clustering):\n", *hubs)
+		for _, h := range net.Hubs(*hubs) {
+			if net.Degree(h) == 0 {
+				break
+			}
+			fmt.Printf("  %6d: %4d  %.3f\n", h, net.Degree(h), net.ClusteringCoefficient(h))
+		}
+	}
+
+	if alphaVal, used := net.PowerLawAlpha(*alpha); used >= 10 {
+		fmt.Printf("power-law fit (d >= %d, %d genes): alpha = %.2f\n", *alpha, used, alphaVal)
+	}
+
+	labels := net.Communities(100, 1)
+	sizes := tinge.CommunitySizes(labels)
+	show := sizes
+	if len(show) > 8 {
+		show = show[:8]
+	}
+	fmt.Printf("communities (label propagation): %d, modularity %.3f, largest %v\n",
+		len(sizes), net.Modularity(labels), show)
+
+	comps := net.Components()
+	big := 0
+	for _, c := range comps {
+		if len(c) > 1 {
+			big++
+		}
+	}
+	fmt.Printf("components: %d total, %d non-singleton, largest %d genes\n",
+		len(comps), big, len(comps[0]))
+
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := net.WriteDOT(f, nil); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote Graphviz DOT to %s\n", *dot)
+	}
+
+	if *truth != "" {
+		tnet := readNet(*truth, *n)
+		tset := make(map[int64]bool)
+		for _, e := range tnet.Edges() {
+			tset[int64(e.I)*int64(*n)+int64(e.J)] = true
+		}
+		sc := net.ScoreAgainst(tset)
+		fmt.Printf("vs truth (%d edges): precision %.3f, recall %.3f, F1 %.3f (TP %d FP %d FN %d)\n",
+			len(tset), sc.Precision, sc.Recall, sc.F1, sc.TP, sc.FP, sc.FN)
+		topK := net.TopK(len(tset)).ScoreAgainst(tset)
+		fmt.Printf("vs truth at top-%d budget: precision %.3f, recall %.3f, F1 %.3f\n",
+			len(tset), topK.Precision, topK.Recall, topK.F1)
+	}
+}
+
+func readNet(path string, n int) *tinge.Network {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	net, err := tinge.ReadNetworkTSV(f, n)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return net
+}

@@ -1,0 +1,220 @@
+// Command tinge infers a gene regulatory network from an expression
+// TSV using the TINGe-Phi pipeline: B-spline mutual information with
+// permutation testing, on the host, simulated-Phi, or cluster engine.
+//
+// Usage:
+//
+//	tinge -in expr.tsv -out network.tsv -engine host -permutations 30 -dpi
+//
+// The input is a header+rows TSV (see cmd/genexpr). The output is a
+// "geneA<TAB>geneB<TAB>MI" edge list; a run summary goes to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync/atomic"
+
+	"repro/tinge"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tinge: ")
+
+	var (
+		in       = flag.String("in", "", "input expression file (required)")
+		format   = flag.String("format", "tsv", "input format: tsv|soft (NCBI GEO SOFT family file)")
+		out      = flag.String("out", "", "output edge TSV (default stdout)")
+		engine   = flag.String("engine", "host", "execution engine: host|phi|cluster|hybrid")
+		order    = flag.Int("order", 3, "B-spline order k")
+		bins     = flag.Int("bins", 10, "histogram bins b")
+		perms    = flag.Int("permutations", 30, "permutation-test count q")
+		alpha    = flag.Float64("alpha", 0.01, "significance level for the pooled-null threshold")
+		nullPair = flag.Int("null-pairs", 500, "pairs sampled for the pooled null")
+		dpi      = flag.Bool("dpi", false, "apply data-processing-inequality pruning")
+		dpiTol   = flag.Float64("dpi-tolerance", 0.1, "DPI near-tie tolerance")
+		workers  = flag.Int("workers", 0, "host worker goroutines (0 = GOMAXPROCS)")
+		tileSize = flag.Int("tile", 32, "pair-tile edge length")
+		policy   = flag.String("policy", "dynamic", "tile schedule: static-block|static-cyclic|dynamic|stealing")
+		seed     = flag.Uint64("seed", 1, "run seed (permutations, null sample)")
+		kernel   = flag.String("kernel", "bucketed", "MI kernel: bucketed|vec|scalar")
+		ranks    = flag.Int("ranks", 4, "cluster engine world size")
+		tpc      = flag.Int("threads-per-core", 0, "simulated Phi hardware threads per core (0 = device max)")
+		names    = flag.Bool("names", true, "write gene names instead of indices")
+		truth    = flag.String("truth", "", "optional ground-truth edge TSV; prints precision/recall/F1")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the tile schedule")
+		progress = flag.Bool("progress", false, "print scan progress to stderr")
+		ckpt     = flag.String("checkpoint", "", "checkpoint file: resume from it if present, save progress to it")
+		ckptIvl  = flag.Int("checkpoint-every", 64, "tiles between checkpoint saves")
+		maxGenes = flag.Int("max-genes", 0, "keep only the first N genes (0 = all)")
+	)
+	flag.Parse()
+
+	if *in == "" {
+		flag.Usage()
+		log.Fatal("missing -in")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var data *tinge.Dataset
+	switch *format {
+	case "tsv":
+		data, err = tinge.ReadExpressionTSV(f)
+	case "soft":
+		data, err = tinge.ReadSOFT(f)
+	default:
+		log.Fatalf("unknown format %q", *format)
+	}
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *maxGenes > 0 && *maxGenes < data.N() {
+		data = data.Subset(*maxGenes)
+		fmt.Fprintf(os.Stderr, "tinge: subset to first %d genes\n", data.N())
+	}
+	if missing := data.MissingCount(); missing > 0 {
+		data.ImputeRowMean()
+		fmt.Fprintf(os.Stderr, "tinge: imputed %d missing values (row means)\n", missing)
+	}
+
+	cfg := tinge.Config{
+		Order:           *order,
+		Bins:            *bins,
+		Permutations:    *perms,
+		Alpha:           *alpha,
+		NullSamplePairs: *nullPair,
+		DPI:             *dpi,
+		DPITolerance:    *dpiTol,
+		Workers:         *workers,
+		TileSize:        *tileSize,
+		Seed:            *seed,
+		Ranks:           *ranks,
+		ThreadsPerCore:  *tpc,
+		CheckpointPath:  *ckpt,
+		CheckpointEvery: *ckptIvl,
+	}
+	switch *engine {
+	case "host":
+		cfg.Engine = tinge.Host
+	case "phi":
+		cfg.Engine = tinge.Phi
+	case "cluster":
+		cfg.Engine = tinge.Cluster
+	case "hybrid":
+		cfg.Engine = tinge.Hybrid
+	default:
+		log.Fatalf("unknown engine %q", *engine)
+	}
+	switch *kernel {
+	case "bucketed":
+		cfg.Kernel = tinge.KernelBucketed
+	case "vec":
+		cfg.Kernel = tinge.KernelVec
+	case "scalar":
+		cfg.Kernel = tinge.KernelScalar
+	default:
+		log.Fatalf("unknown kernel %q", *kernel)
+	}
+	switch *policy {
+	case "static-block":
+		cfg.Policy = tinge.StaticBlock
+	case "static-cyclic":
+		cfg.Policy = tinge.StaticCyclic
+	case "dynamic":
+		cfg.Policy = tinge.Dynamic
+	case "stealing":
+		cfg.Policy = tinge.Stealing
+	default:
+		log.Fatalf("unknown policy %q", *policy)
+	}
+
+	var rec *tinge.TraceRecorder
+	if *traceOut != "" {
+		rec = tinge.NewTraceRecorder()
+		cfg.Trace = rec
+	}
+	if *progress {
+		var lastPct int64 = -1
+		cfg.Progress = func(done, total int) {
+			pct := int64(done * 100 / total)
+			if pct%10 == 0 && atomic.SwapInt64(&lastPct, pct) != pct {
+				fmt.Fprintf(os.Stderr, "tinge: %3d%% (%d/%d tiles)\n", pct, done, total)
+			}
+		}
+	}
+
+	res, err := tinge.InferDataset(data, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rec != nil {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rec.WriteChromeTrace(tf); err != nil {
+			log.Fatal(err)
+		}
+		tf.Close()
+		fmt.Fprintf(os.Stderr, "tinge: wrote %d trace spans to %s\n", rec.Len(), *traceOut)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		of, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer of.Close()
+		w = of
+	}
+	var nameList []string
+	if *names {
+		nameList = data.Genes
+	}
+	if err := res.Network.WriteTSV(w, nameList); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "tinge: %d genes x %d experiments, engine=%s\n", data.N(), data.M(), *engine)
+	fmt.Fprintf(os.Stderr, "tinge: threshold I_alpha=%.4f (null size %d), edges=%d (raw %d)\n",
+		res.Threshold, res.NullSize, res.Network.Len(), res.RawEdges)
+	fmt.Fprintf(os.Stderr, "tinge: MI evaluations=%d, imbalance=%.3f\n", res.PairsEvaluated, res.Imbalance)
+	fmt.Fprintf(os.Stderr, "tinge: phases: %s\n", res.Timer)
+	if res.SimSeconds > 0 {
+		fmt.Fprintf(os.Stderr, "tinge: simulated coprocessor time %.3fs (transfers %.3fs)\n",
+			res.SimSeconds, res.SimTransferSeconds)
+	}
+	if res.HybridPhiShare > 0 {
+		fmt.Fprintf(os.Stderr, "tinge: hybrid split: %.1f%% of evaluations on the coprocessor\n",
+			100*res.HybridPhiShare)
+	}
+	if res.Messages > 0 {
+		fmt.Fprintf(os.Stderr, "tinge: cluster traffic %d messages, %d bytes\n",
+			res.Messages, res.TrafficBytes)
+	}
+	if *truth != "" {
+		tf, err := os.Open(*truth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tnet, err := tinge.ReadNetworkTSV(tf, data.N())
+		tf.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		tset := make(map[int64]bool)
+		for _, e := range tnet.Edges() {
+			tset[int64(e.I)*int64(data.N())+int64(e.J)] = true
+		}
+		sc := res.Network.ScoreAgainst(tset)
+		fmt.Fprintf(os.Stderr, "tinge: vs truth: precision %.3f, recall %.3f, F1 %.3f\n",
+			sc.Precision, sc.Recall, sc.F1)
+	}
+}

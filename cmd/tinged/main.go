@@ -1,0 +1,33 @@
+// Command tinged serves the inference pipeline over HTTP: clients POST
+// expression matrices to /jobs and poll for networks. See
+// internal/server for the API.
+//
+//	tinged -addr :8080
+//	curl -s -X POST --data-binary @expr.tsv 'localhost:8080/jobs?permutations=30&dpi=1'
+//	curl -s localhost:8080/jobs/job-1
+//	curl -s localhost:8080/jobs/job-1/network > net.tsv
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tinged: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New().Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

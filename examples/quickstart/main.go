@@ -1,0 +1,64 @@
+// Quickstart: infer a gene regulatory network from synthetic expression
+// data and score it against the known ground truth.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/tinge"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A synthetic dataset with a known scale-free regulatory
+	// network: 300 genes observed across 250 experiments.
+	data := tinge.MustGenerate(tinge.GenConfig{
+		Genes:         300,
+		Experiments:   250,
+		Topology:      tinge.ScaleFree,
+		AvgRegulators: 1,
+		Noise:         0.05,
+		Seed:          42,
+	})
+	fmt.Printf("dataset: %d genes x %d experiments, %d true edges\n",
+		data.N(), data.M(), len(data.TrueEdgeSet()))
+
+	// 2. Infer with the paper's defaults: order-3 B-splines, 10 bins,
+	// 30 permutations, DPI pruning, all CPU cores.
+	start := time.Now()
+	res, err := tinge.InferDataset(data, tinge.Config{
+		Seed: 42,
+		DPI:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inferred %d edges (raw %d before DPI) in %v\n",
+		res.Network.Len(), res.RawEdges, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("significance threshold I_alpha = %.4f bits (pooled null of %d values)\n",
+		res.Threshold, res.NullSize)
+	fmt.Printf("phase breakdown: %s\n", res.Timer)
+
+	// 3. Score against the generating network. MI networks are dense
+	// before thresholding — indirect regulation along chains carries
+	// genuinely significant information — so also score the top-K edges
+	// at the true-edge budget, the usual GRN benchmark protocol.
+	truth := data.TrueEdgeSet()
+	score := res.Network.ScoreAgainst(truth)
+	fmt.Printf("recovery (all significant edges): precision %.3f, recall %.3f, F1 %.3f\n",
+		score.Precision, score.Recall, score.F1)
+	top := res.Network.TopK(len(truth)).ScoreAgainst(truth)
+	fmt.Printf("recovery (top-%d by MI):          precision %.3f, recall %.3f, F1 %.3f\n",
+		len(truth), top.Precision, top.Recall, top.F1)
+
+	// 4. The strongest inferred interactions.
+	fmt.Println("top 5 edges by mutual information:")
+	for _, e := range res.Network.TopK(5).Edges() {
+		fmt.Printf("  %s -- %s  MI=%.3f bits\n", data.Genes[e.I], data.Genes[e.J], e.Weight)
+	}
+}

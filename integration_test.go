@@ -1,0 +1,119 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIPipeline builds the command binaries and drives the full
+// user workflow: generate data → infer a network (with checkpointing
+// and truth scoring) → analyze it — the same chain the README
+// documents.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary integration test in -short mode")
+	}
+	dir := t.TempDir()
+	bin := func(name string) string { return filepath.Join(dir, name) }
+	for _, cmd := range []string{"genexpr", "tinge", "netstat"} {
+		out, err := exec.Command("go", "build", "-o", bin(cmd), "./cmd/"+cmd).CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", cmd, err, out)
+		}
+	}
+
+	exprPath := filepath.Join(dir, "expr.tsv")
+	truthPath := filepath.Join(dir, "truth.tsv")
+	netPath := filepath.Join(dir, "net.tsv")
+	ckptPath := filepath.Join(dir, "run.ckpt")
+
+	run := func(name string, args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bin(name), args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		return string(out)
+	}
+
+	run("genexpr", "-genes", "60", "-experiments", "80", "-seed", "3",
+		"-out", exprPath, "-truth", truthPath)
+	if fi, err := os.Stat(exprPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("expression file: %v", err)
+	}
+
+	out := run("tinge", "-in", exprPath, "-permutations", "8", "-dpi",
+		"-names=false", "-out", netPath, "-truth", truthPath,
+		"-checkpoint", ckptPath, "-seed", "3")
+	if !strings.Contains(out, "vs truth: precision") {
+		t.Fatalf("tinge output missing truth score:\n%s", out)
+	}
+	if _, err := os.Stat(ckptPath); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+
+	// Re-running over the finished checkpoint must do zero MI work and
+	// produce the identical network.
+	first, err := os.ReadFile(netPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = run("tinge", "-in", exprPath, "-permutations", "8", "-dpi",
+		"-names=false", "-out", netPath, "-truth", truthPath,
+		"-checkpoint", ckptPath, "-seed", "3")
+	if !strings.Contains(out, "MI evaluations=0") {
+		t.Fatalf("resume should need 0 evaluations:\n%s", out)
+	}
+	second, err := os.ReadFile(netPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatal("resumed network differs")
+	}
+
+	stats := run("netstat", "-in", netPath, "-n", "60", "-truth", truthPath, "-hubs", "3")
+	for _, want := range []string{"loaded genes=60", "communities", "vs truth"} {
+		if !strings.Contains(stats, want) {
+			t.Fatalf("netstat output missing %q:\n%s", want, stats)
+		}
+	}
+}
+
+// TestCLISoftFormat round-trips a SOFT file through the tinge binary.
+func TestCLISoftFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary integration test in -short mode")
+	}
+	dir := t.TempDir()
+	tingeBin := filepath.Join(dir, "tinge")
+	if out, err := exec.Command("go", "build", "-o", tingeBin, "./cmd/tinge").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	// Hand-written minimal SOFT series.
+	softPath := filepath.Join(dir, "series.soft")
+	soft := `^SERIES = GSETEST
+!Series_title = integration
+`
+	for s := 0; s < 12; s++ {
+		soft += "^SAMPLE = GSM" + string(rune('A'+s)) + "\n!sample_table_begin\nID_REF\tVALUE\n"
+		for g := 0; g < 8; g++ {
+			soft += "P" + string(rune('0'+g)) + "\t" + []string{"0.1", "0.9", "0.4", "0.6"}[(g+s)%4] + "\n"
+		}
+		soft += "!sample_table_end\n"
+	}
+	if err := os.WriteFile(softPath, []byte(soft), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(tingeBin, "-in", softPath, "-format", "soft",
+		"-permutations", "5", "-out", filepath.Join(dir, "net.tsv")).CombinedOutput()
+	if err != nil {
+		t.Fatalf("tinge soft: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "8 genes x 12 experiments") {
+		t.Fatalf("unexpected summary:\n%s", out)
+	}
+}

@@ -1,0 +1,274 @@
+// Package bspline implements the B-spline basis functions used by the
+// Daub et al. (2004) mutual-information estimator that TINGe — and the
+// IPDPS'14 Xeon Phi paper built on it — employ.
+//
+// A Basis of order k over b bins defines b basis functions B_{0..b-1} on
+// [0,1] via the Cox–de Boor recursion on a clamped uniform knot vector.
+// For any x in [0,1] at most k consecutive basis functions are non-zero,
+// they are non-negative, and they sum to exactly 1 (partition of unity).
+// Evaluating a sample therefore yields a stencil of k weights plus the
+// index of the first non-zero basis function — the "smeared" bin
+// assignment from which weighted marginal and joint histograms are built.
+//
+// The paper's key reuse: weights are computed once per gene
+// (O(n·m·k) total) and shared across all O(n²) pair computations and all
+// permutations.
+package bspline
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Basis is a clamped uniform B-spline basis of a given order over a
+// given number of bins. It is immutable after construction and safe for
+// concurrent use.
+type Basis struct {
+	order int // spline order k (degree k-1); k=1 is plain binning
+	bins  int // number of basis functions b
+	knots []float64
+}
+
+// New constructs a Basis with the given spline order and bin count.
+// order must be >= 1 and bins >= order. order 1 degenerates to plain
+// equal-width histogram binning; the paper uses order 3 (quadratic).
+func New(order, bins int) (*Basis, error) {
+	if order < 1 {
+		return nil, fmt.Errorf("bspline: order %d < 1", order)
+	}
+	if bins < order {
+		return nil, fmt.Errorf("bspline: bins %d < order %d", bins, order)
+	}
+	// Clamped knot vector: order copies of 0, interior knots, order
+	// copies of the maximum. With b basis functions of order k we need
+	// b + k knots. Interior knots are uniformly spaced so that the
+	// domain [0, b-k+1] divides into b-k+1 unit spans; we evaluate on
+	// [0,1] by scaling x by (b-k+1).
+	nKnots := bins + order
+	knots := make([]float64, nKnots)
+	for i := range knots {
+		switch {
+		case i < order:
+			knots[i] = 0
+		case i >= bins:
+			knots[i] = float64(bins - order + 1)
+		default:
+			knots[i] = float64(i - order + 1)
+		}
+	}
+	return &Basis{order: order, bins: bins, knots: knots}, nil
+}
+
+// MustNew is New but panics on error; for use with constant parameters.
+func MustNew(order, bins int) *Basis {
+	b, err := New(order, bins)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Order returns the spline order k.
+func (b *Basis) Order() int { return b.order }
+
+// Bins returns the number of basis functions.
+func (b *Basis) Bins() int { return b.bins }
+
+// scale maps x in [0,1] onto the knot domain [0, bins-order+1].
+func (b *Basis) scale(x float64) float64 {
+	t := x * float64(b.bins-b.order+1)
+	max := float64(b.bins - b.order + 1)
+	if t < 0 {
+		t = 0
+	}
+	if t >= max {
+		// Clamp just inside so the last span is used.
+		t = max - 1e-9
+		if t < 0 {
+			t = 0
+		}
+	}
+	return t
+}
+
+// Eval evaluates basis function i at x in [0,1] using the Cox–de Boor
+// recursion directly. It is the slow reference implementation used for
+// validation; hot paths use Weights.
+func (b *Basis) Eval(i int, x float64) float64 {
+	if i < 0 || i >= b.bins {
+		panic(fmt.Sprintf("bspline: basis index %d out of range %d", i, b.bins))
+	}
+	return b.coxDeBoor(i, b.order, b.scale(x))
+}
+
+func (b *Basis) coxDeBoor(i, k int, t float64) float64 {
+	if k == 1 {
+		// Half-open spans; the final span is closed at the top via the
+		// clamp in scale.
+		if b.knots[i] <= t && t < b.knots[i+1] {
+			return 1
+		}
+		// Degenerate (zero-width) spans at the clamped ends contribute 0.
+		return 0
+	}
+	var left, right float64
+	if d := b.knots[i+k-1] - b.knots[i]; d > 0 {
+		left = (t - b.knots[i]) / d * b.coxDeBoor(i, k-1, t)
+	}
+	if d := b.knots[i+k] - b.knots[i+1]; d > 0 {
+		right = (b.knots[i+k] - t) / d * b.coxDeBoor(i+1, k-1, t)
+	}
+	return left + right
+}
+
+// Weights computes the k non-zero basis weights at x in [0,1] using the
+// iterative de Boor triangle (no recursion, no allocation beyond dst).
+// It returns the index of the first non-zero basis function; dst must
+// have length >= order and receives the weights for basis functions
+// first..first+order-1. The weights are non-negative and sum to 1.
+func (b *Basis) Weights(x float64, dst []float32) (first int) {
+	if len(dst) < b.order {
+		panic(fmt.Sprintf("bspline: dst len %d < order %d", len(dst), b.order))
+	}
+	t := b.scale(x)
+	k := b.order
+	// Find the knot span: the last span index j (order-1 <= j <= bins-1)
+	// with knots[j] <= t < knots[j+1]. With our uniform interior knots
+	// this is a direct computation.
+	span := int(t) + k - 1
+	if span > b.bins-1 {
+		span = b.bins - 1
+	}
+	// de Boor's algorithm for basis function values (The NURBS Book
+	// A2.2): N[0..k-1] are the values of basis functions
+	// span-k+1 .. span at t.
+	var n [8]float64 // order <= 8 supported without allocation
+	var leftBuf, rightBuf [8]float64
+	if k > 8 {
+		panic(fmt.Sprintf("bspline: order %d > 8 unsupported", k))
+	}
+	left, right, nv := leftBuf[:k], rightBuf[:k], n[:k]
+	nv[0] = 1
+	for j := 1; j < k; j++ {
+		left[j] = t - b.knots[span+1-j]
+		right[j] = b.knots[span+j] - t
+		var saved float64
+		for r := 0; r < j; r++ {
+			den := right[r+1] + left[j-r]
+			var temp float64
+			if den != 0 {
+				temp = nv[r] / den
+			}
+			nv[r] = saved + right[r+1]*temp
+			saved = left[j-r] * temp
+		}
+		nv[j] = saved
+	}
+	first = span - k + 1
+	for i := 0; i < k; i++ {
+		dst[i] = float32(nv[i])
+	}
+	return first
+}
+
+// WeightMatrix holds the precomputed B-spline weights for every gene and
+// sample — the paper's central data structure. Two layouts are kept:
+//
+//   - Sparse: per (gene, sample), the stencil offset and k weights, used
+//     by the scalar scatter-histogram kernel and by marginal entropy.
+//   - Dense: per (gene, bin), a contiguous row of m per-sample weights,
+//     used by the vectorized dot-product kernel. Rows are lane-padded.
+type WeightMatrix struct {
+	Basis   *Basis
+	Genes   int
+	Samples int
+	// Offsets[g*Samples+s] is the first non-zero basis index for gene g,
+	// sample s.
+	Offsets []int32
+	// Sparse[(g*Samples+s)*k + u] is weight u of the stencil.
+	Sparse []float32
+	// Dense is (Genes*Bins) × Samples: row g*Bins+u holds basis u's
+	// weight for each sample of gene g.
+	Dense *mat.Dense
+}
+
+// Precompute evaluates the basis at every element of the expression
+// matrix (values must already be normalized into [0,1]) and returns the
+// packed weights. This is the O(n·m·k) precompute phase.
+func Precompute(basis *Basis, expr *mat.Dense) *WeightMatrix {
+	n, m := expr.Rows(), expr.Cols()
+	k, bins := basis.Order(), basis.Bins()
+	wm := &WeightMatrix{
+		Basis:   basis,
+		Genes:   n,
+		Samples: m,
+		Offsets: make([]int32, n*m),
+		Sparse:  make([]float32, n*m*k),
+		Dense:   mat.NewDensePadded(n*bins, m, 16),
+	}
+	stencil := make([]float32, k)
+	for g := 0; g < n; g++ {
+		row := expr.Row(g)
+		for s := 0; s < m; s++ {
+			first := basis.Weights(float64(row[s]), stencil)
+			wm.Offsets[g*m+s] = int32(first)
+			copy(wm.Sparse[(g*m+s)*k:], stencil)
+			for u := 0; u < k; u++ {
+				wm.Dense.Row(g*bins + first + u)[s] = stencil[u]
+			}
+		}
+	}
+	return wm
+}
+
+// GeneDenseRows returns the bins dense weight rows for gene g; row u is
+// the per-sample weight of basis function u.
+func (wm *WeightMatrix) GeneDenseRows(g int) []([]float32) {
+	bins := wm.Basis.Bins()
+	rows := make([][]float32, bins)
+	for u := 0; u < bins; u++ {
+		rows[u] = wm.Dense.Row(g*bins + u)
+	}
+	return rows
+}
+
+// Stencil returns the offset and weights for gene g, sample s without
+// copying.
+func (wm *WeightMatrix) Stencil(g, s int) (first int32, w []float32) {
+	k := wm.Basis.Order()
+	i := g*wm.Samples + s
+	return wm.Offsets[i], wm.Sparse[i*k : (i+1)*k]
+}
+
+// Marginal computes the weighted marginal histogram (length Bins) for
+// gene g: P(u) = (1/m) * sum_s w_u(x_s). The result sums to 1.
+func (wm *WeightMatrix) Marginal(g int) []float64 {
+	bins := wm.Basis.Bins()
+	k := wm.Basis.Order()
+	m := wm.Samples
+	p := make([]float64, bins)
+	for s := 0; s < m; s++ {
+		i := g*m + s
+		off := int(wm.Offsets[i])
+		w := wm.Sparse[i*k : (i+1)*k]
+		for u, v := range w {
+			p[off+u] += float64(v)
+		}
+	}
+	inv := 1 / float64(m)
+	for u := range p {
+		p[u] *= inv
+	}
+	return p
+}
+
+// MarginalPermuted computes the marginal of gene g under a permutation
+// of samples. Because the marginal is a sum over samples, it is
+// invariant under permutation; this method exists to document and test
+// that invariance cheaply.
+func (wm *WeightMatrix) MarginalPermuted(g int, perm []int32) []float64 {
+	// Permutation does not change a sum; delegate.
+	_ = perm
+	return wm.Marginal(g)
+}

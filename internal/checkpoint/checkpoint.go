@@ -1,0 +1,138 @@
+// Package checkpoint persists and restores the pair-scan state of a
+// network-inference run. A whole-genome scan is hours of work at
+// cluster or coprocessor scale; the original TINGe deployments
+// checkpoint between work blocks so a preempted job resumes instead of
+// recomputing 10¹¹ MI kernels. The state is everything phase 4 has
+// produced: the phase-3 threshold, the completed-tile bitmap, the
+// significant edges found so far, and per-tile evaluation counts.
+//
+// A Fingerprint of the run parameters guards against resuming with a
+// different dataset or configuration, which would silently corrupt the
+// result. Files are written atomically (temp file + rename).
+package checkpoint
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/grn"
+)
+
+// Fingerprint identifies the run a checkpoint belongs to. Every field
+// that changes the scan's output is included.
+type Fingerprint struct {
+	Genes        int
+	Samples      int
+	Order        int
+	Bins         int
+	Permutations int
+	TileSize     int
+	Alpha        float64
+	Seed         uint64
+}
+
+// State is the resumable scan state.
+type State struct {
+	Fingerprint Fingerprint
+	Threshold   float64
+	NullSize    int
+	// Done[i] marks pair tile i complete.
+	Done []bool
+	// Edges holds the significant edges of completed tiles.
+	Edges []grn.Edge
+	// EvalsPerTile records MI evaluation counts of completed tiles.
+	EvalsPerTile []int64
+}
+
+// NewState initializes an empty state for nTiles tiles.
+func NewState(fp Fingerprint, nTiles int) *State {
+	return &State{
+		Fingerprint:  fp,
+		Done:         make([]bool, nTiles),
+		EvalsPerTile: make([]int64, nTiles),
+	}
+}
+
+// Remaining returns the number of incomplete tiles.
+func (s *State) Remaining() int {
+	n := 0
+	for _, d := range s.Done {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate reports whether the state belongs to a run with the given
+// fingerprint and tile count.
+func (s *State) Validate(fp Fingerprint, nTiles int) error {
+	if s.Fingerprint != fp {
+		return fmt.Errorf("checkpoint: fingerprint mismatch: saved %+v, run %+v", s.Fingerprint, fp)
+	}
+	if len(s.Done) != nTiles {
+		return fmt.Errorf("checkpoint: tile count mismatch: saved %d, run %d", len(s.Done), nTiles)
+	}
+	if len(s.EvalsPerTile) != nTiles {
+		return fmt.Errorf("checkpoint: evals length mismatch: saved %d, run %d", len(s.EvalsPerTile), nTiles)
+	}
+	return nil
+}
+
+// Save writes the state to w.
+func Save(w io.Writer, s *State) error {
+	if err := gob.NewEncoder(w).Encode(s); err != nil {
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads a state from r.
+func Load(r io.Reader) (*State, error) {
+	var s State
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	if len(s.Done) != len(s.EvalsPerTile) {
+		return nil, fmt.Errorf("checkpoint: inconsistent state: %d done flags, %d eval counts",
+			len(s.Done), len(s.EvalsPerTile))
+	}
+	return &s, nil
+}
+
+// SaveFile writes the state atomically to path.
+func SaveFile(path string, s *State) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := Save(tmp, s); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a state from path. A missing file returns
+// (nil, nil) — a fresh run, not an error.
+func LoadFile(path string) (*State, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,145 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/grn"
+)
+
+func testFP() Fingerprint {
+	return Fingerprint{
+		Genes: 100, Samples: 300, Order: 3, Bins: 10,
+		Permutations: 30, TileSize: 32, Alpha: 0.01, Seed: 7,
+	}
+}
+
+func TestNewStateAndRemaining(t *testing.T) {
+	s := NewState(testFP(), 5)
+	if s.Remaining() != 5 {
+		t.Fatalf("Remaining = %d, want 5", s.Remaining())
+	}
+	s.Done[1] = true
+	s.Done[3] = true
+	if s.Remaining() != 3 {
+		t.Fatalf("Remaining = %d, want 3", s.Remaining())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := NewState(testFP(), 4)
+	if err := s.Validate(testFP(), 4); err != nil {
+		t.Fatal(err)
+	}
+	other := testFP()
+	other.Seed = 8
+	if err := s.Validate(other, 4); err == nil {
+		t.Fatal("fingerprint mismatch should fail")
+	}
+	if err := s.Validate(testFP(), 5); err == nil {
+		t.Fatal("tile count mismatch should fail")
+	}
+	s.EvalsPerTile = s.EvalsPerTile[:3]
+	if err := s.Validate(testFP(), 4); err == nil {
+		t.Fatal("evals length mismatch should fail")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := NewState(testFP(), 3)
+	s.Threshold = 0.125
+	s.NullSize = 15000
+	s.Done[0] = true
+	s.EvalsPerTile[0] = 42
+	s.Edges = []grn.Edge{{I: 1, J: 2, Weight: 0.75}}
+	var buf bytes.Buffer
+	if err := Save(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Threshold != 0.125 || back.NullSize != 15000 {
+		t.Fatalf("threshold/null = %v/%d", back.Threshold, back.NullSize)
+	}
+	if !back.Done[0] || back.Done[1] || back.EvalsPerTile[0] != 42 {
+		t.Fatalf("tiles = %v / %v", back.Done, back.EvalsPerTile)
+	}
+	if len(back.Edges) != 1 || back.Edges[0] != (grn.Edge{I: 1, J: 2, Weight: 0.75}) {
+		t.Fatalf("edges = %v", back.Edges)
+	}
+	if err := back.Validate(testFP(), 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a gob stream")); err == nil {
+		t.Fatal("garbage should fail to load")
+	}
+}
+
+func TestLoadInconsistent(t *testing.T) {
+	s := NewState(testFP(), 3)
+	s.EvalsPerTile = s.EvalsPerTile[:2]
+	var buf bytes.Buffer
+	if err := Save(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("inconsistent lengths should fail to load")
+	}
+}
+
+func TestFileRoundTripAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+
+	// Missing file is a fresh run.
+	got, err := LoadFile(path)
+	if err != nil || got != nil {
+		t.Fatalf("missing file: %v, %v", got, err)
+	}
+
+	s := NewState(testFP(), 2)
+	s.Done[1] = true
+	if err := SaveFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back == nil || !back.Done[1] {
+		t.Fatalf("reloaded state = %+v", back)
+	}
+
+	// Atomic write: no temp litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(entries))
+	}
+
+	// Overwrite with progress keeps the file loadable.
+	s.Done[0] = true
+	if err := SaveFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err = LoadFile(path)
+	if err != nil || back.Remaining() != 0 {
+		t.Fatalf("after overwrite: %+v, %v", back, err)
+	}
+}
+
+func TestSaveFileBadDir(t *testing.T) {
+	if err := SaveFile("/nonexistent-dir-xyz/run.ckpt", NewState(testFP(), 1)); err == nil {
+		t.Fatal("unwritable directory should error")
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/bspline"
+	"repro/internal/grn"
+	"repro/internal/mi"
+	"repro/internal/mpi"
+	"repro/internal/perm"
+	"repro/internal/tile"
+)
+
+// runCluster executes phases 3/4 as the original TINGe does on a
+// cluster: ranks own a cyclic partition of the pair tiles, each rank
+// computes its share of the pooled null, the null values are
+// all-gathered so every rank derives the identical threshold, each rank
+// scans its tiles sequentially, and edges are gathered at rank 0.
+//
+// Because the permutation pool and the null-pair sample depend only on
+// the seed, the cluster network matches the host engine's exactly.
+func runCluster(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Result) error {
+	n := wm.Genes
+	tiles := tile.Decompose(n, cfg.TileSize)
+	type rankOut struct {
+		edges     []grn.Edge
+		threshold float64
+		nullSize  int
+		evals     int64
+		busy      float64
+		msgs      int64
+		bytes     int64
+	}
+	out := make([]rankOut, cfg.Ranks)
+
+	var scanSpan time.Duration
+	start := time.Now()
+	err := mpi.Run(cfg.Ranks, func(c *mpi.Comm) error {
+		k := newPairKernel(wm, cfg)
+		ws := mi.NewWorkspace(k.est)
+
+		// Phase 3 (distributed): cyclic partition of the null sample.
+		var threshold float64
+		var nullSize int
+		if cfg.Permutations > 0 {
+			count := cfg.NullSamplePairs
+			if max := tile.TotalPairs(n); count > max {
+				count = max
+			}
+			pairs := sampleNullPairs(cfg.Seed, n, count)
+			var local perm.Null
+			for idx := c.Rank(); idx < len(pairs); idx += c.Size() {
+				for p := 0; p < k.pool.Q(); p++ {
+					local.Add(k.miPermuted(pairs[idx][0], pairs[idx][1], p, ws))
+				}
+			}
+			gathered := c.Allgatherv(local.Values())
+			pooled := &perm.Null{}
+			for _, vals := range gathered {
+				pooled.AddAll(vals)
+			}
+			nullSize = pooled.Len()
+			if nullSize > 0 {
+				threshold = pooled.Threshold(cfg.Alpha)
+			}
+		}
+		k.thresh = threshold
+
+		// Phase 4: cyclic tile partition, sequential per rank.
+		busyStart := time.Now()
+		var edges []grn.Edge
+		var evals int64
+		for ti := c.Rank(); ti < len(tiles); ti += c.Size() {
+			if ctx.Err() != nil {
+				break
+			}
+			tiles[ti].ForEachPair(func(i, j int) {
+				obs, sig, ev := k.decide(i, j, ws)
+				evals += ev
+				if sig {
+					edges = append(edges, grn.Edge{I: i, J: j, Weight: obs})
+				}
+			})
+		}
+		busy := time.Since(busyStart).Seconds()
+
+		// Gather edges at root as flat (i, j, w) triples.
+		flat := make([]float64, 0, len(edges)*3)
+		for _, e := range edges {
+			flat = append(flat, float64(e.I), float64(e.J), e.Weight)
+		}
+		gatheredEdges := c.Gatherv(0, flat)
+		c.Barrier()
+		msgs, bytes := c.Traffic()
+
+		o := &out[c.Rank()]
+		o.threshold = threshold
+		o.nullSize = nullSize
+		o.evals = evals
+		o.busy = busy
+		o.msgs = msgs
+		o.bytes = bytes
+		if c.Rank() == 0 {
+			for _, part := range gatheredEdges {
+				if len(part)%3 != 0 {
+					return fmt.Errorf("core: malformed edge gather of %d values", len(part))
+				}
+				for x := 0; x < len(part); x += 3 {
+					o.edges = append(o.edges, grn.Edge{
+						I: int(part[x]), J: int(part[x+1]), Weight: part[x+2],
+					})
+				}
+			}
+		}
+		return nil
+	})
+	scanSpan = time.Since(start)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	// Ranks computed thresholds from identical pooled values; assert
+	// agreement (a mismatch indicates nondeterminism).
+	for r := 1; r < cfg.Ranks; r++ {
+		if out[r].threshold != out[0].threshold {
+			return fmt.Errorf("core: rank %d threshold %v != rank 0 %v",
+				r, out[r].threshold, out[0].threshold)
+		}
+	}
+	res.Threshold = out[0].threshold
+	res.NullSize = out[0].nullSize
+	res.Timer.Add("threshold+mi(cluster)", scanSpan)
+
+	busy := make([]float64, cfg.Ranks)
+	for r := range out {
+		res.PairsEvaluated += out[r].evals
+		busy[r] = out[r].busy
+	}
+	res.Imbalance = tile.Imbalance(busy)
+	res.Messages = out[0].msgs
+	res.TrafficBytes = out[0].bytes
+
+	net := grn.New(n)
+	for _, e := range out[0].edges {
+		net.AddEdge(e.I, e.J, e.Weight)
+	}
+	res.Network = net
+	return nil
+}

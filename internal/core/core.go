@@ -1,0 +1,387 @@
+// Package core implements the TINGe-Phi pipeline — the paper's primary
+// contribution: whole-genome mutual-information network construction
+// with permutation testing, parallelized across multi-level hardware.
+//
+// Pipeline phases (matching the paper/TINGe):
+//
+//  1. normalize: rank-transform each gene's expression into (0,1).
+//  2. precompute: evaluate B-spline weights once per (gene, sample).
+//  3. threshold: estimate the global significance threshold I_alpha
+//     from the pooled null distribution of a deterministic sample of
+//     permuted pairs.
+//  4. mi: for every pair (i<j), compute MI; pairs below I_alpha are
+//     rejected immediately, pairs above run the per-pair permutation
+//     check (the observed MI must exceed all q permuted MIs) with
+//     early exit — this is the skew that motivates dynamic scheduling.
+//  5. dpi: optional data-processing-inequality pruning of the
+//     resulting network.
+//
+// Three engines execute phase 4 (and share the others):
+//
+//   - HostEngine: a goroutine pool over pair tiles (the paper's Xeon
+//     solution).
+//   - PhiEngine: the same computation, plus a simulated-time account on
+//     the phi.Device model including PCIe offload (the paper's Xeon Phi
+//     solution — we lack the hardware, so time is modeled, results are
+//     exact).
+//   - ClusterEngine: ranks over the mpi runtime with a static block
+//     partition and an allreduced threshold (the original TINGe
+//     cluster baseline).
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"repro/internal/bspline"
+	"repro/internal/grn"
+	"repro/internal/mat"
+	"repro/internal/phi"
+	"repro/internal/stats"
+	"repro/internal/tile"
+	"repro/internal/trace"
+)
+
+// EngineKind selects the execution engine.
+type EngineKind int
+
+// Engines.
+const (
+	// Host runs on a goroutine pool (the Xeon path).
+	Host EngineKind = iota
+	// Phi runs on the host but accounts simulated coprocessor time
+	// (the Xeon Phi path).
+	Phi
+	// Cluster runs over the in-process MPI runtime (the TINGe
+	// baseline).
+	Cluster
+	// Hybrid models concurrent host + coprocessor execution: tiles are
+	// split by device throughput, results computed exactly on the host,
+	// simulated time is the slower share.
+	Hybrid
+)
+
+// String names the engine.
+func (e EngineKind) String() string {
+	switch e {
+	case Host:
+		return "host"
+	case Phi:
+		return "phi"
+	case Cluster:
+		return "cluster"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
+
+// KernelKind selects the MI kernel formulation — the axis of the
+// paper's vectorization study.
+type KernelKind int
+
+// Kernels.
+const (
+	// KernelBucketed (default) counting-sorts samples by stencil
+	// offset so every histogram update is a dense register-blocked k×k
+	// accumulate — the vectorization-friendly restructuring; fastest on
+	// the host and the shape-carrier for the paper's optimized kernel.
+	KernelBucketed KernelKind = iota
+	// KernelVec is the dense per-bin-pair dot-product formulation:
+	// b²·⌈m/lanes⌉ streaming FMAs per pair. It is the formulation whose
+	// advantage appears on wide-SIMD hardware (see the phi cost model);
+	// on a scalar host it does b²/k² times more flops.
+	KernelVec
+	// KernelScalar is the naive per-sample scatter-histogram kernel —
+	// the paper's unvectorized baseline.
+	KernelScalar
+)
+
+// String names the kernel.
+func (k KernelKind) String() string {
+	switch k {
+	case KernelBucketed:
+		return "bucketed"
+	case KernelVec:
+		return "vec"
+	case KernelScalar:
+		return "scalar"
+	default:
+		return fmt.Sprintf("kernel(%d)", int(k))
+	}
+}
+
+// Config parameterizes a network-inference run. The zero value plus
+// Validate yields the paper's defaults (order-3 splines, 10 bins, 30
+// permutations).
+type Config struct {
+	// Engine selects host, phi, or cluster execution.
+	Engine EngineKind
+	// Order is the B-spline order k (default 3).
+	Order int
+	// Bins is the histogram size b (default 10).
+	Bins int
+	// Permutations is q, the permutation-test count (default 30).
+	Permutations int
+	// Alpha is the significance level for the pooled-null threshold
+	// (default 0.01).
+	Alpha float64
+	// NullSamplePairs is how many pairs contribute permuted MI values
+	// to the pooled null (default 500, clamped to the pair count).
+	NullSamplePairs int
+	// DPI enables data-processing-inequality pruning.
+	DPI bool
+	// DPITolerance protects near-tie triangles (default 0.1).
+	DPITolerance float64
+	// Workers is the host worker count (default GOMAXPROCS).
+	Workers int
+	// TileSize is the pair-tile edge length (default 32).
+	TileSize int
+	// Policy is the tile scheduling policy (default Dynamic).
+	Policy tile.Policy
+	// Seed drives permutations; equal seeds give equal networks.
+	Seed uint64
+	// Kernel selects the MI kernel formulation (default Bucketed).
+	Kernel KernelKind
+	// Progress, when non-nil, is invoked after every completed pair
+	// tile with (tilesDone, tilesTotal). It is called concurrently from
+	// worker goroutines and must be safe for concurrent use; keep it
+	// cheap — it sits on the scan's critical path. Host and Phi engines
+	// only.
+	Progress func(done, total int)
+	// Trace, when non-nil, records a per-worker span for every pair
+	// tile (plus the threshold phase), exportable as a Chrome trace.
+	// Host and Phi engines only.
+	Trace *trace.Recorder
+	// CheckpointPath enables resumable scans: when the file exists, the
+	// run resumes from it (a parameter mismatch is an error); progress
+	// is saved there every CheckpointEvery completed tiles and at the
+	// end of the scan, so an interrupted whole-genome run loses at most
+	// one save interval. Host and Phi engines only.
+	CheckpointPath string
+	// CheckpointEvery is the save interval in completed tiles
+	// (default 64).
+	CheckpointEvery int
+
+	// Device is the simulated chip for the Phi engine (default
+	// phi.XeonPhi5110P()).
+	Device phi.Device
+	// ThreadsPerCore is the simulated hardware-thread count per core
+	// for the Phi engine (default Device.ThreadsPerCore).
+	ThreadsPerCore int
+	// Offload is the simulated PCIe link (default phi.PCIeGen2x16()).
+	Offload phi.Offload
+	// HostDevice is the host chip model for the Hybrid engine (default
+	// phi.XeonE5()).
+	HostDevice phi.Device
+
+	// Ranks is the cluster engine's world size (default 4).
+	Ranks int
+}
+
+// Validate fills defaults and rejects inconsistent settings.
+func (c *Config) Validate() error {
+	if c.Order == 0 {
+		c.Order = 3
+	}
+	if c.Bins == 0 {
+		c.Bins = 10
+	}
+	if c.Order < 1 || c.Order > 8 {
+		return fmt.Errorf("core: order %d out of [1,8]", c.Order)
+	}
+	if c.Bins < c.Order {
+		return fmt.Errorf("core: bins %d < order %d", c.Bins, c.Order)
+	}
+	if c.Permutations == 0 {
+		c.Permutations = 30
+	}
+	if c.Permutations < 0 {
+		return fmt.Errorf("core: negative permutations %d", c.Permutations)
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.01
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		return fmt.Errorf("core: alpha %v out of (0,1)", c.Alpha)
+	}
+	if c.NullSamplePairs == 0 {
+		c.NullSamplePairs = 500
+	}
+	if c.NullSamplePairs < 0 {
+		return fmt.Errorf("core: negative NullSamplePairs %d", c.NullSamplePairs)
+	}
+	if c.DPITolerance == 0 {
+		c.DPITolerance = 0.1
+	}
+	if c.DPITolerance < 0 || c.DPITolerance >= 1 {
+		return fmt.Errorf("core: DPI tolerance %v out of [0,1)", c.DPITolerance)
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("core: non-positive workers %d", c.Workers)
+	}
+	if c.TileSize == 0 {
+		c.TileSize = 32
+	}
+	if c.TileSize < 1 {
+		return fmt.Errorf("core: non-positive tile size %d", c.TileSize)
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 64
+	}
+	if c.CheckpointEvery < 1 {
+		return fmt.Errorf("core: non-positive checkpoint interval %d", c.CheckpointEvery)
+	}
+	if c.CheckpointPath != "" && c.Engine == Cluster {
+		return fmt.Errorf("core: checkpointing is not supported on the cluster engine")
+	}
+	if c.Engine == Phi || c.Engine == Hybrid {
+		if c.Device.Cores == 0 {
+			c.Device = phi.XeonPhi5110P()
+		}
+		if err := c.Device.Validate(); err != nil {
+			return err
+		}
+		if c.ThreadsPerCore == 0 {
+			c.ThreadsPerCore = c.Device.ThreadsPerCore
+		}
+		if c.ThreadsPerCore < 1 || c.ThreadsPerCore > c.Device.ThreadsPerCore {
+			return fmt.Errorf("core: threads/core %d out of [1,%d]", c.ThreadsPerCore, c.Device.ThreadsPerCore)
+		}
+		if c.Offload.BandwidthGBps == 0 {
+			c.Offload = phi.PCIeGen2x16()
+		}
+	}
+	if c.Engine == Hybrid {
+		if c.HostDevice.Cores == 0 {
+			c.HostDevice = phi.XeonE5()
+		}
+		if err := c.HostDevice.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Engine == Cluster {
+		if c.Ranks == 0 {
+			c.Ranks = 4
+		}
+		if c.Ranks < 1 {
+			return fmt.Errorf("core: non-positive ranks %d", c.Ranks)
+		}
+	}
+	switch c.Engine {
+	case Host, Phi, Cluster, Hybrid:
+	default:
+		return fmt.Errorf("core: unknown engine %v", c.Engine)
+	}
+	switch c.Kernel {
+	case KernelBucketed, KernelVec, KernelScalar:
+	default:
+		return fmt.Errorf("core: unknown kernel %v", c.Kernel)
+	}
+	return nil
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Network holds the significant (and, if enabled, DPI-pruned)
+	// edges weighted by MI in bits.
+	Network *grn.Network
+	// RawEdges is the edge count before DPI (== Network.Len() when DPI
+	// is off).
+	RawEdges int
+	// Threshold is the pooled-null I_alpha actually used.
+	Threshold float64
+	// PairsEvaluated counts MI computations including permutations.
+	PairsEvaluated int64
+	// NullSize is the pooled null distribution size.
+	NullSize int
+	// Timer breaks down host wall time by phase.
+	Timer *stats.Timer
+	// SimSeconds is the Phi engine's simulated device time
+	// (compute makespan + offload), 0 for other engines.
+	SimSeconds float64
+	// SimTransferSeconds is the offload transfer part of SimSeconds.
+	SimTransferSeconds float64
+	// Messages and TrafficBytes report cluster communication (0
+	// elsewhere).
+	Messages, TrafficBytes int64
+	// HybridPhiShare is the fraction of MI evaluations the Hybrid
+	// engine's split assigned to the coprocessor (0 elsewhere).
+	HybridPhiShare float64
+	// Imbalance is max/mean per-worker busy time for phase 4.
+	Imbalance float64
+}
+
+// Infer runs the pipeline on the expression matrix (rows = genes,
+// columns = experiments) and returns the inferred network. The input
+// matrix is not modified.
+func Infer(exprMat *mat.Dense, cfg Config) (*Result, error) {
+	return InferContext(context.Background(), exprMat, cfg)
+}
+
+// InferContext is Infer with cancellation: workers abandon remaining
+// tiles at the next tile boundary once ctx is done, and the call
+// returns ctx's error. A whole-genome run holds gigabytes of weight
+// matrix and hours of pair work; this is the only way to stop it
+// cleanly.
+func InferContext(ctx context.Context, exprMat *mat.Dense, cfg Config) (*Result, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("core: nil context")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if exprMat.Rows() < 2 {
+		return nil, fmt.Errorf("core: need at least 2 genes, have %d", exprMat.Rows())
+	}
+	if exprMat.Cols() < 4 {
+		return nil, fmt.Errorf("core: need at least 4 experiments, have %d", exprMat.Cols())
+	}
+	timer := stats.NewTimer()
+
+	// Phase 1: rank normalization on a private copy.
+	var norm *mat.Dense
+	timer.Time("normalize", func() {
+		norm = exprMat.Clone()
+		norm.RankNormalize()
+	})
+
+	// Phase 2: B-spline weight precompute.
+	basis, err := bspline.New(cfg.Order, cfg.Bins)
+	if err != nil {
+		return nil, err
+	}
+	var wm *bspline.WeightMatrix
+	timer.Time("precompute", func() {
+		wm = bspline.Precompute(basis, norm)
+	})
+
+	res := &Result{Timer: timer}
+	switch cfg.Engine {
+	case Host:
+		err = runHost(ctx, wm, cfg, res)
+	case Phi:
+		err = runPhi(ctx, wm, cfg, res)
+	case Cluster:
+		err = runCluster(ctx, wm, cfg, res)
+	case Hybrid:
+		err = runHybrid(ctx, wm, cfg, res)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 5: DPI.
+	res.RawEdges = res.Network.Len()
+	if cfg.DPI {
+		timer.Time("dpi", func() {
+			res.Network = res.Network.DPI(cfg.DPITolerance)
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bspline"
+	"repro/internal/checkpoint"
+	"repro/internal/grn"
+	"repro/internal/mi"
+	"repro/internal/perm"
+	"repro/internal/tile"
+)
+
+// ckptManager serializes checkpoint updates from worker goroutines and
+// saves the state every `every` completed tiles plus a final save at
+// scan end, so an interrupted run loses at most one interval.
+type ckptManager struct {
+	mu        sync.Mutex
+	path      string
+	every     int
+	state     *checkpoint.State
+	sinceSave int
+	saveErr   error
+}
+
+// tileDone records a completed tile and persists opportunistically.
+func (m *ckptManager) tileDone(ti int, evals int64, edges []grn.Edge) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.state.Done[ti] = true
+	m.state.EvalsPerTile[ti] = evals
+	m.state.Edges = append(m.state.Edges, edges...)
+	m.sinceSave++
+	if m.sinceSave >= m.every {
+		m.saveLocked()
+	}
+}
+
+func (m *ckptManager) saveLocked() {
+	if err := checkpoint.SaveFile(m.path, m.state); err != nil && m.saveErr == nil {
+		m.saveErr = err
+	}
+	m.sinceSave = 0
+}
+
+// flush forces a save and returns the first save error, if any.
+func (m *ckptManager) flush() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.saveLocked()
+	return m.saveErr
+}
+
+func fingerprint(wm *bspline.WeightMatrix, cfg Config) checkpoint.Fingerprint {
+	return checkpoint.Fingerprint{
+		Genes:        wm.Genes,
+		Samples:      wm.Samples,
+		Order:        cfg.Order,
+		Bins:         cfg.Bins,
+		Permutations: cfg.Permutations,
+		TileSize:     cfg.TileSize,
+		Alpha:        cfg.Alpha,
+		Seed:         cfg.Seed,
+	}
+}
+
+// hostScan is the shared parallel phase-3/phase-4 implementation: it
+// estimates the threshold from the pooled null and then scans the pair
+// tiles over cfg.Workers goroutines, optionally resuming from and
+// persisting to a checkpoint. It fills res.Network, Threshold,
+// NullSize, PairsEvaluated and Imbalance, and returns the per-tile MI
+// kernel evaluation counts (full history across resumed sessions —
+// the basis of the Phi engine's time model) plus the tile list.
+func hostScan(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Result) ([]int64, []tile.Tile, error) {
+	k := newPairKernel(wm, cfg)
+	n := wm.Genes
+	tiles := tile.Decompose(n, cfg.TileSize)
+
+	// Checkpoint setup: load-or-create before phase 3 so a resumed run
+	// skips threshold estimation entirely.
+	var ck *ckptManager
+	resumed := false
+	if cfg.CheckpointPath != "" {
+		fp := fingerprint(wm, cfg)
+		state, err := checkpoint.LoadFile(cfg.CheckpointPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		if state != nil {
+			if err := state.Validate(fp, len(tiles)); err != nil {
+				return nil, nil, err
+			}
+			resumed = true
+		} else {
+			state = checkpoint.NewState(fp, len(tiles))
+		}
+		ck = &ckptManager{path: cfg.CheckpointPath, every: cfg.CheckpointEvery, state: state}
+	}
+
+	// Phase 3: pooled-null threshold, parallel over sampled pairs.
+	if resumed {
+		res.Threshold = ck.state.Threshold
+		res.NullSize = ck.state.NullSize
+	} else {
+		res.Timer.Time("threshold", func() {
+			if cfg.Permutations == 0 {
+				res.Threshold = 0
+				return
+			}
+			count := cfg.NullSamplePairs
+			if max := tile.TotalPairs(n); count > max {
+				count = max
+			}
+			pairs := sampleNullPairs(cfg.Seed, n, count)
+			workers := cfg.Workers
+			if workers > len(pairs) && len(pairs) > 0 {
+				workers = len(pairs)
+			}
+			nulls := make([]perm.Null, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					ws := mi.NewWorkspace(k.est)
+					lo := w * len(pairs) / workers
+					hi := (w + 1) * len(pairs) / workers
+					for _, pr := range pairs[lo:hi] {
+						if ctx.Err() != nil {
+							return
+						}
+						k.nullForPairs([][2]int{pr}, ws, &nulls[w])
+					}
+				}(w)
+			}
+			wg.Wait()
+			pooled := &perm.Null{}
+			for w := range nulls {
+				pooled.Merge(&nulls[w])
+			}
+			res.NullSize = pooled.Len()
+			if pooled.Len() > 0 {
+				res.Threshold = pooled.Threshold(cfg.Alpha)
+			}
+		})
+		if ck != nil {
+			ck.state.Threshold = res.Threshold
+			ck.state.NullSize = res.NullSize
+		}
+	}
+	k.thresh = res.Threshold
+
+	// Phase 4: tile scan over the pending tiles.
+	pending := make([]int, 0, len(tiles))
+	for i := range tiles {
+		if ck == nil || !ck.state.Done[i] {
+			pending = append(pending, i)
+		}
+	}
+	evalsPerTile := make([]int64, len(tiles))
+	busy := make([]float64, cfg.Workers)
+	edgesPerWorker := make([][]grn.Edge, cfg.Workers)
+	var totalEvals int64
+	var tilesDone int64
+	res.Timer.Time("mi", func() {
+		sched := tile.NewScheduler(cfg.Policy, len(pending), cfg.Workers)
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ws := mi.NewWorkspace(k.est)
+				start := time.Now()
+				var local []grn.Edge
+				var evals int64
+				for {
+					pi := sched.Next(w)
+					if pi == -1 || ctx.Err() != nil {
+						break
+					}
+					ti := pending[pi]
+					var endSpan func()
+					if cfg.Trace != nil {
+						endSpan = cfg.Trace.Span(w, fmt.Sprintf("tile-%d %s", ti, tiles[ti]))
+					}
+					var tileEvals int64
+					var tileEdges []grn.Edge
+					tiles[ti].ForEachPair(func(i, j int) {
+						obs, sig, ev := k.decide(i, j, ws)
+						tileEvals += ev
+						if sig {
+							tileEdges = append(tileEdges, grn.Edge{I: i, J: j, Weight: obs})
+						}
+					})
+					atomic.AddInt64(&evalsPerTile[ti], tileEvals)
+					evals += tileEvals
+					if ck != nil {
+						ck.tileDone(ti, tileEvals, tileEdges)
+					} else {
+						local = append(local, tileEdges...)
+					}
+					if endSpan != nil {
+						endSpan()
+					}
+					if cfg.Progress != nil {
+						cfg.Progress(int(atomic.AddInt64(&tilesDone, 1)), len(pending))
+					}
+				}
+				busy[w] = time.Since(start).Seconds()
+				edgesPerWorker[w] = local
+				atomic.AddInt64(&totalEvals, evals)
+			}(w)
+		}
+		wg.Wait()
+	})
+	if ck != nil {
+		// Persist whatever completed, even on cancellation.
+		if err := ck.flush(); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	res.PairsEvaluated = totalEvals
+	res.Imbalance = tile.Imbalance(busy)
+
+	net := grn.New(n)
+	if ck != nil {
+		// The checkpoint holds the complete edge set across sessions.
+		for _, e := range ck.state.Edges {
+			net.AddEdge(e.I, e.J, e.Weight)
+		}
+		// Full-history evaluation counts drive the Phi time model.
+		copy(evalsPerTile, ck.state.EvalsPerTile)
+	} else {
+		for _, edges := range edgesPerWorker {
+			for _, e := range edges {
+				net.AddEdge(e.I, e.J, e.Weight)
+			}
+		}
+	}
+	res.Network = net
+	return evalsPerTile, tiles, nil
+}
+
+// runHost executes phase 3/4 on the goroutine-pool engine.
+func runHost(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Result) error {
+	_, _, err := hostScan(ctx, wm, cfg, res)
+	return err
+}

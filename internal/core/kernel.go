@@ -1,0 +1,100 @@
+package core
+
+import (
+	"repro/internal/bspline"
+	"repro/internal/mi"
+	"repro/internal/perm"
+)
+
+// pairKernel bundles the estimator, permutation pool, and kernel choice
+// shared by all engines. It is immutable and safe for concurrent use
+// with per-goroutine workspaces.
+type pairKernel struct {
+	est    *mi.Estimator
+	pool   *perm.Pool
+	kind   KernelKind
+	thresh float64 // I_alpha; 0 during the threshold-estimation phase
+}
+
+func newPairKernel(wm *bspline.WeightMatrix, cfg Config) *pairKernel {
+	return &pairKernel{
+		est:  mi.NewEstimator(wm),
+		pool: perm.MustNewPool(cfg.Seed, wm.Samples, cfg.Permutations),
+		kind: cfg.Kernel,
+	}
+}
+
+// miPair computes the unpermuted MI of pair (i, j).
+func (k *pairKernel) miPair(i, j int, ws *mi.Workspace) float64 {
+	switch k.kind {
+	case KernelScalar:
+		return k.est.PairScalar(i, j, ws)
+	case KernelVec:
+		return k.est.PairVec(i, j, ws)
+	default:
+		return k.est.PairBucketed(i, j, ws)
+	}
+}
+
+// miPermuted computes MI of (i, j) under pool permutation p.
+func (k *pairKernel) miPermuted(i, j, p int, ws *mi.Workspace) float64 {
+	switch k.kind {
+	case KernelScalar:
+		return k.est.PairPermutedScalar(i, j, k.pool.Perm(p), ws)
+	case KernelVec:
+		return k.est.PairPermutedVec(i, j, k.pool.Perm(p), ws)
+	default:
+		return k.est.PairPermutedBucketed(i, j, k.pool.Perm(p), ws)
+	}
+}
+
+// decide evaluates pair (i, j) fully: the observed MI, the global
+// threshold cut, and — for survivors — the per-pair permutation check
+// with early exit (the observed value must strictly exceed every
+// permuted value, i.e. empirical p < 1/(q+1)). It returns the observed
+// MI, whether the edge is significant, and the number of MI kernel
+// evaluations spent (1 + permutations actually computed).
+func (k *pairKernel) decide(i, j int, ws *mi.Workspace) (obs float64, significant bool, evals int64) {
+	obs = k.miPair(i, j, ws)
+	evals = 1
+	if obs < k.thresh {
+		return obs, false, evals
+	}
+	for p := 0; p < k.pool.Q(); p++ {
+		evals++
+		if k.miPermuted(i, j, p, ws) >= obs {
+			return obs, false, evals
+		}
+	}
+	return obs, true, evals
+}
+
+// sampleNullPairs deterministically selects count pairs (i<j) from an
+// n-gene universe for pooled-null estimation, seeded independently of
+// the permutation pool.
+func sampleNullPairs(seed uint64, n, count int) [][2]int {
+	rng := perm.NewRNG(seed).Split(0xD1CE)
+	pairs := make([][2]int, 0, count)
+	for len(pairs) < count {
+		i := rng.Intn(n)
+		j := rng.Intn(n)
+		if i == j {
+			continue
+		}
+		if i > j {
+			i, j = j, i
+		}
+		pairs = append(pairs, [2]int{i, j})
+	}
+	return pairs
+}
+
+// nullForPairs computes the permuted MI values of the given pairs
+// (q values per pair) into a Null accumulator.
+func (k *pairKernel) nullForPairs(pairs [][2]int, ws *mi.Workspace, null *perm.Null) {
+	for _, pr := range pairs {
+		for p := 0; p < k.pool.Q(); p++ {
+			null.Add(k.miPermuted(pr[0], pr[1], p, ws))
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package expr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTSV asserts the expression parser never panics and that any
+// successfully parsed dataset survives a write/read round trip.
+func FuzzReadTSV(f *testing.F) {
+	f.Add("gene\tE0\tE1\nG0\t0.5\t0.25\n")
+	f.Add("gene\tE0\nG0\t1e-3\nG1\t-4.25\n")
+	f.Add("")
+	f.Add("gene\n")
+	f.Add("gene\tE0\nG0\tnot-a-number\n")
+	f.Add("gene\tE0\tE1\nG0\t1\n")
+	f.Add("gene\tE0\nG0\tNaN\n")
+	f.Add("gene\tE0\nG0\t+Inf\n")
+	f.Add("\x00\t\x01\n\xff\t2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ReadTSV(strings.NewReader(input))
+		if err != nil {
+			return // rejecting malformed input is fine; panicking is not
+		}
+		if d.N() == 0 || d.M() == 0 {
+			t.Fatalf("accepted dataset with empty dimension %dx%d", d.N(), d.M())
+		}
+		// Round trip: parse(write(parse(x))) must equal parse(x) when
+		// values are finite (non-finite values do not round-trip through
+		// %g in a comparable way).
+		if !d.Expr.IsFinite() {
+			return
+		}
+		var buf bytes.Buffer
+		if err := d.WriteTSV(&buf); err != nil {
+			t.Fatalf("WriteTSV of parsed dataset failed: %v", err)
+		}
+		back, err := ReadTSV(&buf)
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if back.N() != d.N() || back.M() != d.M() {
+			t.Fatalf("round-trip shape %dx%d != %dx%d", back.N(), back.M(), d.N(), d.M())
+		}
+		if !back.Expr.Equal(d.Expr, 1e-6) {
+			t.Fatal("round-trip values differ")
+		}
+	})
+}

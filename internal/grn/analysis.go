@@ -1,0 +1,267 @@
+package grn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Components returns the connected components of the network as slices
+// of gene indices, largest first (ties broken by smallest member).
+// Isolated genes form singleton components.
+func (g *Network) Components() [][]int {
+	visited := make([]bool, g.n)
+	var comps [][]int
+	stack := make([]int, 0, 64)
+	for start := 0; start < g.n; start++ {
+		if visited[start] {
+			continue
+		}
+		var comp []int
+		stack = append(stack[:0], start)
+		visited[start] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, w := range g.Neighbors(v) {
+				if !visited[w] {
+					visited[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(a, b int) bool {
+		if len(comps[a]) != len(comps[b]) {
+			return len(comps[a]) > len(comps[b])
+		}
+		return comps[a][0] < comps[b][0]
+	})
+	return comps
+}
+
+// ClusteringCoefficient returns the local clustering coefficient of
+// gene i: the fraction of its neighbor pairs that are themselves
+// connected. Genes with degree < 2 have coefficient 0.
+func (g *Network) ClusteringCoefficient(i int) float64 {
+	neigh := g.Neighbors(i)
+	d := len(neigh)
+	if d < 2 {
+		return 0
+	}
+	links := 0
+	for a := 0; a < d; a++ {
+		for b := a + 1; b < d; b++ {
+			if _, ok := g.Weight(neigh[a], neigh[b]); ok {
+				links++
+			}
+		}
+	}
+	return 2 * float64(links) / (float64(d) * float64(d-1))
+}
+
+// MeanClustering returns the average local clustering coefficient over
+// genes with degree >= 2 (0 if there are none).
+func (g *Network) MeanClustering() float64 {
+	var sum float64
+	count := 0
+	for i := 0; i < g.n; i++ {
+		if g.Degree(i) >= 2 {
+			sum += g.ClusteringCoefficient(i)
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// Hubs returns the k highest-degree genes in descending degree order
+// (ties by index). k is clamped to the gene count.
+func (g *Network) Hubs(k int) []int {
+	if k < 0 {
+		panic(fmt.Sprintf("grn: negative hub count %d", k))
+	}
+	idx := make([]int, g.n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		da, db := g.Degree(idx[a]), g.Degree(idx[b])
+		if da != db {
+			return da > db
+		}
+		return idx[a] < idx[b]
+	})
+	if k > g.n {
+		k = g.n
+	}
+	return idx[:k]
+}
+
+// Ego returns the subnetwork induced by gene center and its neighbors
+// within the given number of hops (hops >= 0; 0 yields an empty-edge
+// network containing only potential edges among {center}). Gene indices
+// are preserved.
+func (g *Network) Ego(center, hops int) *Network {
+	if center < 0 || center >= g.n {
+		panic(fmt.Sprintf("grn: ego center %d out of range %d", center, g.n))
+	}
+	if hops < 0 {
+		panic(fmt.Sprintf("grn: negative hops %d", hops))
+	}
+	in := map[int]bool{center: true}
+	frontier := []int{center}
+	for h := 0; h < hops; h++ {
+		var next []int
+		for _, v := range frontier {
+			for _, w := range g.Neighbors(v) {
+				if !in[w] {
+					in[w] = true
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	out := New(g.n)
+	for _, e := range g.edges {
+		if in[e.I] && in[e.J] {
+			out.AddEdge(e.I, e.J, e.Weight)
+		}
+	}
+	return out
+}
+
+// PowerLawAlpha estimates the exponent of a power-law degree
+// distribution P(d) ~ d^-alpha by the discrete maximum-likelihood
+// estimator alpha = 1 + n / sum(ln(d_i / (dmin - 0.5))) over genes with
+// degree >= dmin. It returns the estimate and the number of genes used;
+// alpha is 0 when fewer than 2 genes qualify. Scale-free biological
+// networks typically land in [2, 3].
+func (g *Network) PowerLawAlpha(dmin int) (alpha float64, used int) {
+	if dmin < 1 {
+		panic(fmt.Sprintf("grn: dmin %d < 1", dmin))
+	}
+	var logSum float64
+	for i := 0; i < g.n; i++ {
+		d := g.Degree(i)
+		if d >= dmin {
+			logSum += math.Log(float64(d) / (float64(dmin) - 0.5))
+			used++
+		}
+	}
+	if used < 2 || logSum == 0 {
+		return 0, used
+	}
+	return 1 + float64(used)/logSum, used
+}
+
+// Betweenness computes unweighted betweenness centrality for every
+// gene with Brandes' algorithm (one BFS per source, accumulating pair
+// dependencies). Centrality identifies the pathway bottlenecks degree
+// alone misses — the canonical follow-up analysis on inferred GRNs.
+// Undirected: each shortest path is counted once (scores halved).
+func (g *Network) Betweenness() []float64 {
+	cb := make([]float64, g.n)
+	// Scratch reused across sources.
+	sigma := make([]float64, g.n)
+	dist := make([]int, g.n)
+	delta := make([]float64, g.n)
+	preds := make([][]int, g.n)
+	stack := make([]int, 0, g.n)
+	queue := make([]int, 0, g.n)
+	for s := 0; s < g.n; s++ {
+		for i := 0; i < g.n; i++ {
+			sigma[i] = 0
+			dist[i] = -1
+			delta[i] = 0
+			preds[i] = preds[i][:0]
+		}
+		sigma[s] = 1
+		dist[s] = 0
+		stack = stack[:0]
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			stack = append(stack, v)
+			for _, w := range g.Neighbors(v) {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+					preds[w] = append(preds[w], v)
+				}
+			}
+		}
+		for i := len(stack) - 1; i >= 0; i-- {
+			w := stack[i]
+			for _, v := range preds[w] {
+				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+			}
+			if w != s {
+				cb[w] += delta[w]
+			}
+		}
+	}
+	// Undirected graph: each pair contributes twice.
+	for i := range cb {
+		cb[i] /= 2
+	}
+	return cb
+}
+
+// Stats bundles summary statistics of a network.
+type Stats struct {
+	Genes          int
+	Edges          int
+	Density        float64 // edges / possible pairs
+	MaxDegree      int
+	MeanDegree     float64
+	Components     int
+	LargestComp    int
+	MeanClustering float64
+	MinWeight      float64
+	MaxWeight      float64
+}
+
+// Summary computes the network's Stats in one pass over the structure.
+func (g *Network) Summary() Stats {
+	s := Stats{Genes: g.n, Edges: len(g.edges), MaxDegree: g.MaxDegree()}
+	if g.n >= 2 {
+		s.Density = float64(s.Edges) / float64(g.n*(g.n-1)/2)
+	}
+	if g.n > 0 {
+		s.MeanDegree = 2 * float64(s.Edges) / float64(g.n)
+	}
+	comps := g.Components()
+	s.Components = len(comps)
+	if len(comps) > 0 {
+		s.LargestComp = len(comps[0])
+	}
+	s.MeanClustering = g.MeanClustering()
+	for k, e := range g.edges {
+		if k == 0 || e.Weight < s.MinWeight {
+			s.MinWeight = e.Weight
+		}
+		if e.Weight > s.MaxWeight {
+			s.MaxWeight = e.Weight
+		}
+	}
+	return s
+}
+
+// String renders the stats in one readable line per field group.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"genes=%d edges=%d density=%.5f maxDeg=%d meanDeg=%.2f components=%d largest=%d clustering=%.3f weight=[%.3f,%.3f]",
+		s.Genes, s.Edges, s.Density, s.MaxDegree, s.MeanDegree,
+		s.Components, s.LargestComp, s.MeanClustering, s.MinWeight, s.MaxWeight)
+}

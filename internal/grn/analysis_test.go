@@ -1,0 +1,246 @@
+package grn
+
+import (
+	"math"
+	"testing"
+)
+
+// triangle + pendant + isolated: 0-1-2 triangle, 3 attached to 2, 4 alone.
+func analysisFixture() *Network {
+	g := New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(0, 2, 3)
+	g.AddEdge(2, 3, 4)
+	return g
+}
+
+func TestComponents(t *testing.T) {
+	g := analysisFixture()
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if len(comps[0]) != 4 || comps[0][0] != 0 || comps[0][3] != 3 {
+		t.Fatalf("largest component = %v", comps[0])
+	}
+	if len(comps[1]) != 1 || comps[1][0] != 4 {
+		t.Fatalf("singleton = %v", comps[1])
+	}
+}
+
+func TestComponentsEmptyAndFull(t *testing.T) {
+	empty := New(3)
+	if got := empty.Components(); len(got) != 3 {
+		t.Fatalf("empty network components = %d, want 3 singletons", len(got))
+	}
+	full := New(3)
+	full.AddEdge(0, 1, 1)
+	full.AddEdge(1, 2, 1)
+	full.AddEdge(0, 2, 1)
+	if got := full.Components(); len(got) != 1 || len(got[0]) != 3 {
+		t.Fatalf("triangle components = %v", got)
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	g := analysisFixture()
+	// Gene 2 neighbors {0,1,3}: pairs (0,1) connected, (0,3),(1,3) not:
+	// 1/3.
+	if c := g.ClusteringCoefficient(2); math.Abs(c-1.0/3) > 1e-12 {
+		t.Fatalf("C(2) = %v, want 1/3", c)
+	}
+	// Gene 0 neighbors {1,2}: (1,2) connected: 1.
+	if c := g.ClusteringCoefficient(0); c != 1 {
+		t.Fatalf("C(0) = %v, want 1", c)
+	}
+	// Degree-1 and degree-0 genes: 0.
+	if g.ClusteringCoefficient(3) != 0 || g.ClusteringCoefficient(4) != 0 {
+		t.Fatal("low-degree clustering should be 0")
+	}
+}
+
+func TestMeanClustering(t *testing.T) {
+	g := analysisFixture()
+	// Genes with degree>=2: 0 (1.0), 1 (1.0), 2 (1/3) -> mean 7/9.
+	if c := g.MeanClustering(); math.Abs(c-7.0/9) > 1e-12 {
+		t.Fatalf("mean clustering = %v, want 7/9", c)
+	}
+	if New(3).MeanClustering() != 0 {
+		t.Fatal("empty network mean clustering should be 0")
+	}
+}
+
+func TestHubs(t *testing.T) {
+	g := analysisFixture()
+	hubs := g.Hubs(2)
+	if hubs[0] != 2 { // degree 3
+		t.Fatalf("top hub = %d, want 2", hubs[0])
+	}
+	if hubs[1] != 0 && hubs[1] != 1 {
+		t.Fatalf("second hub = %d", hubs[1])
+	}
+	if len(g.Hubs(100)) != 5 {
+		t.Fatal("Hubs should clamp to gene count")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative k should panic")
+		}
+	}()
+	g.Hubs(-1)
+}
+
+func TestEgo(t *testing.T) {
+	g := analysisFixture()
+	one := g.Ego(0, 1)
+	// Neighborhood {0,1,2}: triangle edges survive, (2,3) does not.
+	if one.Len() != 3 {
+		t.Fatalf("1-hop ego edges = %d, want 3", one.Len())
+	}
+	if _, ok := one.Weight(2, 3); ok {
+		t.Fatal("edge outside ego should be dropped")
+	}
+	two := g.Ego(0, 2)
+	if two.Len() != 4 {
+		t.Fatalf("2-hop ego edges = %d, want 4", two.Len())
+	}
+	zero := g.Ego(0, 0)
+	if zero.Len() != 0 {
+		t.Fatalf("0-hop ego edges = %d, want 0", zero.Len())
+	}
+}
+
+func TestEgoPanics(t *testing.T) {
+	g := analysisFixture()
+	for _, f := range []func(){
+		func() { g.Ego(-1, 1) },
+		func() { g.Ego(9, 1) },
+		func() { g.Ego(0, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPowerLawAlpha(t *testing.T) {
+	// Star network: center degree n-1, leaves degree 1.
+	n := 51
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i, 1)
+	}
+	alpha, used := g.PowerLawAlpha(1)
+	if used != n {
+		t.Fatalf("used = %d, want %d", used, n)
+	}
+	if alpha <= 1 {
+		t.Fatalf("alpha = %v, want > 1", alpha)
+	}
+	// Degenerate: all degrees equal dmin and ln ratio constant — still
+	// defined. Too few genes:
+	if a, u := New(1).PowerLawAlpha(1); a != 0 || u != 0 {
+		t.Fatalf("degenerate alpha = %v used %d", a, u)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dmin 0 should panic")
+		}
+	}()
+	g.PowerLawAlpha(0)
+}
+
+func TestSummary(t *testing.T) {
+	g := analysisFixture()
+	s := g.Summary()
+	if s.Genes != 5 || s.Edges != 4 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Density-0.4) > 1e-12 { // 4/10
+		t.Fatalf("density = %v", s.Density)
+	}
+	if s.MaxDegree != 3 || math.Abs(s.MeanDegree-1.6) > 1e-12 {
+		t.Fatalf("degrees %d/%v", s.MaxDegree, s.MeanDegree)
+	}
+	if s.Components != 2 || s.LargestComp != 4 {
+		t.Fatalf("components %d/%d", s.Components, s.LargestComp)
+	}
+	if s.MinWeight != 1 || s.MaxWeight != 4 {
+		t.Fatalf("weights [%v,%v]", s.MinWeight, s.MaxWeight)
+	}
+	if s.String() == "" {
+		t.Fatal("String empty")
+	}
+	// Empty network has zero-valued stats and must not divide by zero.
+	e := New(0).Summary()
+	if e.Genes != 0 || e.MeanDegree != 0 {
+		t.Fatalf("empty summary %+v", e)
+	}
+}
+
+func TestBetweennessPath(t *testing.T) {
+	// Path 0-1-2-3: betweenness of inner nodes is the number of pairs
+	// whose shortest path crosses them: node1 carries (0,2),(0,3)=2;
+	// node2 carries (0,3),(1,3)=2; endpoints 0.
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	cb := g.Betweenness()
+	want := []float64{0, 2, 2, 0}
+	for i := range want {
+		if math.Abs(cb[i]-want[i]) > 1e-9 {
+			t.Fatalf("cb[%d] = %v, want %v (all %v)", i, cb[i], want[i], cb)
+		}
+	}
+}
+
+func TestBetweennessStar(t *testing.T) {
+	// Star with center 0 and 4 leaves: center carries all C(4,2)=6 pairs.
+	g := New(5)
+	for i := 1; i < 5; i++ {
+		g.AddEdge(0, i, 1)
+	}
+	cb := g.Betweenness()
+	if math.Abs(cb[0]-6) > 1e-9 {
+		t.Fatalf("center betweenness = %v, want 6", cb[0])
+	}
+	for i := 1; i < 5; i++ {
+		if cb[i] != 0 {
+			t.Fatalf("leaf %d betweenness = %v", i, cb[i])
+		}
+	}
+}
+
+func TestBetweennessEvenSplit(t *testing.T) {
+	// Square 0-1-2-3-0: two shortest paths between opposite corners,
+	// each middle node carries half of one pair: cb = 0.5 each.
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 0, 1)
+	cb := g.Betweenness()
+	for i, v := range cb {
+		if math.Abs(v-0.5) > 1e-9 {
+			t.Fatalf("cb[%d] = %v, want 0.5", i, v)
+		}
+	}
+}
+
+func TestBetweennessDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	cb := g.Betweenness()
+	for i, v := range cb {
+		if v != 0 {
+			t.Fatalf("cb[%d] = %v in edge-only graph", i, v)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package grn
+
+import (
+	"testing"
+)
+
+// twoCliques builds two 4-cliques (0-3, 4-7) joined by one weak edge.
+func twoCliques() *Network {
+	g := New(8)
+	for _, base := range []int{0, 4} {
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				g.AddEdge(base+i, base+j, 1.0)
+			}
+		}
+	}
+	g.AddEdge(3, 4, 0.05)
+	return g
+}
+
+func TestCommunitiesTwoCliques(t *testing.T) {
+	g := twoCliques()
+	labels := g.Communities(50, 1)
+	if len(labels) != 8 {
+		t.Fatalf("labels = %v", labels)
+	}
+	// Within each clique labels agree; across they differ.
+	for i := 1; i < 4; i++ {
+		if labels[i] != labels[0] {
+			t.Fatalf("clique A split: %v", labels)
+		}
+		if labels[4+i] != labels[4] {
+			t.Fatalf("clique B split: %v", labels)
+		}
+	}
+	if labels[0] == labels[4] {
+		t.Fatalf("cliques merged: %v", labels)
+	}
+	sizes := CommunitySizes(labels)
+	if len(sizes) != 2 || sizes[0] != 4 || sizes[1] != 4 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+}
+
+func TestCommunitiesDeterministic(t *testing.T) {
+	g := twoCliques()
+	a := g.Communities(50, 7)
+	b := g.Communities(50, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same labels")
+		}
+	}
+}
+
+func TestCommunitiesIsolatedGenes(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	labels := g.Communities(10, 1)
+	if labels[0] != labels[1] {
+		t.Fatalf("connected pair split: %v", labels)
+	}
+	if labels[2] == labels[0] {
+		t.Fatalf("isolated gene joined a community: %v", labels)
+	}
+}
+
+func TestCommunitiesPanics(t *testing.T) {
+	g := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Communities(0, 1)
+}
+
+func TestModularity(t *testing.T) {
+	g := twoCliques()
+	good := g.Communities(50, 1)
+	qGood := g.Modularity(good)
+	if qGood < 0.3 {
+		t.Fatalf("two-clique modularity = %v, want >= 0.3", qGood)
+	}
+	// All-in-one labeling scores ~0.
+	allOne := make([]int, 8)
+	qOne := g.Modularity(allOne)
+	if qOne > 0.01 {
+		t.Fatalf("single-community modularity = %v, want ~0", qOne)
+	}
+	if qGood <= qOne {
+		t.Fatal("correct partition should beat trivial partition")
+	}
+	// Empty network.
+	if New(3).Modularity([]int{0, 1, 2}) != 0 {
+		t.Fatal("edgeless modularity should be 0")
+	}
+}
+
+func TestModularityPanicsOnLength(t *testing.T) {
+	g := New(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Modularity([]int{0})
+}
+
+func TestCommunitiesOnSyntheticModularNetwork(t *testing.T) {
+	// Ring of 5 cliques of 6, weakly chained: expect ~5 communities and
+	// decent modularity.
+	const k, cl = 6, 5
+	g := New(k * cl)
+	for c := 0; c < cl; c++ {
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				g.AddEdge(c*k+i, c*k+j, 1)
+			}
+		}
+		next := ((c + 1) % cl) * k
+		g.AddEdge(c*k, next, 0.02)
+	}
+	labels := g.Communities(100, 3)
+	sizes := CommunitySizes(labels)
+	if len(sizes) != cl {
+		t.Fatalf("found %d communities (%v), want %d", len(sizes), sizes, cl)
+	}
+	if q := g.Modularity(labels); q < 0.5 {
+		t.Fatalf("modularity = %v, want >= 0.5", q)
+	}
+}

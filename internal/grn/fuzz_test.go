@@ -1,0 +1,42 @@
+package grn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTSV asserts the edge-list parser never panics on arbitrary
+// input and round-trips whatever it accepts.
+func FuzzReadTSV(f *testing.F) {
+	f.Add("0\t1\t0.5\n", 4)
+	f.Add("0\t1\t0.5\n2\t3\t1\n", 4)
+	f.Add("", 4)
+	f.Add("0\t1\n", 4)
+	f.Add("a\tb\tc\n", 4)
+	f.Add("1\t1\t0.5\n", 4)
+	f.Add("0\t100\t0.5\n", 4)
+	f.Add("0\t1\t0.5\n1\t0\t0.5\n", 4) // duplicate → AddEdge panic path
+	f.Add("-1\t0\t1\n", 4)
+	f.Fuzz(func(t *testing.T, input string, rawN int) {
+		n := rawN % 64
+		if n < 0 {
+			n = -n
+		}
+		net, err := ReadTSV(strings.NewReader(input), n)
+		if err != nil {
+			return // rejecting malformed input is fine; panicking is not
+		}
+		var buf bytes.Buffer
+		if err := net.WriteTSV(&buf, nil); err != nil {
+			t.Fatalf("WriteTSV failed: %v", err)
+		}
+		back, err := ReadTSV(&buf, n)
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if back.Len() != net.Len() {
+			t.Fatalf("round-trip edges %d != %d", back.Len(), net.Len())
+		}
+	})
+}

@@ -1,0 +1,312 @@
+package grn
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestNewAndAddEdge(t *testing.T) {
+	g := New(5)
+	if g.N() != 5 || g.Len() != 0 {
+		t.Fatalf("fresh network N=%d Len=%d", g.N(), g.Len())
+	}
+	g.AddEdge(3, 1, 0.5) // order should normalize to (1,3)
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if w, ok := g.Weight(1, 3); !ok || w != 0.5 {
+		t.Fatalf("Weight(1,3) = %v,%v", w, ok)
+	}
+	if w, ok := g.Weight(3, 1); !ok || w != 0.5 {
+		t.Fatalf("Weight(3,1) = %v,%v", w, ok)
+	}
+	if _, ok := g.Weight(0, 1); ok {
+		t.Fatal("absent edge reported present")
+	}
+	if _, ok := g.Weight(-1, 0); ok {
+		t.Fatal("out-of-range lookup should be absent")
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	mustPanic(t, func() { New(-1) })
+	g := New(3)
+	mustPanic(t, func() { g.AddEdge(1, 1, 0.5) })
+	mustPanic(t, func() { g.AddEdge(0, 3, 0.5) })
+	g.AddEdge(0, 1, 0.5)
+	mustPanic(t, func() { g.AddEdge(1, 0, 0.7) }) // duplicate
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := New(4)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(0, 3, 3)
+	es := g.Edges()
+	want := [][2]int{{0, 1}, {0, 3}, {2, 3}}
+	for k, e := range es {
+		if e.I != want[k][0] || e.J != want[k][1] {
+			t.Fatalf("Edges()[%d] = (%d,%d), want %v", k, e.I, e.J, want[k])
+		}
+	}
+}
+
+func TestNeighborsAndDegree(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(0, 4, 1)
+	g.AddEdge(0, 1, 1)
+	n := g.Neighbors(0)
+	if len(n) != 3 || n[0] != 1 || n[1] != 2 || n[2] != 4 {
+		t.Fatalf("Neighbors(0) = %v", n)
+	}
+	if g.Degree(0) != 3 || g.Degree(3) != 0 {
+		t.Fatalf("degrees %d/%d", g.Degree(0), g.Degree(3))
+	}
+	if g.MaxDegree() != 3 {
+		t.Fatalf("MaxDegree = %d", g.MaxDegree())
+	}
+	if g.Neighbors(3) != nil {
+		t.Fatal("isolated gene should have nil neighbors")
+	}
+	h := g.DegreeHistogram()
+	// degrees: gene0=3, genes1,2,4=1, gene3=0.
+	if h[0] != 1 || h[1] != 3 || h[3] != 1 {
+		t.Fatalf("DegreeHistogram = %v", h)
+	}
+}
+
+func TestDPIRemovesWeakestTriangleEdge(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1.0)
+	g.AddEdge(1, 2, 0.9)
+	g.AddEdge(0, 2, 0.2) // indirect: explained by 0-1-2
+	out := g.DPI(0)
+	if out.Len() != 2 {
+		t.Fatalf("DPI kept %d edges, want 2", out.Len())
+	}
+	if _, ok := out.Weight(0, 2); ok {
+		t.Fatal("weakest edge (0,2) should be removed")
+	}
+	if _, ok := out.Weight(0, 1); !ok {
+		t.Fatal("strong edge (0,1) should survive")
+	}
+	// Original unmodified.
+	if g.Len() != 3 {
+		t.Fatal("DPI must not modify the receiver")
+	}
+}
+
+func TestDPIToleranceProtectsNearTies(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1.0)
+	g.AddEdge(1, 2, 0.99)
+	g.AddEdge(0, 2, 0.97)
+	// With 10% tolerance the near-tie triangle keeps all edges.
+	if out := g.DPI(0.1); out.Len() != 3 {
+		t.Fatalf("tolerant DPI kept %d edges, want 3", out.Len())
+	}
+	// With zero tolerance the weakest goes.
+	if out := g.DPI(0); out.Len() != 2 {
+		t.Fatalf("strict DPI kept %d edges, want 2", out.Len())
+	}
+}
+
+func TestDPIOpenTriangleUntouched(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1.0)
+	g.AddEdge(1, 2, 0.1)
+	// No (0,2) edge: path, not triangle — nothing to remove.
+	if out := g.DPI(0); out.Len() != 2 {
+		t.Fatalf("open triangle lost edges: %d", out.Len())
+	}
+}
+
+func TestDPIChainOfTriangles(t *testing.T) {
+	// Two triangles sharing edge (1,2): (0,1,2) and (1,2,3).
+	g := New(4)
+	g.AddEdge(0, 1, 1.0)
+	g.AddEdge(1, 2, 0.9)
+	g.AddEdge(0, 2, 0.3)
+	g.AddEdge(2, 3, 0.8)
+	g.AddEdge(1, 3, 0.2)
+	out := g.DPI(0)
+	for _, gone := range [][2]int{{0, 2}, {1, 3}} {
+		if _, ok := out.Weight(gone[0], gone[1]); ok {
+			t.Fatalf("edge %v should be removed", gone)
+		}
+	}
+	if out.Len() != 3 {
+		t.Fatalf("kept %d edges, want 3", out.Len())
+	}
+}
+
+func TestDPIPanicsOnBadTolerance(t *testing.T) {
+	g := New(2)
+	mustPanic(t, func() { g.DPI(-0.1) })
+	mustPanic(t, func() { g.DPI(1.0) })
+}
+
+func TestScoreAgainst(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	truth := map[int64]bool{
+		0*4 + 1: true, // TP
+		1*4 + 2: true, // FN
+	}
+	s := g.ScoreAgainst(truth)
+	if s.TP != 1 || s.FP != 1 || s.FN != 1 {
+		t.Fatalf("TP/FP/FN = %d/%d/%d", s.TP, s.FP, s.FN)
+	}
+	if math.Abs(s.Precision-0.5) > 1e-12 || math.Abs(s.Recall-0.5) > 1e-12 || math.Abs(s.F1-0.5) > 1e-12 {
+		t.Fatalf("P/R/F1 = %v/%v/%v", s.Precision, s.Recall, s.F1)
+	}
+}
+
+func TestScoreEmpty(t *testing.T) {
+	g := New(3)
+	s := g.ScoreAgainst(map[int64]bool{})
+	if s.Precision != 0 || s.Recall != 0 || s.F1 != 0 {
+		t.Fatalf("empty score = %+v", s)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 0.1)
+	g.AddEdge(0, 2, 0.9)
+	g.AddEdge(0, 3, 0.5)
+	top := g.TopK(2)
+	if top.Len() != 2 {
+		t.Fatalf("TopK(2) kept %d", top.Len())
+	}
+	if _, ok := top.Weight(0, 2); !ok {
+		t.Fatal("strongest edge missing from TopK")
+	}
+	if _, ok := top.Weight(0, 1); ok {
+		t.Fatal("weakest edge should be dropped")
+	}
+	if g.TopK(100).Len() != 3 {
+		t.Fatal("TopK beyond Len should keep all")
+	}
+	mustPanic(t, func() { g.TopK(-1) })
+}
+
+func TestTopKDeterministicTies(t *testing.T) {
+	g := New(4)
+	g.AddEdge(2, 3, 0.5)
+	g.AddEdge(0, 1, 0.5)
+	g.AddEdge(1, 2, 0.5)
+	top := g.TopK(1)
+	if _, ok := top.Weight(0, 1); !ok {
+		t.Fatal("tie should break to lowest (I,J)")
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 4, 0.75)
+	g.AddEdge(1, 2, 1.25)
+	var buf bytes.Buffer
+	if err := g.WriteTSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTSV(&buf, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("round trip Len = %d", back.Len())
+	}
+	if w, ok := back.Weight(0, 4); !ok || w != 0.75 {
+		t.Fatalf("edge (0,4) = %v,%v", w, ok)
+	}
+}
+
+func TestWriteTSVWithNames(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 0.5)
+	var buf bytes.Buffer
+	if err := g.WriteTSV(&buf, []string{"GA", "GB"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "GA\tGB\t0.5\n" {
+		t.Fatalf("named TSV = %q", got)
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"fields":    "0\t1\n",
+		"badI":      "x\t1\t0.5\n",
+		"badJ":      "0\ty\t0.5\n",
+		"badW":      "0\t1\tz\n",
+		"self":      "1\t1\t0.5\n",
+		"range":     "0\t9\t0.5\n",
+		"duplicate": "0\t1\t0.5\n1\t0\t0.7\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadTSV(strings.NewReader(in), 3); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadTSVSkipsBlankLines(t *testing.T) {
+	g, err := ReadTSV(strings.NewReader("\n0\t1\t0.5\n\n"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 0.5)
+	g.AddEdge(1, 2, 1.0)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, []string{"GA", "GB", "GC"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph tinge {", `"GA" -- "GB"`, `"GB" -- "GC"`, "}"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Heavier edge gets thicker pen.
+	if !strings.Contains(out, "penwidth=3.00") {
+		t.Fatalf("max-weight edge should have penwidth 3.00:\n%s", out)
+	}
+	// Numeric labels without names.
+	var buf2 bytes.Buffer
+	if err := g.WriteDOT(&buf2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf2.String(), `"0" -- "1"`) {
+		t.Fatalf("numeric DOT wrong:\n%s", buf2.String())
+	}
+	// Empty network still renders valid DOT.
+	var buf3 bytes.Buffer
+	if err := New(2).WriteDOT(&buf3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf3.String(), "graph tinge {") {
+		t.Fatal("empty DOT invalid")
+	}
+}

@@ -1,0 +1,171 @@
+package mi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AdaptiveMI estimates I(X;Y) in bits with the Darbellay–Vajda
+// adaptive-partitioning scheme: the plane is recursively quartered at
+// the cell's marginal medians for as long as a chi-square test rejects
+// conditional independence inside the cell; contributions are summed
+// over the leaf cells against the global marginals. Unlike fixed
+// binning, resolution concentrates where the joint density has
+// structure, giving near-unbiased estimates at moderate sample sizes —
+// the third independent estimator (after B-spline and KSG) used to
+// cross-validate accuracy results.
+//
+// minCell is the smallest cell allowed to split further (try 8–32).
+func AdaptiveMI(x, y []float32, minCell int) float64 {
+	return adaptiveMI(x, y, minCell, false)
+}
+
+func adaptiveMI(x, y []float32, minCell int, forceSplit bool) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mi: AdaptiveMI length mismatch %d vs %d", len(x), len(y)))
+	}
+	if minCell < 4 {
+		panic(fmt.Sprintf("mi: AdaptiveMI minCell %d < 4", minCell))
+	}
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	// Sorted copies for global marginal counting by binary search.
+	sx := append([]float32(nil), x...)
+	sy := append([]float32(nil), y...)
+	sort.Slice(sx, func(a, b int) bool { return sx[a] < sx[b] })
+	sort.Slice(sy, func(a, b int) bool { return sy[a] < sy[b] })
+	countIn := func(sorted []float32, lo, hi float32) int {
+		// Points v with lo < v <= hi.
+		a := sort.Search(len(sorted), func(i int) bool { return sorted[i] > lo })
+		b := sort.Search(len(sorted), func(i int) bool { return sorted[i] > hi })
+		return b - a
+	}
+
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Independence is tested on a 4×4 quartile sub-partition of the
+	// cell (9 degrees of freedom), which has far more power against
+	// smooth monotone dependence than the 2×2 quadrant counts alone —
+	// the refinement Darbellay–Vajda use to keep splitting while
+	// structure remains. The criterion is deliberately loose
+	// (chi-square 9 dof at ~40% significance): under-splitting loses
+	// real information (a systematic ~30% underestimate with the 5%
+	// criterion) while over-splitting only adds the mild plug-in bias
+	// bounded by minCell.
+	const chi2Crit = 9.414
+
+	var total float64
+	var recurse func(cell []int, xlo, xhi, ylo, yhi float32)
+	leaf := func(cell []int, xlo, xhi, ylo, yhi float32) {
+		nc := float64(len(cell))
+		if nc == 0 {
+			return
+		}
+		nx := float64(countIn(sx, xlo, xhi))
+		ny := float64(countIn(sy, ylo, yhi))
+		if nx == 0 || ny == 0 {
+			return
+		}
+		total += nc / float64(n) * math.Log2(nc*float64(n)/(nx*ny))
+	}
+	recurse = func(cell []int, xlo, xhi, ylo, yhi float32) {
+		if len(cell) < minCell {
+			leaf(cell, xlo, xhi, ylo, yhi)
+			return
+		}
+		// Split thresholds: the cell's marginal quartiles (medians for
+		// the recursion, quartiles for the finer independence test).
+		xs := make([]float32, len(cell))
+		ys := make([]float32, len(cell))
+		for k, i := range cell {
+			xs[k] = x[i]
+			ys[k] = y[i]
+		}
+		sort.Slice(xs, func(a, b int) bool { return xs[a] < xs[b] })
+		sort.Slice(ys, func(a, b int) bool { return ys[a] < ys[b] })
+		xm := xs[len(xs)/2]
+		ym := ys[len(ys)/2]
+		// Degenerate cell (ties collapse a marginal): stop.
+		if xm <= xlo || xm >= xhi || ym <= ylo || ym >= yhi {
+			leaf(cell, xlo, xhi, ylo, yhi)
+			return
+		}
+		// 4×4 independence test on quartile bins.
+		xq := [3]float32{xs[len(xs)/4], xm, xs[3*len(xs)/4]}
+		yq := [3]float32{ys[len(ys)/4], ym, ys[3*len(ys)/4]}
+		quart := func(v float32, q [3]float32) int {
+			switch {
+			case v <= q[0]:
+				return 0
+			case v <= q[1]:
+				return 1
+			case v <= q[2]:
+				return 2
+			default:
+				return 3
+			}
+		}
+		var counts [16]float64
+		var rows, cols [4]float64
+		for _, i := range cell {
+			r, c := quart(x[i], xq), quart(y[i], yq)
+			counts[r*4+c]++
+			rows[r]++
+			cols[c]++
+		}
+		nc := float64(len(cell))
+		var chi2 float64
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 4; c++ {
+				e := rows[r] * cols[c] / nc
+				if e > 0 {
+					d := counts[r*4+c] - e
+					chi2 += d * d / e
+				}
+			}
+		}
+		if chi2 <= chi2Crit && !forceSplit {
+			leaf(cell, xlo, xhi, ylo, yhi)
+			return
+		}
+		var q [4][]int
+		for _, i := range cell {
+			qi := 0
+			if x[i] > xm {
+				qi |= 1
+			}
+			if y[i] > ym {
+				qi |= 2
+			}
+			q[qi] = append(q[qi], i)
+		}
+		recurse(q[0], xlo, xm, ylo, ym)
+		recurse(q[1], xm, xhi, ylo, ym)
+		recurse(q[2], xlo, xm, ym, yhi)
+		recurse(q[3], xm, xhi, ym, yhi)
+	}
+
+	// Bounds strictly below the minimum so countIn's (lo, hi] interval
+	// covers every point.
+	var xlo, xhi, ylo, yhi float32
+	xlo, xhi = sx[0]-1, sx[n-1]
+	ylo, yhi = sy[0]-1, sy[n-1]
+	recurse(idx, xlo, xhi, ylo, yhi)
+	if total < 0 {
+		total = 0
+	}
+	return total
+}
+
+// AdaptiveMIForced is AdaptiveMI with the independence test disabled
+// (always split until minCell) — used to separate stopping-rule bias
+// from partition-estimate bias during calibration. Exported for the
+// calibration harness; not part of the stable API.
+func AdaptiveMIForced(x, y []float32, minCell int) float64 {
+	return adaptiveMI(x, y, minCell, true)
+}

@@ -1,0 +1,125 @@
+package mi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAdaptiveMIValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { AdaptiveMI(make([]float32, 3), make([]float32, 4), 8) },
+		func() { AdaptiveMI(make([]float32, 8), make([]float32, 8), 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+	if AdaptiveMI(nil, nil, 8) != 0 {
+		t.Fatal("empty input should give 0")
+	}
+}
+
+func TestAdaptiveMIIndependentNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	xi, xj := gaussianPair(rng, 3000, 0)
+	if got := AdaptiveMI(xi, xj, 16); got > 0.06 {
+		t.Fatalf("independent AdaptiveMI = %v, want ~0", got)
+	}
+}
+
+func TestAdaptiveMITracksAnalyticGaussian(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	// rho=0.95's sharply peaked copula needs cells below minCell to
+	// resolve fully (all partition estimators underestimate it), so the
+	// strict band covers the moderate-dependence range.
+	for _, rho := range []float64{0.4, 0.6, 0.8} {
+		xi, xj := gaussianPair(rng, 5000, rho)
+		got := AdaptiveMI(xi, xj, 16)
+		want := GaussianMI(rho)
+		if math.Abs(got-want) > 0.2*want+0.05 {
+			t.Fatalf("rho=%v: AdaptiveMI %v vs analytic %v", rho, got, want)
+		}
+	}
+}
+
+// The stopping rule should resolve most of what a forced full
+// partition resolves, without the forced version's overshoot on
+// independent data.
+func TestAdaptiveStoppingRuleCloseToForced(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	xi, xj := gaussianPair(rng, 3000, 0.8)
+	adaptive := AdaptiveMI(xi, xj, 16)
+	forced := AdaptiveMIForced(xi, xj, 16)
+	if adaptive < 0.7*forced {
+		t.Fatalf("stopping rule loses too much: adaptive %v vs forced %v", adaptive, forced)
+	}
+	// On independent data the test must stop early while forced
+	// splitting accumulates plug-in bias.
+	yi, yj := gaussianPair(rng, 3000, 0)
+	if a, f := AdaptiveMI(yi, yj, 16), AdaptiveMIForced(yi, yj, 16); a >= f {
+		t.Fatalf("independence: adaptive %v should be below forced %v", a, f)
+	}
+}
+
+func TestAdaptiveMIMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	prev := -1.0
+	for _, rho := range []float64{0, 0.3, 0.6, 0.9} {
+		xi, xj := gaussianPair(rng, 3000, rho)
+		got := AdaptiveMI(xi, xj, 16)
+		if got <= prev {
+			t.Fatalf("not monotone at rho=%v: %v after %v", rho, got, prev)
+		}
+		prev = got
+	}
+}
+
+// The three independent estimators must agree on strongly dependent
+// Gaussian data within a reasonable band.
+func TestThreeEstimatorsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	xi, xj := gaussianPair(rng, 3000, 0.8)
+	want := GaussianMI(0.8)
+
+	adaptive := AdaptiveMI(xi, xj, 16)
+	ksg := KSG(xi[:1500], xj[:1500], 4)
+	ni, nj := normalizePair(xi, xj)
+	e, ws := buildEstimator(t, [][]float32{ni, nj}, 3, 10)
+	spline := e.PairBucketed(0, 1, ws)
+
+	for name, got := range map[string]float64{
+		"adaptive": adaptive, "ksg": ksg, "bspline": spline,
+	} {
+		if math.Abs(got-want) > 0.3*want {
+			t.Fatalf("%s = %v, analytic %v (out of 30%% band)", name, got, want)
+		}
+	}
+}
+
+func TestAdaptiveMIConstantInput(t *testing.T) {
+	// All-ties input must terminate (degenerate-split guard) and give 0.
+	x := make([]float32, 100)
+	y := make([]float32, 100)
+	for i := range x {
+		x[i] = 0.5
+		y[i] = 0.5
+	}
+	if got := AdaptiveMI(x, y, 8); got != 0 {
+		t.Fatalf("constant input MI = %v, want 0", got)
+	}
+}
+
+func BenchmarkAdaptiveMI3137(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xi, xj := gaussianPair(rng, 3137, 0.5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		AdaptiveMI(xi, xj, 16)
+	}
+}

@@ -1,0 +1,107 @@
+package mi
+
+import (
+	"fmt"
+	"math"
+)
+
+// ConditionalMI estimates I(X;Y|Z) in bits by equal-width binning of
+// the three variables (inputs in [0,1], bins per dimension given):
+//
+//	I(X;Y|Z) = H(X,Z) + H(Y,Z) − H(Z) − H(X,Y,Z)
+//
+// Conditional MI distinguishes direct from indirect interactions more
+// sharply than the pairwise DPI heuristic: for a chain X→Y→Z,
+// I(X;Z) is large but I(X;Z|Y) ≈ 0. TINGe's successors use CMI
+// filtering; we provide it as an extension (it needs b³ cells, so b
+// stays small).
+func ConditionalMI(x, y, z []float32, bins int) float64 {
+	if len(x) != len(y) || len(y) != len(z) {
+		panic(fmt.Sprintf("mi: ConditionalMI length mismatch %d/%d/%d", len(x), len(y), len(z)))
+	}
+	if bins <= 0 {
+		panic(fmt.Sprintf("mi: ConditionalMI bins %d <= 0", bins))
+	}
+	m := len(x)
+	if m == 0 {
+		return 0
+	}
+	bin := func(v float32) int {
+		b := int(float64(v) * float64(bins))
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		return b
+	}
+	// Joint counts; the 3D table implies all lower-order marginals.
+	xyz := make([]float64, bins*bins*bins)
+	for s := 0; s < m; s++ {
+		xyz[(bin(x[s])*bins+bin(y[s]))*bins+bin(z[s])]++
+	}
+	xz := make([]float64, bins*bins)
+	yz := make([]float64, bins*bins)
+	zOnly := make([]float64, bins)
+	for xi := 0; xi < bins; xi++ {
+		for yi := 0; yi < bins; yi++ {
+			for zi := 0; zi < bins; zi++ {
+				c := xyz[(xi*bins+yi)*bins+zi]
+				xz[xi*bins+zi] += c
+				yz[yi*bins+zi] += c
+				zOnly[zi] += c
+			}
+		}
+	}
+	inv := 1 / float64(m)
+	h := func(counts []float64) float64 {
+		var sum float64
+		for _, c := range counts {
+			if c > 0 {
+				p := c * inv
+				sum -= p * math.Log2(p)
+			}
+		}
+		return sum
+	}
+	cmi := h(xz) + h(yz) - h(zOnly) - h(xyz)
+	if cmi < 0 {
+		cmi = 0
+	}
+	return cmi
+}
+
+// CMIFilter scans every edge (i, j) of the adjacency implied by
+// keepEdge and reports, through remove, edges for which some common
+// neighbor k explains the dependence: I(i;j|k) < ratio · I(i;j). It is
+// exposed as a building block; the pipeline's default pruning remains
+// the cheaper DPI. rows must hold the normalized expression rows.
+func CMIFilter(rows [][]float32, edges [][2]int, neighbors func(g int) []int, bins int, ratio float64) (remove []bool) {
+	if ratio < 0 || ratio > 1 {
+		panic(fmt.Sprintf("mi: CMIFilter ratio %v out of [0,1]", ratio))
+	}
+	remove = make([]bool, len(edges))
+	for e, pr := range edges {
+		i, j := pr[0], pr[1]
+		base := BinningMI(rows[i], rows[j], bins)
+		if base == 0 {
+			continue
+		}
+		// Common neighbors of i and j.
+		nj := map[int]bool{}
+		for _, k := range neighbors(j) {
+			nj[k] = true
+		}
+		for _, k := range neighbors(i) {
+			if k == i || k == j || !nj[k] {
+				continue
+			}
+			if ConditionalMI(rows[i], rows[j], rows[k], bins) < ratio*base {
+				remove[e] = true
+				break
+			}
+		}
+	}
+	return remove
+}

@@ -1,0 +1,139 @@
+package mi
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// chain builds X -> Y -> Z with strong coupling and weak noise, rank
+// normalized into (0,1).
+func chain(rng *rand.Rand, m int) (x, y, z []float32) {
+	x = make([]float32, m)
+	y = make([]float32, m)
+	z = make([]float32, m)
+	for s := 0; s < m; s++ {
+		a := rng.NormFloat64()
+		b := a + 0.5*rng.NormFloat64()
+		c := b + 0.5*rng.NormFloat64()
+		x[s], y[s], z[s] = float32(a), float32(b), float32(c)
+	}
+	nx, ny := normalizePair(x, y)
+	nz, _ := normalizePair(z, z)
+	return nx, ny, nz
+}
+
+func TestConditionalMIValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { ConditionalMI(make([]float32, 3), make([]float32, 4), make([]float32, 3), 4) },
+		func() { ConditionalMI(make([]float32, 3), make([]float32, 3), make([]float32, 4), 4) },
+		func() { ConditionalMI(make([]float32, 3), make([]float32, 3), make([]float32, 3), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+	if ConditionalMI(nil, nil, nil, 4) != 0 {
+		t.Fatal("empty input should give 0")
+	}
+}
+
+// The defining property: conditioning on the middle of a chain
+// destroys the X–Z dependence while the unconditional MI remains.
+func TestCMIChainScreening(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	x, y, z := chain(rng, 4000)
+	const bins = 6
+	direct := BinningMI(x, z, bins)
+	conditioned := ConditionalMI(x, z, y, bins)
+	if direct < 0.2 {
+		t.Fatalf("chain ends should share information, MI = %v", direct)
+	}
+	if conditioned > 0.5*direct {
+		t.Fatalf("conditioning on the mediator should collapse MI: %v -> %v", direct, conditioned)
+	}
+}
+
+// Conditioning on an independent variable must approximately preserve MI.
+func TestCMIIndependentConditioner(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	x, y, _ := chain(rng, 4000)
+	w := make([]float32, len(x))
+	for s := range w {
+		w[s] = rng.Float32()
+	}
+	const bins = 6
+	base := BinningMI(x, y, bins)
+	cond := ConditionalMI(x, y, w, bins)
+	// Finite-sample effects push CMI up slightly; require agreement
+	// within 35%.
+	if cond < 0.65*base || cond > 1.35*base {
+		t.Fatalf("independent conditioner changed MI: %v -> %v", base, cond)
+	}
+}
+
+func TestCMINonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 20; trial++ {
+		m := 50 + rng.Intn(200)
+		x := make([]float32, m)
+		y := make([]float32, m)
+		z := make([]float32, m)
+		for s := 0; s < m; s++ {
+			x[s], y[s], z[s] = rng.Float32(), rng.Float32(), rng.Float32()
+		}
+		if got := ConditionalMI(x, y, z, 5); got < 0 {
+			t.Fatalf("negative CMI %v", got)
+		}
+	}
+}
+
+func TestCMIFilterRemovesChainEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	x, y, z := chain(rng, 4000)
+	rows := [][]float32{x, y, z}
+	// Network: 0-1, 1-2, 0-2 (the indirect edge).
+	edges := [][2]int{{0, 1}, {1, 2}, {0, 2}}
+	neighbors := func(g int) []int {
+		switch g {
+		case 0:
+			return []int{1, 2}
+		case 1:
+			return []int{0, 2}
+		default:
+			return []int{0, 1}
+		}
+	}
+	// For a Markov chain, I(X;Y|Z) ≈ I(X;Y) − I(X;Z) stays well above
+	// zero for the direct edges while I(X;Z|Y) is exactly zero in the
+	// infinite-sample limit, so a small ratio separates them.
+	remove := CMIFilter(rows, edges, neighbors, 6, 0.25)
+	if !remove[2] {
+		t.Fatal("indirect edge (0,2) should be flagged")
+	}
+	if remove[0] || remove[1] {
+		t.Fatalf("direct edges should survive: %v", remove)
+	}
+}
+
+func TestCMIFilterRatioPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CMIFilter(nil, nil, func(int) []int { return nil }, 4, 2)
+}
+
+func BenchmarkConditionalMI1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y, z := chain(rng, 1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ConditionalMI(x, y, z, 6)
+	}
+}

@@ -1,0 +1,135 @@
+package mi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDigammaKnownValues(t *testing.T) {
+	const euler = 0.5772156649015329
+	cases := []struct{ x, want float64 }{
+		{1, -euler},
+		{2, 1 - euler},
+		{3, 1.5 - euler},
+		{0.5, -euler - 2*math.Ln2},
+		{10, 2.2517525890667214},
+	}
+	for _, c := range cases {
+		if got := digamma(c.x); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("digamma(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestDigammaRecurrenceProperty(t *testing.T) {
+	// ψ(x+1) = ψ(x) + 1/x for arbitrary positive x.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		x := rng.Float64()*20 + 0.1
+		lhs := digamma(x + 1)
+		rhs := digamma(x) + 1/x
+		if math.Abs(lhs-rhs) > 1e-9 {
+			t.Fatalf("recurrence fails at %v: %v vs %v", x, lhs, rhs)
+		}
+	}
+}
+
+func TestDigammaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	digamma(0)
+}
+
+func TestKSGValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KSG(make([]float32, 5), make([]float32, 6), 3)
+}
+
+func TestKSGBadK(t *testing.T) {
+	for _, k := range []int{0, 10} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("k=%d should panic with 10 samples", k)
+				}
+			}()
+			KSG(make([]float32, 10), make([]float32, 10), k)
+		}()
+	}
+}
+
+func TestKSGIndependentNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xi, xj := gaussianPair(rng, 800, 0)
+	if got := KSG(xi, xj, 4); got > 0.06 {
+		t.Fatalf("KSG on independent data = %v, want ~0", got)
+	}
+}
+
+func TestKSGTracksAnalyticGaussian(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, rho := range []float64{0.4, 0.7, 0.9} {
+		xi, xj := gaussianPair(rng, 1500, rho)
+		got := KSG(xi, xj, 4)
+		want := GaussianMI(rho)
+		// KSG is nearly unbiased on Gaussians; allow 15% + small abs.
+		if math.Abs(got-want) > 0.15*want+0.04 {
+			t.Fatalf("rho=%v: KSG %v vs analytic %v", rho, got, want)
+		}
+	}
+}
+
+// The B-spline and KSG estimators share no machinery; they must agree
+// on the ordering of dependence strengths.
+func TestKSGAndBSplineAgreeOnOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var ksgVals, splineVals []float64
+	for _, rho := range []float64{0.1, 0.5, 0.9} {
+		xi, xj := gaussianPair(rng, 1000, rho)
+		ksgVals = append(ksgVals, KSG(xi, xj, 4))
+		ni, nj := normalizePair(xi, xj)
+		e, ws := buildEstimator(t, [][]float32{ni, nj}, 3, 10)
+		splineVals = append(splineVals, e.PairBucketed(0, 1, ws))
+	}
+	for i := 1; i < 3; i++ {
+		if ksgVals[i] <= ksgVals[i-1] {
+			t.Fatalf("KSG not monotone: %v", ksgVals)
+		}
+		if splineVals[i] <= splineVals[i-1] {
+			t.Fatalf("spline not monotone: %v", splineVals)
+		}
+	}
+}
+
+func TestKSGInvariantToMonotoneTransform(t *testing.T) {
+	// KSG depends only on neighbor ranks in each marginal, so a strictly
+	// monotone transform of one variable must give (nearly) the same MI.
+	rng := rand.New(rand.NewSource(5))
+	xi, xj := gaussianPair(rng, 600, 0.7)
+	base := KSG(xi, xj, 4)
+	exp := make([]float32, len(xj))
+	for i, v := range xj {
+		exp[i] = float32(math.Exp(float64(v)))
+	}
+	transformed := KSG(xi, exp, 4)
+	if math.Abs(base-transformed) > 0.05*base+0.02 {
+		t.Fatalf("monotone transform changed KSG: %v vs %v", base, transformed)
+	}
+}
+
+func BenchmarkKSG500(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xi, xj := gaussianPair(rng, 500, 0.5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		KSG(xi, xj, 4)
+	}
+}

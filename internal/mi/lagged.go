@@ -1,0 +1,30 @@
+package mi
+
+import "fmt"
+
+// LaggedMI estimates I(X_t ; Y_{t+lag}) in bits from one trajectory by
+// equal-width binning of the overlapping samples (inputs normalized
+// into [0,1]). With time-series data, a regulator's past predicts its
+// target's future but not vice versa, so comparing LaggedMI(x→y) with
+// LaggedMI(y→x) orients edges — the temporal extension of the paper's
+// (undirected) steady-state method. lag must be non-negative and leave
+// at least two overlapping samples.
+func LaggedMI(x, y []float32, lag, bins int) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mi: LaggedMI length mismatch %d vs %d", len(x), len(y)))
+	}
+	if lag < 0 {
+		panic(fmt.Sprintf("mi: negative lag %d", lag))
+	}
+	if len(x)-lag < 2 {
+		panic(fmt.Sprintf("mi: lag %d leaves %d samples", lag, len(x)-lag))
+	}
+	return BinningMI(x[:len(x)-lag], y[lag:], bins)
+}
+
+// DirectionScore returns LaggedMI(x→y) − LaggedMI(y→x) at the given
+// lag: positive means x's past is more informative about y's future
+// than the reverse, evidence that x regulates y.
+func DirectionScore(x, y []float32, lag, bins int) float64 {
+	return LaggedMI(x, y, lag, bins) - LaggedMI(y, x, lag, bins)
+}

@@ -1,0 +1,347 @@
+// Package mpi is an in-process message-passing runtime standing in for
+// the MPI ecosystem the original TINGe cluster implementation uses. Go
+// has no MPI bindings in the stdlib, so ranks are goroutines, links are
+// buffered channels, and the collectives TINGe needs (Barrier, Bcast,
+// Reduce, Allreduce, Gatherv, Allgatherv) are implemented over
+// point-to-point sends rooted at rank 0.
+//
+// The runtime counts messages and payload bytes per rank so the cluster
+// baseline experiment (F6) can report communication volume alongside
+// speedup — the quantity that separates the paper's single-chip solution
+// from the cluster solution it replaces.
+//
+// Semantics: Send transfers ownership of slice payloads; the sender must
+// not mutate a slice after sending it. Matching is by (source, tag) with
+// out-of-order buffering, as in MPI.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// internal tag space for collectives; user tags must be < collectiveTag.
+const collectiveTag = 1 << 30
+
+type message struct {
+	tag     int
+	payload any
+}
+
+// World owns the links and counters for one communicator group.
+type World struct {
+	size  int
+	links [][]chan message // links[src][dst]
+	// pending[dst][src] buffers out-of-order messages awaiting a tag
+	// match. Each rank only touches its own pending row, so no lock.
+	pending [][][]message
+
+	barrier *barrier
+
+	msgCount  int64
+	byteCount int64
+}
+
+// Comm is one rank's handle on the world.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Run starts size ranks, each executing fn with its own Comm, and waits
+// for all to finish. The first non-nil error (or recovered panic) is
+// returned. size must be positive.
+func Run(size int, fn func(c *Comm) error) error {
+	if size <= 0 {
+		return fmt.Errorf("mpi: non-positive world size %d", size)
+	}
+	w := &World{size: size, barrier: newBarrier(size)}
+	w.links = make([][]chan message, size)
+	w.pending = make([][][]message, size)
+	for s := 0; s < size; s++ {
+		w.links[s] = make([]chan message, size)
+		for d := 0; d < size; d++ {
+			// Generous buffering keeps simple programs deadlock-free;
+			// collectives never exceed size outstanding messages.
+			w.links[s][d] = make(chan message, 64)
+		}
+	}
+	for d := 0; d < size; d++ {
+		w.pending[d] = make([][]message, size)
+	}
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+				}
+			}()
+			errs[rank] = fn(&Comm{world: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rank returns this communicator's rank in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// payloadBytes estimates the wire size of a payload for the traffic
+// counters.
+func payloadBytes(payload any) int64 {
+	switch p := payload.(type) {
+	case []float32:
+		return int64(len(p)) * 4
+	case []float64:
+		return int64(len(p)) * 8
+	case []int32:
+		return int64(len(p)) * 4
+	case []int64:
+		return int64(len(p)) * 8
+	case []int:
+		return int64(len(p)) * 8
+	case nil:
+		return 0
+	default:
+		return 8
+	}
+}
+
+// Send delivers payload to rank dst with the given tag. Tags must be
+// non-negative and below 2^30 (the collective tag space). Sending to
+// self is rejected.
+func (c *Comm) Send(dst, tag int, payload any) {
+	c.send(dst, tag, payload)
+}
+
+func (c *Comm) send(dst, tag int, payload any) {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d (size %d)", dst, c.world.size))
+	}
+	if dst == c.rank {
+		panic(fmt.Sprintf("mpi: rank %d sending to itself", c.rank))
+	}
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: negative tag %d", tag))
+	}
+	atomic.AddInt64(&c.world.msgCount, 1)
+	atomic.AddInt64(&c.world.byteCount, payloadBytes(payload))
+	c.world.links[c.rank][dst] <- message{tag: tag, payload: payload}
+}
+
+// Recv blocks until a message with the given tag arrives from rank src
+// and returns its payload. Messages with other tags from the same
+// source are buffered for later Recv calls.
+func (c *Comm) Recv(src, tag int) any {
+	if src < 0 || src >= c.world.size {
+		panic(fmt.Sprintf("mpi: recv from invalid rank %d (size %d)", src, c.world.size))
+	}
+	if src == c.rank {
+		panic(fmt.Sprintf("mpi: rank %d receiving from itself", c.rank))
+	}
+	// Check the pending buffer first.
+	pend := c.world.pending[c.rank][src]
+	for i, m := range pend {
+		if m.tag == tag {
+			c.world.pending[c.rank][src] = append(pend[:i], pend[i+1:]...)
+			return m.payload
+		}
+	}
+	for {
+		m := <-c.world.links[src][c.rank]
+		if m.tag == tag {
+			return m.payload
+		}
+		c.world.pending[c.rank][src] = append(c.world.pending[c.rank][src], m)
+	}
+}
+
+// barrier is a reusable generation barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	size  int
+	count int
+	gen   int
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Barrier blocks until every rank has entered the barrier.
+func (c *Comm) Barrier() { c.world.barrier.wait() }
+
+// Bcast distributes root's payload to every rank and returns it. Ranks
+// other than root pass nil (their argument is ignored).
+func (c *Comm) Bcast(root int, payload any) any {
+	if root < 0 || root >= c.world.size {
+		panic(fmt.Sprintf("mpi: bcast from invalid root %d", root))
+	}
+	if c.world.size == 1 {
+		return payload
+	}
+	if c.rank == root {
+		for d := 0; d < c.world.size; d++ {
+			if d != root {
+				c.send(d, collectiveTag, payload)
+			}
+		}
+		return payload
+	}
+	return c.Recv(root, collectiveTag)
+}
+
+// Op is a reduction operator over float64 slices.
+type Op int
+
+// Reduction operators.
+const (
+	// SumOp adds element-wise.
+	SumOp Op = iota
+	// MaxOp takes the element-wise maximum.
+	MaxOp
+	// MinOp takes the element-wise minimum.
+	MinOp
+)
+
+func applyOp(op Op, acc, in []float64) {
+	if len(acc) != len(in) {
+		panic(fmt.Sprintf("mpi: reduce length mismatch %d vs %d", len(acc), len(in)))
+	}
+	switch op {
+	case SumOp:
+		for i := range acc {
+			acc[i] += in[i]
+		}
+	case MaxOp:
+		for i := range acc {
+			if in[i] > acc[i] {
+				acc[i] = in[i]
+			}
+		}
+	case MinOp:
+		for i := range acc {
+			if in[i] < acc[i] {
+				acc[i] = in[i]
+			}
+		}
+	default:
+		panic(fmt.Sprintf("mpi: unknown op %d", op))
+	}
+}
+
+// Reduce combines every rank's local slice with op; the combined result
+// is returned at root (other ranks get nil). local is not modified.
+func (c *Comm) Reduce(root int, op Op, local []float64) []float64 {
+	if root < 0 || root >= c.world.size {
+		panic(fmt.Sprintf("mpi: reduce to invalid root %d", root))
+	}
+	if c.rank != root {
+		c.send(root, collectiveTag+1, local)
+		return nil
+	}
+	acc := append([]float64(nil), local...)
+	for s := 0; s < c.world.size; s++ {
+		if s == root {
+			continue
+		}
+		in := c.Recv(s, collectiveTag+1).([]float64)
+		applyOp(op, acc, in)
+	}
+	return acc
+}
+
+// Allreduce is Reduce followed by Bcast: every rank receives the
+// combined slice.
+func (c *Comm) Allreduce(op Op, local []float64) []float64 {
+	red := c.Reduce(0, op, local)
+	out := c.Bcast(0, red)
+	return out.([]float64)
+}
+
+// Gatherv collects every rank's variable-length slice at root, indexed
+// by rank. Non-root ranks receive nil.
+func (c *Comm) Gatherv(root int, local []float64) [][]float64 {
+	if root < 0 || root >= c.world.size {
+		panic(fmt.Sprintf("mpi: gather to invalid root %d", root))
+	}
+	if c.rank != root {
+		c.send(root, collectiveTag+2, local)
+		return nil
+	}
+	out := make([][]float64, c.world.size)
+	out[root] = local
+	for s := 0; s < c.world.size; s++ {
+		if s == root {
+			continue
+		}
+		out[s] = c.Recv(s, collectiveTag+2).([]float64)
+	}
+	return out
+}
+
+// Allgatherv is Gatherv followed by a broadcast of the gathered slices.
+func (c *Comm) Allgatherv(local []float64) [][]float64 {
+	g := c.Gatherv(0, local)
+	out := c.Bcast(0, g)
+	return out.([][]float64)
+}
+
+// Scatterv distributes parts[i] to rank i from root and returns this
+// rank's part. Only root's parts argument is consulted; it must have
+// exactly Size entries.
+func (c *Comm) Scatterv(root int, parts [][]float64) []float64 {
+	if root < 0 || root >= c.world.size {
+		panic(fmt.Sprintf("mpi: scatter from invalid root %d", root))
+	}
+	if c.rank == root {
+		if len(parts) != c.world.size {
+			panic(fmt.Sprintf("mpi: scatter parts %d != size %d", len(parts), c.world.size))
+		}
+		for d := 0; d < c.world.size; d++ {
+			if d != root {
+				c.send(d, collectiveTag+3, parts[d])
+			}
+		}
+		return parts[root]
+	}
+	return c.Recv(root, collectiveTag+3).([]float64)
+}
+
+// Traffic reports the cumulative message count and payload bytes sent
+// across the whole world so far.
+func (c *Comm) Traffic() (messages, bytes int64) {
+	return atomic.LoadInt64(&c.world.msgCount), atomic.LoadInt64(&c.world.byteCount)
+}

@@ -1,0 +1,377 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := Run(0, func(c *Comm) error { return nil }); err == nil {
+		t.Fatal("size 0 should error")
+	}
+	if err := Run(-3, func(c *Comm) error { return nil }); err == nil {
+		t.Fatal("negative size should error")
+	}
+}
+
+func TestRunRankAndSize(t *testing.T) {
+	var seen int64
+	err := Run(4, func(c *Comm) error {
+		if c.Size() != 4 {
+			return fmt.Errorf("size %d", c.Size())
+		}
+		if c.Rank() < 0 || c.Rank() >= 4 {
+			return fmt.Errorf("rank %d", c.Rank())
+		}
+		atomic.AddInt64(&seen, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 4 {
+		t.Fatalf("ran %d ranks", seen)
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			panic("kaboom")
+		}
+		// Rank 1 must not deadlock waiting for rank 0: no communication.
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic should surface as error")
+	}
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []float64{1, 2, 3})
+			return nil
+		}
+		got := c.Recv(0, 7).([]float64)
+		if len(got) != 3 || got[2] != 3 {
+			return fmt.Errorf("got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvTagMatchingOutOfOrder(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []float64{1})
+			c.Send(1, 2, []float64{2})
+			c.Send(1, 3, []float64{3})
+			return nil
+		}
+		// Receive in reverse tag order; earlier messages must buffer.
+		for _, tag := range []int{3, 1, 2} {
+			got := c.Recv(0, tag).([]float64)
+			if got[0] != float64(tag) {
+				return fmt.Errorf("tag %d got %v", tag, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendPanics(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		for _, f := range []func(){
+			func() { c.Send(5, 0, nil) },
+			func() { c.Send(0, 0, nil) },  // self
+			func() { c.Send(1, -1, nil) }, // bad tag
+			func() { c.Recv(0, 0) },       // recv self
+			func() { c.Recv(9, 0) },       // bad src
+		} {
+			ok := func() (ok bool) {
+				defer func() { ok = recover() != nil }()
+				f()
+				return false
+			}()
+			if !ok {
+				return fmt.Errorf("expected panic")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	var before, after int64
+	err := Run(8, func(c *Comm) error {
+		atomic.AddInt64(&before, 1)
+		c.Barrier()
+		if atomic.LoadInt64(&before) != 8 {
+			return fmt.Errorf("rank %d passed barrier with only %d arrived", c.Rank(), before)
+		}
+		atomic.AddInt64(&after, 1)
+		c.Barrier()
+		if atomic.LoadInt64(&after) != 8 {
+			return fmt.Errorf("second barrier leaked")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	// Many sequential barrier rounds must not deadlock or misorder.
+	var phase int64
+	err := Run(4, func(c *Comm) error {
+		for round := 0; round < 50; round++ {
+			if c.Rank() == 0 {
+				atomic.StoreInt64(&phase, int64(round))
+			}
+			c.Barrier()
+			if got := atomic.LoadInt64(&phase); got != int64(round) {
+				return fmt.Errorf("round %d saw phase %d", round, got)
+			}
+			c.Barrier()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	err := Run(5, func(c *Comm) error {
+		var payload any
+		if c.Rank() == 2 {
+			payload = []float64{42}
+		}
+		got := c.Bcast(2, payload).([]float64)
+		if got[0] != 42 {
+			return fmt.Errorf("rank %d got %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastSingleRank(t *testing.T) {
+	err := Run(1, func(c *Comm) error {
+		if got := c.Bcast(0, 99); got != 99 {
+			return fmt.Errorf("got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		local := []float64{float64(c.Rank()), 1}
+		got := c.Reduce(0, SumOp, local)
+		if c.Rank() == 0 {
+			if got[0] != 6 || got[1] != 4 { // 0+1+2+3, 1*4
+				return fmt.Errorf("reduce got %v", got)
+			}
+			// local must not be mutated.
+			if local[0] != 0 || local[1] != 1 {
+				return fmt.Errorf("reduce mutated local %v", local)
+			}
+		} else if got != nil {
+			return fmt.Errorf("non-root got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceMaxMin(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		local := []float64{float64(c.Rank())}
+		max := c.Allreduce(MaxOp, local)
+		if max[0] != 3 {
+			return fmt.Errorf("max got %v", max)
+		}
+		min := c.Allreduce(MinOp, local)
+		if min[0] != 0 {
+			return fmt.Errorf("min got %v", min)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGathervAllgatherv(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		local := make([]float64, c.Rank()+1) // variable length
+		for i := range local {
+			local[i] = float64(c.Rank())
+		}
+		g := c.Gatherv(0, local)
+		if c.Rank() == 0 {
+			for r := 0; r < 3; r++ {
+				if len(g[r]) != r+1 {
+					return fmt.Errorf("gathered[%d] len %d", r, len(g[r]))
+				}
+			}
+		} else if g != nil {
+			return fmt.Errorf("non-root gather %v", g)
+		}
+		all := c.Allgatherv(local)
+		for r := 0; r < 3; r++ {
+			if len(all[r]) != r+1 || (r > 0 && all[r][0] != float64(r)) {
+				return fmt.Errorf("allgather[%d] = %v", r, all[r])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterv(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		var parts [][]float64
+		if c.Rank() == 0 {
+			parts = [][]float64{{0}, {1, 1}, {2, 2, 2}}
+		}
+		mine := c.Scatterv(0, parts)
+		if len(mine) != c.Rank()+1 {
+			return fmt.Errorf("rank %d got len %d", c.Rank(), len(mine))
+		}
+		for _, v := range mine {
+			if v != float64(c.Rank()) {
+				return fmt.Errorf("rank %d got %v", c.Rank(), mine)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrafficCounters(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		c.Barrier()
+		if c.Rank() == 0 {
+			c.Send(1, 0, []float64{1, 2, 3, 4})
+		} else {
+			c.Recv(0, 0)
+		}
+		c.Barrier()
+		msgs, bytes := c.Traffic()
+		if msgs != 1 {
+			return fmt.Errorf("msgs = %d, want 1", msgs)
+		}
+		if bytes != 32 {
+			return fmt.Errorf("bytes = %d, want 32", bytes)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPayloadBytes(t *testing.T) {
+	cases := []struct {
+		payload any
+		want    int64
+	}{
+		{[]float32{1, 2}, 8},
+		{[]float64{1, 2}, 16},
+		{[]int32{1}, 4},
+		{[]int64{1}, 8},
+		{[]int{1, 2, 3}, 24},
+		{nil, 0},
+		{3.14, 8},
+	}
+	for _, tc := range cases {
+		if got := payloadBytes(tc.payload); got != tc.want {
+			t.Fatalf("payloadBytes(%T) = %d, want %d", tc.payload, got, tc.want)
+		}
+	}
+}
+
+// A TINGe-shaped mini workload: partition rows, compute local sums,
+// allreduce a statistic, verify all ranks converge to the same value.
+func TestMiniWorkload(t *testing.T) {
+	const n = 100
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	want := 0.0
+	for _, v := range data {
+		want += v
+	}
+	err := Run(4, func(c *Comm) error {
+		lo := c.Rank() * n / c.Size()
+		hi := (c.Rank() + 1) * n / c.Size()
+		local := 0.0
+		for _, v := range data[lo:hi] {
+			local += v
+		}
+		total := c.Allreduce(SumOp, []float64{local})
+		if math.Abs(total[0]-want) > 1e-9 {
+			return fmt.Errorf("rank %d total %v want %v", c.Rank(), total[0], want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAllreduce8(b *testing.B) {
+	b.ReportAllocs()
+	err := Run(8, func(c *Comm) error {
+		local := []float64{float64(c.Rank())}
+		for i := 0; i < b.N; i++ {
+			c.Allreduce(SumOp, local)
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

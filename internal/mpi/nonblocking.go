@@ -1,0 +1,95 @@
+package mpi
+
+import "fmt"
+
+// Request is a pending nonblocking operation. Complete it with Wait
+// (or poll with Test). Every request must eventually be waited on.
+type Request struct {
+	done    chan struct{}
+	payload any
+}
+
+// Wait blocks until the operation completes and returns the received
+// payload (nil for sends).
+func (r *Request) Wait() any {
+	<-r.done
+	return r.payload
+}
+
+// Test reports whether the operation has completed, returning the
+// payload when it has. It never blocks.
+func (r *Request) Test() (any, bool) {
+	select {
+	case <-r.done:
+		return r.payload, true
+	default:
+		return nil, false
+	}
+}
+
+// ISend starts a nonblocking send. Unlike Send, it never blocks the
+// caller even when the destination's channel buffer is full. The
+// payload must not be mutated until Wait returns.
+func (c *Comm) ISend(dst, tag int, payload any) *Request {
+	// Validate synchronously so misuse panics in the caller, not in a
+	// detached goroutine.
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("mpi: isend to invalid rank %d (size %d)", dst, c.world.size))
+	}
+	if dst == c.rank {
+		panic(fmt.Sprintf("mpi: rank %d isend to itself", c.rank))
+	}
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: negative tag %d", tag))
+	}
+	r := &Request{done: make(chan struct{})}
+	go func() {
+		c.send(dst, tag, payload)
+		close(r.done)
+	}()
+	return r
+}
+
+// IRecv starts a nonblocking receive for (src, tag).
+//
+// Constraint (as in single-threaded MPI): a rank must not run two
+// receives from the same source concurrently — the per-source
+// out-of-order buffer is owned by one receiver at a time. Receives
+// from different sources may overlap freely.
+func (c *Comm) IRecv(src, tag int) *Request {
+	if src < 0 || src >= c.world.size || src == c.rank {
+		panic(fmt.Sprintf("mpi: irecv from invalid rank %d (size %d)", src, c.world.size))
+	}
+	r := &Request{done: make(chan struct{})}
+	go func() {
+		r.payload = c.Recv(src, tag)
+		close(r.done)
+	}()
+	return r
+}
+
+// WaitAll waits for every request and returns their payloads in order.
+func WaitAll(reqs ...*Request) []any {
+	out := make([]any, len(reqs))
+	for i, r := range reqs {
+		out[i] = r.Wait()
+	}
+	return out
+}
+
+// ExchangeHalo performs the canonical nonblocking pattern: every rank
+// simultaneously sends `outgoing` to its right neighbor (rank+1 mod p)
+// and receives from its left neighbor, returning the received payload.
+// With blocking sends this ring deadlocks when buffers fill; the
+// nonblocking version always completes.
+func (c *Comm) ExchangeHalo(tag int, outgoing any) any {
+	if c.world.size == 1 {
+		return outgoing
+	}
+	right := (c.rank + 1) % c.world.size
+	left := (c.rank - 1 + c.world.size) % c.world.size
+	send := c.ISend(right, tag, outgoing)
+	recv := c.IRecv(left, tag)
+	send.Wait()
+	return recv.Wait()
+}

@@ -1,0 +1,153 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestISendIRecvBasic(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			req := c.ISend(1, 3, []float64{7})
+			req.Wait()
+			return nil
+		}
+		req := c.IRecv(0, 3)
+		got := req.Wait().([]float64)
+		if got[0] != 7 {
+			return fmt.Errorf("got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestTest(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			// Delay the send so the first Test sees incompleteness.
+			time.Sleep(20 * time.Millisecond)
+			c.Send(1, 0, []float64{1})
+			return nil
+		}
+		req := c.IRecv(0, 0)
+		if _, ok := req.Test(); ok {
+			return fmt.Errorf("Test completed before the send")
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if payload, ok := req.Test(); ok {
+				if payload.([]float64)[0] != 1 {
+					return fmt.Errorf("payload %v", payload)
+				}
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("request never completed")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestISendValidationPanics(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		for _, f := range []func(){
+			func() { c.ISend(5, 0, nil) },
+			func() { c.ISend(0, 0, nil) },
+			func() { c.ISend(1, -1, nil) },
+			func() { c.IRecv(9, 0) },
+			func() { c.IRecv(0, 0) },
+		} {
+			ok := func() (ok bool) {
+				defer func() { ok = recover() != nil }()
+				f()
+				return false
+			}()
+			if !ok {
+				return fmt.Errorf("expected synchronous panic")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Every rank floods its neighbor with more messages than the channel
+// buffer holds before anyone receives: blocking sends would deadlock,
+// nonblocking sends must complete.
+func TestISendDoesNotDeadlockOnFullBuffers(t *testing.T) {
+	const burst = 200 // > the 64-slot link buffer
+	err := Run(2, func(c *Comm) error {
+		other := 1 - c.Rank()
+		reqs := make([]*Request, burst)
+		for i := 0; i < burst; i++ {
+			reqs[i] = c.ISend(other, i, []float64{float64(i)})
+		}
+		for i := 0; i < burst; i++ {
+			got := c.Recv(other, i).([]float64)
+			if got[0] != float64(i) {
+				return fmt.Errorf("tag %d got %v", i, got)
+			}
+		}
+		WaitAll(reqs...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangeHaloRing(t *testing.T) {
+	for _, size := range []int{1, 2, 5, 8} {
+		err := Run(size, func(c *Comm) error {
+			got := c.ExchangeHalo(0, []float64{float64(c.Rank())})
+			want := float64((c.Rank() - 1 + size) % size)
+			if size == 1 {
+				want = float64(c.Rank())
+			}
+			if got.([]float64)[0] != want {
+				return fmt.Errorf("size=%d rank=%d got %v want %v", size, c.Rank(), got, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWaitAllOrder(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			// Send in reverse tag order to exercise reordering.
+			c.Send(1, 1, []float64{1})
+			c.Send(1, 0, []float64{0})
+			return nil
+		}
+		r0 := c.IRecv(0, 0)
+		// Note: only one outstanding receive per source at a time is
+		// guaranteed race-free; wait before issuing the next.
+		p0 := r0.Wait()
+		r1 := c.IRecv(0, 1)
+		p1 := r1.Wait()
+		if p0.([]float64)[0] != 0 || p1.([]float64)[0] != 1 {
+			return fmt.Errorf("got %v / %v", p0, p1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

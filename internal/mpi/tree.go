@@ -1,0 +1,107 @@
+package mpi
+
+import "fmt"
+
+// Tree-structured collectives. The linear collectives in mpi.go send
+// size−1 messages through the root — O(p) steps on the critical path.
+// These binomial-tree versions complete in O(log p) rounds, the
+// standard MPI implementation strategy, and matter for the cluster
+// baseline's modeled scaling: TINGe's per-iteration allreduce is the
+// term that grows with machine size (the motivation the paper cites
+// for moving to a single chip).
+//
+// Tree and linear variants are interchangeable: same arguments, same
+// results, different message schedule (and therefore different
+// Traffic counts).
+
+// virtualRank maps a rank so that root becomes 0 in the tree.
+func virtualRank(rank, root, size int) int { return (rank - root + size) % size }
+
+func realRank(vrank, root, size int) int { return (vrank + root) % size }
+
+// BcastTree distributes root's payload with a binomial tree: in round
+// r, every rank that already holds the payload forwards it to the rank
+// 2^r above it (virtual numbering), so all p ranks are covered in
+// ⌈log2 p⌉ rounds.
+func (c *Comm) BcastTree(root int, payload any) any {
+	size := c.world.size
+	if root < 0 || root >= size {
+		panic(fmt.Sprintf("mpi: bcast from invalid root %d", root))
+	}
+	if size == 1 {
+		return payload
+	}
+	v := virtualRank(c.rank, root, size)
+	// Receive from parent: the parent of v is v with its lowest set bit
+	// cleared.
+	if v != 0 {
+		parent := v & (v - 1)
+		payload = c.Recv(realRank(parent, root, size), collectiveTag+4)
+	}
+	// Forward to children: v + 2^r for each r above v's lowest set bit
+	// (for v==0: all powers of two).
+	low := v & (-v)
+	if v == 0 {
+		low = 1 << 30
+	}
+	for bit := 1; bit < low && v+bit < size; bit <<= 1 {
+		c.send(realRank(v+bit, root, size), collectiveTag+4, payload)
+	}
+	return payload
+}
+
+// ReduceTree combines local slices with op up a binomial tree; the
+// result lands at root (others get nil). local is not modified.
+func (c *Comm) ReduceTree(root int, op Op, local []float64) []float64 {
+	size := c.world.size
+	if root < 0 || root >= size {
+		panic(fmt.Sprintf("mpi: reduce to invalid root %d", root))
+	}
+	v := virtualRank(c.rank, root, size)
+	acc := append([]float64(nil), local...)
+	// Children of v are v+2^r for bits below v's lowest set bit.
+	low := v & (-v)
+	if v == 0 {
+		low = 1 << 30
+	}
+	// Receive child contributions from nearest (smallest bit) upward so
+	// the send/recv order pairs with the child's single send.
+	for bit := 1; bit < low && v+bit < size; bit <<= 1 {
+		in := c.Recv(realRank(v+bit, root, size), collectiveTag+5).([]float64)
+		applyOp(op, acc, in)
+	}
+	if v != 0 {
+		parent := v & (v - 1)
+		c.send(realRank(parent, root, size), collectiveTag+5, acc)
+		return nil
+	}
+	return acc
+}
+
+// AllreduceTree is ReduceTree followed by BcastTree — 2⌈log2 p⌉ rounds
+// versus the linear version's 2(p−1) root-serialized messages.
+func (c *Comm) AllreduceTree(op Op, local []float64) []float64 {
+	red := c.ReduceTree(0, op, local)
+	out := c.BcastTree(0, red)
+	return out.([]float64)
+}
+
+// CollectiveSteps returns the modeled critical-path message count of an
+// allreduce at world size p for the two schedules — the quantity that
+// turns into latency×steps in the cluster scaling model.
+func CollectiveSteps(p int, tree bool) int {
+	if p < 1 {
+		panic(fmt.Sprintf("mpi: invalid world size %d", p))
+	}
+	if p == 1 {
+		return 0
+	}
+	if !tree {
+		return 2 * (p - 1)
+	}
+	steps := 0
+	for 1<<steps < p {
+		steps++
+	}
+	return 2 * steps
+}

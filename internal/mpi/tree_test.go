@@ -1,0 +1,179 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestBcastTreeAllSizesAndRoots(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 4, 5, 7, 8, 9, 16} {
+		for root := 0; root < size; root += 3 {
+			err := Run(size, func(c *Comm) error {
+				var payload any
+				if c.Rank() == root {
+					payload = []float64{float64(root), 99}
+				}
+				got := c.BcastTree(root, payload).([]float64)
+				if got[0] != float64(root) || got[1] != 99 {
+					return fmt.Errorf("size=%d root=%d rank=%d got %v", size, root, c.Rank(), got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestReduceTreeMatchesLinear(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 5, 8, 13} {
+		err := Run(size, func(c *Comm) error {
+			local := []float64{float64(c.Rank() + 1), float64(c.Rank() * c.Rank())}
+			tree := c.ReduceTree(0, SumOp, local)
+			c.Barrier()
+			linear := c.Reduce(0, SumOp, local)
+			if c.Rank() == 0 {
+				for i := range tree {
+					if tree[i] != linear[i] {
+						return fmt.Errorf("size=%d: tree %v vs linear %v", size, tree, linear)
+					}
+				}
+			} else if tree != nil {
+				return fmt.Errorf("non-root got %v", tree)
+			}
+			// local unmodified.
+			if local[0] != float64(c.Rank()+1) {
+				return fmt.Errorf("local mutated")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReduceTreeNonZeroRoot(t *testing.T) {
+	err := Run(6, func(c *Comm) error {
+		local := []float64{1}
+		got := c.ReduceTree(4, SumOp, local)
+		if c.Rank() == 4 {
+			if got[0] != 6 {
+				return fmt.Errorf("got %v, want 6", got)
+			}
+		} else if got != nil {
+			return fmt.Errorf("non-root got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceTreeMaxOp(t *testing.T) {
+	err := Run(9, func(c *Comm) error {
+		got := c.AllreduceTree(MaxOp, []float64{float64(c.Rank())})
+		if got[0] != 8 {
+			return fmt.Errorf("rank %d got %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreePanicsOnBadRoot(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		for _, f := range []func(){
+			func() { c.BcastTree(5, nil) },
+			func() { c.ReduceTree(-1, SumOp, nil) },
+		} {
+			ok := func() (ok bool) {
+				defer func() { ok = recover() != nil }()
+				f()
+				return false
+			}()
+			if !ok {
+				return fmt.Errorf("expected panic")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The tree schedule must use fewer critical-path steps than linear for
+// p > 2, and the modeled step counts must match the formula.
+func TestCollectiveSteps(t *testing.T) {
+	cases := []struct {
+		p            int
+		linear, tree int
+	}{
+		{1, 0, 0}, {2, 2, 2}, {4, 6, 4}, {8, 14, 6}, {9, 16, 8}, {64, 126, 12},
+	}
+	for _, c := range cases {
+		if got := CollectiveSteps(c.p, false); got != c.linear {
+			t.Fatalf("p=%d linear steps = %d, want %d", c.p, got, c.linear)
+		}
+		if got := CollectiveSteps(c.p, true); got != c.tree {
+			t.Fatalf("p=%d tree steps = %d, want %d", c.p, got, c.tree)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("p=0 should panic")
+		}
+	}()
+	CollectiveSteps(0, true)
+}
+
+// Tree allreduce should also move fewer total bytes through any single
+// rank; verify total message counts differ as expected for p=8:
+// linear: 7 sends (reduce) + 7 (bcast) = 14; tree: 7 + 7 = 14 total
+// messages too, but spread across rounds — so compare per-root traffic
+// via the message schedule instead: every rank sends at most log2(p)
+// messages in tree mode.
+func TestTreeMessageDistribution(t *testing.T) {
+	const size = 8
+	sends := make([]int64, size)
+	err := Run(size, func(c *Comm) error {
+		before, _ := c.Traffic()
+		c.AllreduceTree(SumOp, []float64{1})
+		c.Barrier()
+		after, _ := c.Traffic()
+		_ = before
+		_ = after
+		// Count this rank's own sends via a second pass: rerun the
+		// schedule logic implicitly by observing that no rank should
+		// have sent more than 2*log2(size) messages. We approximate by
+		// bounding the world total.
+		sends[c.Rank()] = after
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := sends[0] // Traffic is global; all ranks read the same value
+	if total != 14 {  // 7 reduce edges + 7 bcast edges
+		t.Fatalf("tree allreduce total messages = %d, want 14", total)
+	}
+}
+
+func BenchmarkAllreduceTree8(b *testing.B) {
+	b.ReportAllocs()
+	err := Run(8, func(c *Comm) error {
+		local := []float64{float64(c.Rank())}
+		for i := 0; i < b.N; i++ {
+			c.AllreduceTree(SumOp, local)
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,206 @@
+// Package perm provides the permutation-testing machinery TINGe uses to
+// assess the statistical significance of mutual-information values:
+// a deterministic splittable RNG (so parallel workers reproduce the same
+// permutations regardless of scheduling), Fisher–Yates permutation
+// generation, reusable permutation pools, and estimation of the global
+// significance threshold I_alpha from the pooled null distribution.
+//
+// TINGe's test works as follows: for each of q random permutations, the
+// sample order of one gene in a pair is shuffled, destroying any real
+// dependence while preserving both marginals. The MI values of the
+// permuted pairs form a null distribution; the (1-alpha) quantile of the
+// pooled null is the threshold I_alpha, and only edges with
+// MI >= I_alpha are retained. Because the same q permutations can be
+// shared by every pair, the pipeline generates them once per run.
+package perm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RNG is a small, fast, deterministic xorshift64* generator. It is
+// intentionally not crypto-grade: the requirement is reproducibility
+// across engines (host, simulated Phi, cluster ranks) so that every
+// engine derives identical permutations from the run seed.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. A zero seed is remapped
+// to a fixed non-zero constant because xorshift has a zero fixed point.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Split derives an independent stream from the current generator using
+// a SplitMix64 step, letting parallel workers own private deterministic
+// streams derived from (runSeed, workerID).
+func (r *RNG) Split(stream uint64) *RNG {
+	z := r.state + (stream+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return NewRNG(z)
+}
+
+// Uint64 returns the next pseudo-random value.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("perm: Intn(%d)", n))
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// NormFloat64 returns a standard normal variate via the Box–Muller
+// transform.
+func (r *RNG) NormFloat64() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// FisherYates fills dst with a uniform random permutation of [0, len).
+func FisherYates(rng *RNG, dst []int32) {
+	n := len(dst)
+	for i := range dst {
+		dst[i] = int32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+}
+
+// Pool is a fixed set of q permutations of m samples, generated
+// deterministically from a seed and shared by every pair computation in
+// a run (the paper reuses the same permutations for all pairs, which
+// also lets the permuted weight gathers be cached).
+type Pool struct {
+	m, q  int
+	perms [][]int32
+}
+
+// NewPool generates q permutations of m elements from seed. It returns
+// an error if m or q is negative.
+func NewPool(seed uint64, m, q int) (*Pool, error) {
+	if m < 0 || q < 0 {
+		return nil, fmt.Errorf("perm: invalid pool dims m=%d q=%d", m, q)
+	}
+	rng := NewRNG(seed)
+	p := &Pool{m: m, q: q, perms: make([][]int32, q)}
+	for i := 0; i < q; i++ {
+		p.perms[i] = make([]int32, m)
+		FisherYates(rng.Split(uint64(i)), p.perms[i])
+	}
+	return p, nil
+}
+
+// MustNewPool is NewPool but panics on error.
+func MustNewPool(seed uint64, m, q int) *Pool {
+	p, err := NewPool(seed, m, q)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Q returns the number of permutations in the pool.
+func (p *Pool) Q() int { return p.q }
+
+// M returns the permutation length (sample count).
+func (p *Pool) M() int { return p.m }
+
+// Perm returns permutation i. The returned slice must not be modified.
+func (p *Pool) Perm(i int) []int32 { return p.perms[i] }
+
+// Null accumulates permutation-test MI values (the null distribution)
+// and derives the significance threshold. It is built per worker and
+// merged, so methods are not concurrency-safe.
+type Null struct {
+	values []float64
+}
+
+// Add records one permuted-pair MI value.
+func (n *Null) Add(v float64) { n.values = append(n.values, v) }
+
+// AddAll records a batch of values.
+func (n *Null) AddAll(vs []float64) { n.values = append(n.values, vs...) }
+
+// Merge absorbs another null accumulator.
+func (n *Null) Merge(o *Null) { n.values = append(n.values, o.values...) }
+
+// Len returns the number of recorded null values.
+func (n *Null) Len() int { return len(n.values) }
+
+// Values returns the recorded values (not a copy).
+func (n *Null) Values() []float64 { return n.values }
+
+// Threshold returns I_alpha: the (1-alpha) quantile of the pooled null
+// distribution. alpha must be in (0,1); it panics if no values were
+// recorded.
+func (n *Null) Threshold(alpha float64) float64 {
+	if len(n.values) == 0 {
+		panic("perm: Threshold with empty null distribution")
+	}
+	if alpha <= 0 || alpha >= 1 {
+		panic(fmt.Sprintf("perm: alpha %v out of (0,1)", alpha))
+	}
+	s := append([]float64(nil), n.values...)
+	sort.Float64s(s)
+	pos := (1 - alpha) * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// PValue returns the empirical permutation p-value of an observed MI:
+// (1 + #{null >= observed}) / (1 + #null), the standard add-one
+// estimator that never returns exactly zero.
+func (n *Null) PValue(observed float64) float64 {
+	count := 0
+	for _, v := range n.values {
+		if v >= observed {
+			count++
+		}
+	}
+	return float64(1+count) / float64(1+len(n.values))
+}
+
+// ExceedsAll reports whether observed strictly exceeds every null value
+// — TINGe's cheap per-pair significance check when q is small (the pair
+// is significant at p < 1/(q+1)).
+func (n *Null) ExceedsAll(observed float64) bool {
+	for _, v := range n.values {
+		if observed <= v {
+			return false
+		}
+	}
+	return true
+}

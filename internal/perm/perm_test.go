@@ -1,0 +1,310 @@
+package perm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	if NewRNG(7).Uint64() == NewRNG(8).Uint64() {
+		t.Fatal("different seeds should diverge immediately (overwhelmingly likely)")
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	// Must not be stuck at zero.
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed stuck at zero")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	base := NewRNG(42)
+	s0 := base.Split(0)
+	s1 := base.Split(1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if s0.Uint64() == s1.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split streams collided %d times", same)
+	}
+	// Splitting must not advance the base state.
+	b2 := NewRNG(42)
+	b2.Split(0)
+	if NewRNG(42).Uint64() != b2.Uint64() {
+		t.Fatal("Split must not consume base state")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(2)
+	var sum float64
+	n := 10000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / float64(n); math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(3)
+	n := 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Fatalf("normal variance = %v", variance)
+	}
+}
+
+func TestFisherYatesIsPermutation(t *testing.T) {
+	r := NewRNG(4)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		dst := make([]int32, n)
+		FisherYates(r, dst)
+		seen := make([]bool, n)
+		for _, v := range dst {
+			if v < 0 || int(v) >= n || seen[v] {
+				t.Fatalf("n=%d: invalid permutation %v", n, dst)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestFisherYatesUniformity(t *testing.T) {
+	// Element 0 should land in each of the 4 positions ~uniformly.
+	r := NewRNG(5)
+	counts := make([]int, 4)
+	trials := 40000
+	dst := make([]int32, 4)
+	for i := 0; i < trials; i++ {
+		FisherYates(r, dst)
+		for pos, v := range dst {
+			if v == 0 {
+				counts[pos]++
+			}
+		}
+	}
+	want := float64(trials) / 4
+	for pos, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Fatalf("position %d count %d, want ~%v", pos, c, want)
+		}
+	}
+}
+
+func TestPoolDeterministicAndValid(t *testing.T) {
+	p1 := MustNewPool(9, 50, 10)
+	p2 := MustNewPool(9, 50, 10)
+	if p1.Q() != 10 || p1.M() != 50 {
+		t.Fatalf("pool dims %d/%d", p1.Q(), p1.M())
+	}
+	for i := 0; i < 10; i++ {
+		a, b := p1.Perm(i), p2.Perm(i)
+		seen := make([]bool, 50)
+		for s := range a {
+			if a[s] != b[s] {
+				t.Fatal("pools from same seed must match")
+			}
+			if seen[a[s]] {
+				t.Fatalf("perm %d not a permutation", i)
+			}
+			seen[a[s]] = true
+		}
+	}
+	// Different permutations within a pool must differ (overwhelmingly).
+	same := true
+	for s := range p1.Perm(0) {
+		if p1.Perm(0)[s] != p1.Perm(1)[s] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("pool permutations 0 and 1 identical")
+	}
+}
+
+func TestPoolErrors(t *testing.T) {
+	if _, err := NewPool(1, -1, 5); err == nil {
+		t.Fatal("negative m should error")
+	}
+	if _, err := NewPool(1, 5, -1); err == nil {
+		t.Fatal("negative q should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewPool should panic on error")
+		}
+	}()
+	MustNewPool(1, -1, 1)
+}
+
+func TestNullThreshold(t *testing.T) {
+	var n Null
+	for i := 1; i <= 100; i++ {
+		n.Add(float64(i))
+	}
+	// 95th percentile of 1..100 via linear interpolation on 99
+	// intervals: pos = 0.95*99 = 94.05 -> 95.05.
+	got := n.Threshold(0.05)
+	if math.Abs(got-95.05) > 1e-9 {
+		t.Fatalf("Threshold(0.05) = %v, want 95.05", got)
+	}
+	if n.Len() != 100 {
+		t.Fatalf("Len = %d", n.Len())
+	}
+}
+
+func TestNullThresholdPanics(t *testing.T) {
+	var n Null
+	mustPanic(t, func() { n.Threshold(0.05) })
+	n.Add(1)
+	mustPanic(t, func() { n.Threshold(0) })
+	mustPanic(t, func() { n.Threshold(1) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestNullMergeAddAll(t *testing.T) {
+	var a, b Null
+	a.AddAll([]float64{1, 2})
+	b.AddAll([]float64{3, 4, 5})
+	a.Merge(&b)
+	if a.Len() != 5 {
+		t.Fatalf("merged len = %d", a.Len())
+	}
+	if len(a.Values()) != 5 {
+		t.Fatal("Values length mismatch")
+	}
+}
+
+func TestPValue(t *testing.T) {
+	var n Null
+	n.AddAll([]float64{0.1, 0.2, 0.3, 0.4})
+	// observed 0.35: 1 null >= -> (1+1)/5 = 0.4
+	if p := n.PValue(0.35); math.Abs(p-0.4) > 1e-12 {
+		t.Fatalf("PValue = %v, want 0.4", p)
+	}
+	// observed above all: 1/5.
+	if p := n.PValue(1); math.Abs(p-0.2) > 1e-12 {
+		t.Fatalf("PValue = %v, want 0.2", p)
+	}
+	// observed below all: 5/5.
+	if p := n.PValue(0); p != 1 {
+		t.Fatalf("PValue = %v, want 1", p)
+	}
+}
+
+func TestPValueProperties(t *testing.T) {
+	f := func(vals []float64, obs float64) bool {
+		var n Null
+		for _, v := range vals {
+			if !math.IsNaN(v) {
+				n.Add(v)
+			}
+		}
+		if math.IsNaN(obs) {
+			obs = 0
+		}
+		p := n.PValue(obs)
+		return p > 0 && p <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExceedsAll(t *testing.T) {
+	var n Null
+	n.AddAll([]float64{0.1, 0.5, 0.3})
+	if !n.ExceedsAll(0.6) {
+		t.Fatal("0.6 exceeds all")
+	}
+	if n.ExceedsAll(0.5) {
+		t.Fatal("equal value must not count as exceeding")
+	}
+	if n.ExceedsAll(0.2) {
+		t.Fatal("0.2 does not exceed all")
+	}
+	var empty Null
+	if !empty.ExceedsAll(0) {
+		t.Fatal("vacuously true on empty null")
+	}
+}
+
+// The threshold of a null of standard uniforms should approximate the
+// (1-alpha) quantile.
+func TestThresholdStatistical(t *testing.T) {
+	r := NewRNG(11)
+	var n Null
+	for i := 0; i < 50000; i++ {
+		n.Add(r.Float64())
+	}
+	if got := n.Threshold(0.05); math.Abs(got-0.95) > 0.01 {
+		t.Fatalf("uniform threshold = %v, want ~0.95", got)
+	}
+	if got := n.Threshold(0.5); math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("uniform median = %v, want ~0.5", got)
+	}
+}
+
+func BenchmarkFisherYates3137(b *testing.B) {
+	r := NewRNG(1)
+	dst := make([]int32, 3137)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FisherYates(r, dst)
+	}
+}

@@ -1,0 +1,366 @@
+// Package phi is a discrete performance simulator for the Intel Xeon
+// Phi coprocessor (and, with different parameters, a host Xeon) — the
+// hardware the paper runs on and this reproduction does not have.
+//
+// The simulator captures the three architectural facts the paper's
+// optimization story depends on:
+//
+//  1. Many simple in-order cores. A Phi core cannot issue instructions
+//     from the same hardware thread in consecutive cycles, so a single
+//     thread reaches at most half the core's issue rate; at least two
+//     resident threads are needed to saturate a core, and more threads
+//     additionally hide memory stalls. The paper's threads-per-core
+//     scaling figure follows directly.
+//  2. A 512-bit VPU: 16 float32 lanes. The vectorized MI kernel costs
+//     b²·⌈m/lanes⌉ fused multiply-add issues per pair, while the scalar
+//     scatter kernel costs m·k² dependent scalar issues plus a scatter
+//     penalty.
+//  3. A PCIe offload link. Input tiles must be transferred before
+//     compute; double-buffering overlaps transfer i+1 with compute i.
+//
+// The simulator works on analytic cycle counts: callers describe work
+// (tiles with compute and stall cycles), the device maps it onto
+// cores×threads with a scheduling policy, and simulated wall time comes
+// out. Numerical results are computed exactly by the host engines in
+// internal/core; only *time* is simulated. Constants are order-of-
+// magnitude calibrated, so shapes (speedup curves, crossovers) are
+// meaningful while absolute times are indicative only.
+package phi
+
+import (
+	"fmt"
+
+	"repro/internal/tile"
+)
+
+// Device describes a simulated chip.
+type Device struct {
+	Name           string
+	Cores          int     // physical cores available to the application
+	ThreadsPerCore int     // hardware threads per core
+	VectorLanes    int     // float32 SIMD lanes
+	ClockGHz       float64 // core clock
+	// IssueWidth is instructions issued per core per cycle (1 for the
+	// Phi's relevant pipe in this model, 4 for a big OoO Xeon core).
+	IssueWidth float64
+	// SingleThreadIssueGap is the minimum cycles between issues of the
+	// same thread (2 on the Phi: back-to-back issue from one thread is
+	// impossible; 1 on a Xeon).
+	SingleThreadIssueGap float64
+	// StallCyclesPerByte models exposed memory latency per byte
+	// streamed from DRAM when the working set misses cache.
+	StallCyclesPerByte float64
+	// L2BytesPerCore is the per-core cache capacity used to decide
+	// whether a tile's working set streams from memory.
+	L2BytesPerCore int64
+	// TDPWatts is the chip's power at full utilization; IdleWatts its
+	// floor. Used by Energy for perf/W comparisons — the Phi's actual
+	// selling point against clusters.
+	TDPWatts  float64
+	IdleWatts float64
+	// MemoryBytes is the device memory capacity (8 GB GDDR5 on the
+	// 5110P). Datasets whose weight matrix exceeds it must stream in
+	// gene panels; see PlanOutOfCore.
+	MemoryBytes int64
+}
+
+// XeonPhi5110P returns the coprocessor model the paper evaluates:
+// 60 usable cores (one reserved for the OS), 4 threads/core, 16 lanes.
+func XeonPhi5110P() Device {
+	return Device{
+		Name:                 "Xeon Phi 5110P",
+		Cores:                60,
+		ThreadsPerCore:       4,
+		VectorLanes:          16,
+		ClockGHz:             1.053,
+		IssueWidth:           1,
+		SingleThreadIssueGap: 2,
+		StallCyclesPerByte:   0.08,
+		L2BytesPerCore:       512 << 10,
+		TDPWatts:             225,
+		IdleWatts:            100,
+		MemoryBytes:          8 << 30,
+	}
+}
+
+// XeonE5 returns the dual-socket host model the paper compares against:
+// 16 big out-of-order cores, 2-way SMT, 8-lane AVX float32.
+func XeonE5() Device {
+	return Device{
+		Name:                 "Xeon E5-2670 x2",
+		Cores:                16,
+		ThreadsPerCore:       2,
+		VectorLanes:          8,
+		ClockGHz:             2.6,
+		IssueWidth:           2,
+		SingleThreadIssueGap: 1,
+		StallCyclesPerByte:   0.03,
+		L2BytesPerCore:       2560 << 10, // 256K L2 + L3 share
+		TDPWatts:             230,        // 2 × 115 W sockets
+		IdleWatts:            90,
+		MemoryBytes:          128 << 30, // host DRAM
+	}
+}
+
+// Validate reports configuration errors.
+func (d Device) Validate() error {
+	switch {
+	case d.Cores <= 0:
+		return fmt.Errorf("phi: non-positive cores %d", d.Cores)
+	case d.ThreadsPerCore <= 0:
+		return fmt.Errorf("phi: non-positive threads/core %d", d.ThreadsPerCore)
+	case d.VectorLanes <= 0:
+		return fmt.Errorf("phi: non-positive lanes %d", d.VectorLanes)
+	case d.ClockGHz <= 0:
+		return fmt.Errorf("phi: non-positive clock %v", d.ClockGHz)
+	case d.IssueWidth <= 0:
+		return fmt.Errorf("phi: non-positive issue width %v", d.IssueWidth)
+	case d.SingleThreadIssueGap < 1:
+		return fmt.Errorf("phi: issue gap %v < 1", d.SingleThreadIssueGap)
+	}
+	return nil
+}
+
+// Seconds converts core cycles to seconds on this device.
+func (d Device) Seconds(cycles float64) float64 { return cycles / (d.ClockGHz * 1e9) }
+
+// Energy returns the modeled Joules for running `seconds` of wall time
+// at the given utilization in [0,1]: idle floor plus the
+// utilization-proportional dynamic share of TDP. It panics on a
+// utilization outside [0,1] or negative time.
+func (d Device) Energy(seconds, utilization float64) float64 {
+	if utilization < 0 || utilization > 1 {
+		panic(fmt.Sprintf("phi: utilization %v out of [0,1]", utilization))
+	}
+	if seconds < 0 {
+		panic(fmt.Sprintf("phi: negative duration %v", seconds))
+	}
+	return seconds * (d.IdleWatts + (d.TDPWatts-d.IdleWatts)*utilization)
+}
+
+// Work is one schedulable unit (a pair tile) with its cycle costs for
+// one thread executing it alone.
+type Work struct {
+	ComputeCycles float64 // issue-bound cycles
+	StallCycles   float64 // exposed memory-latency cycles
+}
+
+// CoreTime returns the simulated cycles a single core needs to run the
+// per-thread workloads in threads (one entry per resident hardware
+// thread; entries may be zero). The bound is the maximum of:
+//
+//   - issue bound: total compute issued through the core's pipes,
+//   - single-thread bound: the busiest thread, stretched by the
+//     same-thread issue gap,
+//   - latency bound: the busiest thread's compute plus its exposed
+//     stalls (other threads' compute hides stalls only up to the issue
+//     bound, which the max already captures).
+func (d Device) CoreTime(threads []Work) float64 {
+	var issueSum, worstGap, worstLat float64
+	for _, w := range threads {
+		issueSum += w.ComputeCycles
+		if g := w.ComputeCycles * d.SingleThreadIssueGap; g > worstGap {
+			worstGap = g
+		}
+		if l := w.ComputeCycles + w.StallCycles; l > worstLat {
+			worstLat = l
+		}
+	}
+	issue := issueSum / d.IssueWidth
+	t := issue
+	if worstGap > t {
+		t = worstGap
+	}
+	if worstLat > t {
+		t = worstLat
+	}
+	return t
+}
+
+// Makespan schedules the work items over cores×threadsPerCore logical
+// workers using the given policy and returns the simulated cycles until
+// the slowest core finishes. threadsPerCore must be in
+// [1, d.ThreadsPerCore].
+func (d Device) Makespan(items []Work, threadsPerCore int, policy tile.Policy) float64 {
+	if err := d.Validate(); err != nil {
+		panic(err)
+	}
+	if threadsPerCore < 1 || threadsPerCore > d.ThreadsPerCore {
+		panic(fmt.Sprintf("phi: threadsPerCore %d out of [1,%d]", threadsPerCore, d.ThreadsPerCore))
+	}
+	workers := d.Cores * threadsPerCore
+	assignment := tile.Assign(len(items), workers, policy, func(i int) float64 {
+		return items[i].ComputeCycles + items[i].StallCycles
+	})
+	perThread := make([]Work, workers)
+	for w, list := range assignment {
+		for _, it := range list {
+			perThread[w].ComputeCycles += items[it].ComputeCycles
+			perThread[w].StallCycles += items[it].StallCycles
+		}
+	}
+	// Group threads onto cores: worker w runs on core w/threadsPerCore.
+	var worst float64
+	for c := 0; c < d.Cores; c++ {
+		lo := c * threadsPerCore
+		ct := d.CoreTime(perThread[lo : lo+threadsPerCore])
+		if ct > worst {
+			worst = ct
+		}
+	}
+	return worst
+}
+
+// KernelParams describes one MI tile computation for cost modeling.
+type KernelParams struct {
+	Pairs      int  // gene pairs in the tile
+	Samples    int  // experiments m
+	Order      int  // spline order k
+	Bins       int  // histogram bins b
+	Perms      int  // permutations computed per pair
+	Vectorized bool // dot-product kernel vs scalar scatter kernel
+}
+
+// scatterPenalty is the issue-slot multiplier for the scalar kernel's
+// data-dependent scatter updates (store-to-load forwarding hazards,
+// no SIMD).
+const scatterPenalty = 3.0
+
+// TileCost returns the cycle cost of one tile on the device. The counts
+// follow the paper's kernel structure:
+//
+//	vectorized: (1+perms) · b² · ⌈m/lanes⌉ FMA issues per pair
+//	            (+ b·⌈m/lanes⌉ gather issues per permutation)
+//	scalar:     (1+perms) · m · k² scatter-updates per pair,
+//	            each costing scatterPenalty issue slots.
+//
+// Stall cycles stream the tile's weight rows from memory when the
+// working set exceeds the core's cache.
+func (d Device) TileCost(p KernelParams) Work {
+	if p.Pairs < 0 || p.Samples < 0 || p.Order < 0 || p.Bins < 0 || p.Perms < 0 {
+		panic(fmt.Sprintf("phi: negative kernel parameter %+v", p))
+	}
+	vecsPerRow := float64((p.Samples + d.VectorLanes - 1) / d.VectorLanes)
+	reps := float64(1 + p.Perms)
+	var compute float64
+	if p.Vectorized {
+		fma := float64(p.Bins*p.Bins) * vecsPerRow
+		gather := float64(p.Perms) * float64(p.Bins) * vecsPerRow
+		compute = float64(p.Pairs)*reps*fma + gather
+	} else {
+		updates := float64(p.Samples) * float64(p.Order*p.Order)
+		compute = float64(p.Pairs) * reps * updates * scatterPenalty
+	}
+	// Working set: 2 genes' dense rows per pair → b rows × m floats × 2,
+	// but tiles reuse rows across pairs; charge streaming once per
+	// distinct gene row set, approximated as 2·sqrt(pairs) genes.
+	genes := 2.0
+	for g := 2.0; g*g/4 < float64(p.Pairs); g++ {
+		genes = g
+	}
+	bytes := genes * float64(p.Bins) * float64(p.Samples) * 4
+	var stall float64
+	if int64(bytes) > d.L2BytesPerCore {
+		stall = bytes * d.StallCyclesPerByte * reps
+	}
+	return Work{ComputeCycles: compute, StallCycles: stall}
+}
+
+// OutOfCorePlan describes how a weight matrix larger than device
+// memory streams through it in gene panels.
+type OutOfCorePlan struct {
+	// Panels is the number of gene panels; 1 means the matrix fits and
+	// streams once.
+	Panels int
+	// PanelBytes is one panel's weight-matrix size.
+	PanelBytes int64
+	// TotalTransferBytes is the bytes moved across the link for the
+	// whole pair scan: with P panels, every unordered panel pair must
+	// be co-resident; a column-sweep order loads each panel once per
+	// sweep, i.e. P(P+1)/2 panel loads.
+	TotalTransferBytes int64
+}
+
+// PlanOutOfCore sizes the panel decomposition for a weight matrix of
+// genes × bins × samples float32 against the device's memory (with
+// half of memory reserved for buffers and results — two panels must be
+// resident at once). It panics on non-positive dimensions or an
+// unconfigured MemoryBytes.
+func (d Device) PlanOutOfCore(genes, bins, samples int) OutOfCorePlan {
+	if genes <= 0 || bins <= 0 || samples <= 0 {
+		panic(fmt.Sprintf("phi: invalid out-of-core dims %d/%d/%d", genes, bins, samples))
+	}
+	if d.MemoryBytes <= 0 {
+		panic("phi: device MemoryBytes not configured")
+	}
+	total := int64(genes) * int64(bins) * int64(samples) * 4
+	budget := d.MemoryBytes / 2
+	if total <= budget {
+		return OutOfCorePlan{Panels: 1, PanelBytes: total, TotalTransferBytes: total}
+	}
+	// Two panels co-resident: each panel at most budget/2.
+	panels := int((total + budget/2 - 1) / (budget / 2))
+	if panels < 2 {
+		panels = 2
+	}
+	panelBytes := (total + int64(panels) - 1) / int64(panels)
+	loads := int64(panels) * int64(panels+1) / 2
+	return OutOfCorePlan{
+		Panels:             panels,
+		PanelBytes:         panelBytes,
+		TotalTransferBytes: loads * panelBytes,
+	}
+}
+
+// Offload models the PCIe link between host and coprocessor.
+type Offload struct {
+	BandwidthGBps float64 // sustained transfer bandwidth
+	LatencySec    float64 // per-transfer fixed cost
+}
+
+// PCIeGen2x16 returns the link the 5110P uses (~6 GB/s sustained).
+func PCIeGen2x16() Offload { return Offload{BandwidthGBps: 6, LatencySec: 20e-6} }
+
+// TransferTime returns the seconds to move the given bytes.
+func (o Offload) TransferTime(bytes int64) float64 {
+	if bytes < 0 {
+		panic(fmt.Sprintf("phi: negative transfer size %d", bytes))
+	}
+	if bytes == 0 {
+		return 0
+	}
+	return o.LatencySec + float64(bytes)/(o.BandwidthGBps*1e9)
+}
+
+// PipelineTime returns the total seconds to process a sequence of
+// chunks, each needing a transfer (seconds) before its compute
+// (seconds). With double buffering, transfer i+1 overlaps compute i:
+//
+//	T = x₀ + Σᵢ max(cᵢ, xᵢ₊₁) + c_last   (xᵢ = transfer, cᵢ = compute)
+//
+// Without double buffering the phases serialize: T = Σ (xᵢ + cᵢ).
+// The two slices must have equal length.
+func PipelineTime(transfers, computes []float64, doubleBuffered bool) float64 {
+	if len(transfers) != len(computes) {
+		panic(fmt.Sprintf("phi: pipeline length mismatch %d vs %d", len(transfers), len(computes)))
+	}
+	if len(transfers) == 0 {
+		return 0
+	}
+	if !doubleBuffered {
+		var t float64
+		for i := range transfers {
+			t += transfers[i] + computes[i]
+		}
+		return t
+	}
+	t := transfers[0]
+	for i := 0; i < len(computes)-1; i++ {
+		step := computes[i]
+		if transfers[i+1] > step {
+			step = transfers[i+1]
+		}
+		t += step
+	}
+	return t + computes[len(computes)-1]
+}

@@ -1,0 +1,409 @@
+package phi
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tile"
+)
+
+func TestDeviceValidate(t *testing.T) {
+	good := XeonPhi5110P()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := XeonE5().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Device{
+		{Cores: 0, ThreadsPerCore: 1, VectorLanes: 1, ClockGHz: 1, IssueWidth: 1, SingleThreadIssueGap: 1},
+		{Cores: 1, ThreadsPerCore: 0, VectorLanes: 1, ClockGHz: 1, IssueWidth: 1, SingleThreadIssueGap: 1},
+		{Cores: 1, ThreadsPerCore: 1, VectorLanes: 0, ClockGHz: 1, IssueWidth: 1, SingleThreadIssueGap: 1},
+		{Cores: 1, ThreadsPerCore: 1, VectorLanes: 1, ClockGHz: 0, IssueWidth: 1, SingleThreadIssueGap: 1},
+		{Cores: 1, ThreadsPerCore: 1, VectorLanes: 1, ClockGHz: 1, IssueWidth: 0, SingleThreadIssueGap: 1},
+		{Cores: 1, ThreadsPerCore: 1, VectorLanes: 1, ClockGHz: 1, IssueWidth: 1, SingleThreadIssueGap: 0.5},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Fatalf("bad device %d validated", i)
+		}
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	d := Device{ClockGHz: 2}
+	if got := d.Seconds(2e9); got != 1 {
+		t.Fatalf("Seconds = %v, want 1", got)
+	}
+}
+
+// One thread on a Phi core runs at half issue rate; two threads saturate.
+func TestCoreTimeIssueGap(t *testing.T) {
+	d := XeonPhi5110P()
+	w := Work{ComputeCycles: 1000}
+	oneT := d.CoreTime([]Work{w})
+	if oneT != 2000 {
+		t.Fatalf("1 thread = %v cycles, want 2000 (issue gap)", oneT)
+	}
+	// Two threads, each half the work: same total compute, full rate.
+	twoT := d.CoreTime([]Work{{ComputeCycles: 500}, {ComputeCycles: 500}})
+	if twoT != 1000 {
+		t.Fatalf("2 threads = %v cycles, want 1000", twoT)
+	}
+}
+
+func TestCoreTimeLatencyHiding(t *testing.T) {
+	d := XeonPhi5110P()
+	// Memory-bound thread: stalls dominate at low thread counts.
+	one := d.CoreTime([]Work{{ComputeCycles: 100, StallCycles: 900}})
+	if one != 1000 {
+		t.Fatalf("latency-bound single thread = %v, want 1000", one)
+	}
+	// Four threads each with a quarter of the work: latency bound
+	// (100/4+900/4=250) beats issue bound (4*25=100)… the max picks 250.
+	four := d.CoreTime([]Work{
+		{ComputeCycles: 25, StallCycles: 225},
+		{ComputeCycles: 25, StallCycles: 225},
+		{ComputeCycles: 25, StallCycles: 225},
+		{ComputeCycles: 25, StallCycles: 225},
+	})
+	if four != 250 {
+		t.Fatalf("4 threads = %v, want 250", four)
+	}
+	if four >= one {
+		t.Fatal("more threads must hide latency")
+	}
+}
+
+func TestCoreTimeXeonNoGap(t *testing.T) {
+	d := XeonE5()
+	// IssueWidth 2, gap 1: single thread of 1000 compute takes 1000.
+	if got := d.CoreTime([]Work{{ComputeCycles: 1000}}); got != 1000 {
+		t.Fatalf("xeon single thread = %v", got)
+	}
+}
+
+func uniformWork(n int, c, s float64) []Work {
+	items := make([]Work, n)
+	for i := range items {
+		items[i] = Work{ComputeCycles: c, StallCycles: s}
+	}
+	return items
+}
+
+func TestMakespanThreadScalingShape(t *testing.T) {
+	d := XeonPhi5110P()
+	items := uniformWork(6000, 1000, 0)
+	t1 := d.Makespan(items, 1, tile.Dynamic)
+	t2 := d.Makespan(items, 2, tile.Dynamic)
+	t4 := d.Makespan(items, 4, tile.Dynamic)
+	// Compute-bound: 1→2 threads/core doubles throughput; 2→4 flat.
+	if r := t1 / t2; math.Abs(r-2) > 0.1 {
+		t.Fatalf("t1/t2 = %v, want ~2", r)
+	}
+	if r := t2 / t4; r > 1.1 || r < 0.9 {
+		t.Fatalf("t2/t4 = %v, want ~1 (issue-bound)", r)
+	}
+}
+
+func TestMakespanMemoryBoundBenefitsFrom4Threads(t *testing.T) {
+	d := XeonPhi5110P()
+	items := uniformWork(6000, 200, 800)
+	t2 := d.Makespan(items, 2, tile.Dynamic)
+	t4 := d.Makespan(items, 4, tile.Dynamic)
+	if t4 >= t2 {
+		t.Fatalf("memory-bound: 4 threads (%v) should beat 2 (%v)", t4, t2)
+	}
+}
+
+func TestMakespanScalesWithCores(t *testing.T) {
+	small := XeonPhi5110P()
+	small.Cores = 15
+	big := XeonPhi5110P()
+	items := uniformWork(6000, 1000, 0)
+	ts := small.Makespan(items, 4, tile.Dynamic)
+	tb := big.Makespan(items, 4, tile.Dynamic)
+	if r := ts / tb; math.Abs(r-4) > 0.2 {
+		t.Fatalf("15→60 cores speedup %v, want ~4", r)
+	}
+}
+
+func TestMakespanDynamicBeatsStaticUnderSkew(t *testing.T) {
+	d := XeonPhi5110P()
+	// Skew: first half of tiles 10x heavier (contiguous — worst case
+	// for block distribution).
+	items := make([]Work, 4800)
+	for i := range items {
+		c := 100.0
+		if i < 2400 {
+			c = 1000
+		}
+		items[i] = Work{ComputeCycles: c}
+	}
+	static := d.Makespan(items, 4, tile.StaticBlock)
+	dynamic := d.Makespan(items, 4, tile.Dynamic)
+	if dynamic >= static {
+		t.Fatalf("dynamic (%v) should beat static-block (%v) under skew", dynamic, static)
+	}
+}
+
+func TestMakespanPanics(t *testing.T) {
+	d := XeonPhi5110P()
+	items := uniformWork(10, 1, 0)
+	mustPanic(t, func() { d.Makespan(items, 0, tile.Dynamic) })
+	mustPanic(t, func() { d.Makespan(items, 5, tile.Dynamic) })
+	bad := d
+	bad.Cores = 0
+	mustPanic(t, func() { bad.Makespan(items, 1, tile.Dynamic) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestTileCostVectorizedCheaper(t *testing.T) {
+	d := XeonPhi5110P()
+	base := KernelParams{Pairs: 64, Samples: 3137, Order: 3, Bins: 10, Perms: 0}
+	vec := base
+	vec.Vectorized = true
+	cv := d.TileCost(vec)
+	cs := d.TileCost(base)
+	if cv.ComputeCycles >= cs.ComputeCycles {
+		t.Fatalf("vectorized (%v) should beat scalar (%v)", cv.ComputeCycles, cs.ComputeCycles)
+	}
+	// Expected ratio: scalar m·k²·penalty=3137*9*3 vs vec b²·⌈m/16⌉=100*197.
+	ratio := cs.ComputeCycles / cv.ComputeCycles
+	if ratio < 2 || ratio > 10 {
+		t.Fatalf("speedup ratio %v outside plausible band [2,10]", ratio)
+	}
+}
+
+func TestTileCostScalesWithPerms(t *testing.T) {
+	d := XeonPhi5110P()
+	p0 := d.TileCost(KernelParams{Pairs: 10, Samples: 100, Order: 3, Bins: 10, Perms: 0, Vectorized: true})
+	p9 := d.TileCost(KernelParams{Pairs: 10, Samples: 100, Order: 3, Bins: 10, Perms: 9, Vectorized: true})
+	if r := p9.ComputeCycles / p0.ComputeCycles; r < 9 || r > 11 {
+		t.Fatalf("10x perms should cost ~10x, got %v", r)
+	}
+}
+
+func TestTileCostStallsOnlyWhenSpilling(t *testing.T) {
+	d := XeonPhi5110P()
+	smallTile := d.TileCost(KernelParams{Pairs: 4, Samples: 100, Order: 3, Bins: 10, Vectorized: true})
+	if smallTile.StallCycles != 0 {
+		t.Fatalf("cache-resident tile should not stall, got %v", smallTile.StallCycles)
+	}
+	bigTile := d.TileCost(KernelParams{Pairs: 10000, Samples: 3137, Order: 3, Bins: 10, Vectorized: true})
+	if bigTile.StallCycles == 0 {
+		t.Fatal("spilling tile should stall")
+	}
+}
+
+func TestTileCostPanicsOnNegative(t *testing.T) {
+	d := XeonPhi5110P()
+	mustPanic(t, func() { d.TileCost(KernelParams{Pairs: -1}) })
+}
+
+func TestTransferTime(t *testing.T) {
+	o := PCIeGen2x16()
+	if o.TransferTime(0) != 0 {
+		t.Fatal("zero bytes should be free")
+	}
+	one := o.TransferTime(6_000_000_000) // 1 second of bandwidth
+	if math.Abs(one-1-o.LatencySec) > 1e-9 {
+		t.Fatalf("1GB*6 transfer = %v", one)
+	}
+	// Latency dominates small transfers.
+	small := o.TransferTime(64)
+	if small < o.LatencySec {
+		t.Fatalf("small transfer %v below latency", small)
+	}
+	mustPanic(t, func() { o.TransferTime(-1) })
+}
+
+func TestPipelineTime(t *testing.T) {
+	x := []float64{1, 1, 1}
+	c := []float64{2, 2, 2}
+	serial := PipelineTime(x, c, false)
+	if serial != 9 {
+		t.Fatalf("serial = %v, want 9", serial)
+	}
+	// Double buffered: 1 + max(2,1) + max(2,1) + 2 = 7.
+	db := PipelineTime(x, c, true)
+	if db != 7 {
+		t.Fatalf("double buffered = %v, want 7", db)
+	}
+	if db >= serial {
+		t.Fatal("double buffering must help when compute overlaps transfer")
+	}
+	if PipelineTime(nil, nil, true) != 0 {
+		t.Fatal("empty pipeline should be 0")
+	}
+	mustPanic(t, func() { PipelineTime([]float64{1}, nil, true) })
+}
+
+func TestPipelineComputeBoundApproachesComputeSum(t *testing.T) {
+	// When compute dominates, double-buffered time ≈ first transfer +
+	// total compute.
+	x := []float64{0.1, 0.1, 0.1, 0.1}
+	c := []float64{5, 5, 5, 5}
+	db := PipelineTime(x, c, true)
+	if math.Abs(db-20.1) > 1e-9 {
+		t.Fatalf("compute-bound pipeline = %v, want 20.1", db)
+	}
+}
+
+// End-to-end simulated shape: the full 15,575-gene problem on the
+// simulated Phi should land within an order of magnitude of the paper's
+// 22 minutes, and the Phi should beat the Xeon model.
+func TestWholeGenomeSimulatedTimeShape(t *testing.T) {
+	const (
+		n     = 15575
+		m     = 3137
+		tsize = 64
+		perms = 30
+	)
+	tiles := tile.Decompose(n, tsize)
+	devPhi := XeonPhi5110P()
+	items := make([]Work, len(tiles))
+	for i, tl := range tiles {
+		items[i] = devPhi.TileCost(KernelParams{
+			Pairs: tl.Pairs(), Samples: m, Order: 3, Bins: 10,
+			Perms: perms, Vectorized: true,
+		})
+	}
+	secPhi := devPhi.Seconds(devPhi.Makespan(items, 4, tile.Dynamic))
+	if secPhi < 120 || secPhi > 12000 {
+		t.Fatalf("simulated whole-genome Phi time %v s implausibly far from the paper's ~1320 s", secPhi)
+	}
+	devXeon := XeonE5()
+	itemsX := make([]Work, len(tiles))
+	for i, tl := range tiles {
+		itemsX[i] = devXeon.TileCost(KernelParams{
+			Pairs: tl.Pairs(), Samples: m, Order: 3, Bins: 10,
+			Perms: perms, Vectorized: true,
+		})
+	}
+	secXeon := devXeon.Seconds(devXeon.Makespan(itemsX, 2, tile.Dynamic))
+	if secPhi >= secXeon {
+		t.Fatalf("Phi (%v s) should beat Xeon (%v s) on this kernel", secPhi, secXeon)
+	}
+}
+
+func BenchmarkMakespan240Threads(b *testing.B) {
+	d := XeonPhi5110P()
+	items := uniformWork(10000, 1000, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Makespan(items, 4, tile.Dynamic)
+	}
+}
+
+func TestEnergyModel(t *testing.T) {
+	d := XeonPhi5110P()
+	idle := d.Energy(10, 0)
+	if idle != 1000 { // 100 W x 10 s
+		t.Fatalf("idle energy = %v, want 1000 J", idle)
+	}
+	full := d.Energy(10, 1)
+	if full != 2250 { // 225 W x 10 s
+		t.Fatalf("full energy = %v, want 2250 J", full)
+	}
+	half := d.Energy(10, 0.5)
+	if half <= idle || half >= full {
+		t.Fatalf("half-utilization energy %v outside (%v, %v)", half, idle, full)
+	}
+	mustPanic(t, func() { d.Energy(1, -0.1) })
+	mustPanic(t, func() { d.Energy(1, 1.1) })
+	mustPanic(t, func() { d.Energy(-1, 0.5) })
+}
+
+// Perf/W: on this kernel the Phi should complete the same work with
+// less energy than the dual Xeon despite the similar TDP, because it
+// finishes sooner.
+func TestPhiEnergyEfficiencyShape(t *testing.T) {
+	tiles := tile.Decompose(2000, 32)
+	joules := func(d Device, tpc int) float64 {
+		items := make([]Work, len(tiles))
+		for i, tl := range tiles {
+			items[i] = d.TileCost(KernelParams{
+				Pairs: tl.Pairs(), Samples: 3137, Order: 3, Bins: 10,
+				Perms: 3, Vectorized: true,
+			})
+		}
+		sec := d.Seconds(d.Makespan(items, tpc, tile.Dynamic))
+		return d.Energy(sec, 1)
+	}
+	phiJ := joules(XeonPhi5110P(), 4)
+	xeonJ := joules(XeonE5(), 2)
+	if phiJ >= xeonJ {
+		t.Fatalf("Phi energy %v should beat Xeon %v on this kernel", phiJ, xeonJ)
+	}
+}
+
+func TestPlanOutOfCoreFits(t *testing.T) {
+	d := XeonPhi5110P()
+	// Whole-genome weight matrix: 15575*10*3137*4 ≈ 1.95 GB < 4 GB budget.
+	plan := d.PlanOutOfCore(15575, 10, 3137)
+	if plan.Panels != 1 {
+		t.Fatalf("whole genome should fit: %+v", plan)
+	}
+	if plan.TotalTransferBytes != int64(15575)*10*3137*4 {
+		t.Fatalf("transfer bytes = %d", plan.TotalTransferBytes)
+	}
+}
+
+func TestPlanOutOfCoreSpills(t *testing.T) {
+	d := XeonPhi5110P()
+	// A 100k-gene genome: 100000*10*3137*4 ≈ 12.5 GB > 8 GB memory.
+	plan := d.PlanOutOfCore(100000, 10, 3137)
+	if plan.Panels < 2 {
+		t.Fatalf("should need panels: %+v", plan)
+	}
+	total := int64(100000) * 10 * 3137 * 4
+	if plan.TotalTransferBytes <= total {
+		t.Fatalf("out-of-core must transfer more than once: %d <= %d",
+			plan.TotalTransferBytes, total)
+	}
+	// Two panels must fit in half of memory.
+	if 2*plan.PanelBytes > d.MemoryBytes/2+plan.PanelBytes/8 {
+		t.Fatalf("panel pair %d exceeds budget %d", 2*plan.PanelBytes, d.MemoryBytes/2)
+	}
+	// More memory, fewer panels.
+	big := d
+	big.MemoryBytes = 64 << 30
+	if p2 := big.PlanOutOfCore(100000, 10, 3137); p2.Panels >= plan.Panels {
+		t.Fatalf("more memory should reduce panels: %d vs %d", p2.Panels, plan.Panels)
+	}
+}
+
+func TestPlanOutOfCorePanics(t *testing.T) {
+	d := XeonPhi5110P()
+	mustPanic(t, func() { d.PlanOutOfCore(0, 10, 10) })
+	mustPanic(t, func() { d.PlanOutOfCore(10, 0, 10) })
+	mustPanic(t, func() { d.PlanOutOfCore(10, 10, -1) })
+	noMem := d
+	noMem.MemoryBytes = 0
+	mustPanic(t, func() { noMem.PlanOutOfCore(10, 10, 10) })
+}
+
+func TestPlanTransferGrowthQuadratic(t *testing.T) {
+	// Transfer volume should grow ~quadratically once out of core
+	// (P panels → P(P+1)/2 loads).
+	d := XeonPhi5110P()
+	small := d.PlanOutOfCore(50000, 10, 3137)
+	big := d.PlanOutOfCore(200000, 10, 3137)
+	if big.Panels <= small.Panels {
+		t.Fatalf("panels: %d vs %d", big.Panels, small.Panels)
+	}
+	ratio := float64(big.TotalTransferBytes) / float64(small.TotalTransferBytes)
+	if ratio < 4 {
+		t.Fatalf("4x genes should cost >= ~4x transfers out of core, got %.1fx", ratio)
+	}
+}

@@ -1,0 +1,298 @@
+// Package server exposes the inference pipeline as an HTTP service —
+// the deployment shape a shared-instrument lab actually runs: one
+// machine (with the coprocessor) owns the compute, clients submit
+// expression matrices and poll for networks.
+//
+// API:
+//
+//	POST   /jobs            TSV expression matrix in the body; config
+//	                        via query params (permutations, alpha, dpi,
+//	                        engine, seed, workers). Returns 202 with
+//	                        {"id": ...}.
+//	GET    /jobs/{id}       job status JSON: state, progress, and — when
+//	                        done — edges, threshold, timings.
+//	GET    /jobs/{id}/network  the edge TSV (409 until done).
+//	DELETE /jobs/{id}       cancel a running job.
+//	GET    /healthz         liveness.
+//
+// Jobs run one at a time (the pipeline saturates the machine); queued
+// jobs wait in submission order.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/grn"
+)
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+// Job states.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+type job struct {
+	id     string
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     JobState
+	err       string
+	progress  float64
+	result    *core.Result
+	geneNames []string
+}
+
+func (j *job) setState(s JobState) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+}
+
+// Server is the HTTP handler plus its job registry. Create with New,
+// mount via Handler.
+type Server struct {
+	mu     sync.Mutex
+	jobs   map[string]*job
+	nextID int64
+	// sem serializes job execution.
+	sem chan struct{}
+	// MaxBodyBytes bounds uploaded matrices (default 1 GiB).
+	MaxBodyBytes int64
+}
+
+// New returns an empty server.
+func New() *Server {
+	return &Server{
+		jobs:         make(map[string]*job),
+		sem:          make(chan struct{}, 1),
+		MaxBodyBytes: 1 << 30,
+	}
+}
+
+// Handler returns the routed http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/network", s.handleNetwork)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	return mux
+}
+
+// parseConfig builds a core.Config from query parameters.
+func parseConfig(r *http.Request) (core.Config, error) {
+	q := r.URL.Query()
+	cfg := core.Config{}
+	intParam := func(name string, dst *int) error {
+		if v := q.Get(name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("bad %s: %v", name, err)
+			}
+			*dst = n
+		}
+		return nil
+	}
+	for name, dst := range map[string]*int{
+		"permutations": &cfg.Permutations,
+		"workers":      &cfg.Workers,
+		"order":        &cfg.Order,
+		"bins":         &cfg.Bins,
+		"tile":         &cfg.TileSize,
+		"ranks":        &cfg.Ranks,
+	} {
+		if err := intParam(name, dst); err != nil {
+			return cfg, err
+		}
+	}
+	if v := q.Get("alpha"); v != "" {
+		a, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return cfg, fmt.Errorf("bad alpha: %v", err)
+		}
+		cfg.Alpha = a
+	}
+	if v := q.Get("seed"); v != "" {
+		sd, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return cfg, fmt.Errorf("bad seed: %v", err)
+		}
+		cfg.Seed = sd
+	}
+	if v := q.Get("dpi"); v == "1" || v == "true" {
+		cfg.DPI = true
+	}
+	switch v := q.Get("engine"); v {
+	case "", "host":
+		cfg.Engine = core.Host
+	case "phi":
+		cfg.Engine = core.Phi
+	case "cluster":
+		cfg.Engine = core.Cluster
+	default:
+		return cfg, fmt.Errorf("unknown engine %q", v)
+	}
+	return cfg, nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	cfg, err := parseConfig(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	data, err := expr.ReadTSV(http.MaxBytesReader(w, r.Body, s.MaxBodyBytes))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("parse expression matrix: %v", err), http.StatusBadRequest)
+		return
+	}
+	if data.MissingCount() > 0 {
+		data.ImputeRowMean()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{cancel: cancel, state: StateQueued, geneNames: data.Genes}
+	s.mu.Lock()
+	s.nextID++
+	j.id = fmt.Sprintf("job-%d", s.nextID)
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	var done int64
+	cfg.Progress = func(d, total int) {
+		if total > 0 && atomic.AddInt64(&done, 1) >= 0 {
+			j.mu.Lock()
+			j.progress = float64(d) / float64(total)
+			j.mu.Unlock()
+		}
+	}
+
+	go func() {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		if ctx.Err() != nil {
+			j.setState(StateCanceled)
+			return
+		}
+		j.setState(StateRunning)
+		res, err := core.InferContext(ctx, data.Expr, cfg)
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		switch {
+		case err == context.Canceled:
+			j.state = StateCanceled
+		case err != nil:
+			j.state = StateFailed
+			j.err = err.Error()
+		default:
+			j.state = StateDone
+			j.progress = 1
+			j.result = res
+		}
+	}()
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]string{"id": j.id})
+}
+
+// statusResponse is the job-status JSON shape.
+type statusResponse struct {
+	ID        string   `json:"id"`
+	State     JobState `json:"state"`
+	Progress  float64  `json:"progress"`
+	Error     string   `json:"error,omitempty"`
+	Edges     int      `json:"edges,omitempty"`
+	RawEdges  int      `json:"rawEdges,omitempty"`
+	Threshold float64  `json:"threshold,omitempty"`
+	Evals     int64    `json:"evaluations,omitempty"`
+	SimSecs   float64  `json:"simSeconds,omitempty"`
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		http.Error(w, "unknown job", http.StatusNotFound)
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	resp := statusResponse{ID: j.id, State: j.state, Progress: j.progress, Error: j.err}
+	if j.result != nil {
+		resp.Edges = j.result.Network.Len()
+		resp.RawEdges = j.result.RawEdges
+		resp.Threshold = j.result.Threshold
+		resp.Evals = j.result.PairsEvaluated
+		resp.SimSecs = j.result.SimSeconds
+	}
+	j.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	state := j.state
+	var net *grn.Network
+	var names []string
+	if j.result != nil {
+		net = j.result.Network
+		names = j.geneNames
+	}
+	j.mu.Unlock()
+	if state != StateDone || net == nil {
+		http.Error(w, fmt.Sprintf("job is %s", state), http.StatusConflict)
+		return
+	}
+	w.Header().Set("Content-Type", "text/tab-separated-values")
+	if err := net.WriteTSV(w, names); err != nil && !strings.Contains(err.Error(), "broken pipe") {
+		// Response already started; nothing useful to send.
+		return
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.cancel()
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.state = StateCanceled
+	}
+	j.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -1,0 +1,223 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/expr"
+)
+
+func tsvBody(t *testing.T, n, m int) *bytes.Buffer {
+	t.Helper()
+	d := expr.MustGenerate(expr.GenConfig{
+		Genes: n, Experiments: m, AvgRegulators: 1, Noise: 0.05, Seed: 4,
+	})
+	var buf bytes.Buffer
+	if err := d.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func startJob(t *testing.T, ts *httptest.Server, body *bytes.Buffer, params string) string {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/jobs?"+params, "text/tab-separated-values", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["id"] == "" {
+		t.Fatal("no job id")
+	}
+	return out["id"]
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) statusResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status code = %d", resp.StatusCode)
+	}
+	var st statusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitFor(t *testing.T, ts *httptest.Server, id string, want JobState) statusResponse {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, ts, id)
+		if st.State == want {
+			return st
+		}
+		if st.State == StateFailed {
+			t.Fatalf("job failed: %s", st.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return statusResponse{}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+}
+
+func TestSubmitRunFetch(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	id := startJob(t, ts, tsvBody(t, 25, 60), "permutations=5&seed=1&workers=2&dpi=1")
+	st := waitFor(t, ts, id, StateDone)
+	if st.Edges == 0 || st.Threshold <= 0 {
+		t.Fatalf("done status = %+v", st)
+	}
+	if st.Progress != 1 {
+		t.Fatalf("progress = %v", st.Progress)
+	}
+
+	resp, err := http.Get(ts.URL + "/jobs/" + id + "/network")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("network status = %d", resp.StatusCode)
+	}
+	buf := new(bytes.Buffer)
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != st.Edges {
+		t.Fatalf("network TSV has %d lines, status says %d edges", lines, st.Edges)
+	}
+	// Gene names substituted.
+	if !strings.HasPrefix(buf.String(), "G") {
+		t.Fatalf("network should use gene names: %q", buf.String()[:20])
+	}
+}
+
+func TestNetworkBeforeDoneConflicts(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	// Big enough to still be running when we poll.
+	id := startJob(t, ts, tsvBody(t, 80, 200), "permutations=30&seed=1&workers=1")
+	resp, err := http.Get(ts.URL + "/jobs/" + id + "/network")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("early network fetch = %d, want 409", resp.StatusCode)
+	}
+	waitFor(t, ts, id, StateDone)
+}
+
+func TestCancelJob(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	id := startJob(t, ts, tsvBody(t, 100, 300), "permutations=50&seed=1&workers=1")
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("cancel = %d", resp.StatusCode)
+	}
+	waitFor(t, ts, id, StateCanceled)
+}
+
+func TestUnknownJob404(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job = %d", resp.StatusCode)
+	}
+}
+
+func TestBadSubmissions(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	cases := []struct {
+		params string
+		body   string
+	}{
+		{"", "not a tsv"},
+		{"permutations=abc", "gene\tE0\nG0\t1\n"},
+		{"alpha=zzz", "gene\tE0\nG0\t1\n"},
+		{"engine=quantum", "gene\tE0\nG0\t1\n"},
+		{"seed=-1", "gene\tE0\nG0\t1\n"},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+"/jobs?"+c.params, "text/plain", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("params %q: status %d, want 400", c.params, resp.StatusCode)
+		}
+	}
+}
+
+func TestBodyLimit(t *testing.T) {
+	s := New()
+	s.MaxBodyBytes = 64
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/jobs", "text/plain", tsvBody(t, 20, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversize body = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestJobsSerializeAndBothFinish(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+	a := startJob(t, ts, tsvBody(t, 30, 60), "permutations=5&seed=1")
+	b := startJob(t, ts, tsvBody(t, 30, 60), "permutations=5&seed=2")
+	waitFor(t, ts, a, StateDone)
+	waitFor(t, ts, b, StateDone)
+}

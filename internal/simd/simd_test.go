@@ -1,0 +1,258 @@
+package simd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSlice(rng *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = rng.Float32()*2 - 1
+	}
+	return s
+}
+
+func TestNewWidth(t *testing.T) {
+	if _, err := NewWidth(0); err == nil {
+		t.Fatal("width 0 should be rejected")
+	}
+	if _, err := NewWidth(-4); err == nil {
+		t.Fatal("negative width should be rejected")
+	}
+	w, err := NewWidth(16)
+	if err != nil || w != 16 {
+		t.Fatalf("NewWidth(16) = %v, %v", w, err)
+	}
+}
+
+func TestDotMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{0, 1, 15, 16, 17, 31, 32, 100, 1000} {
+		a, b := randSlice(rng, n), randSlice(rng, n)
+		vec := float64(Dot(a, b))
+		ref := Dot64(a, b)
+		if math.Abs(vec-ref) > 1e-3*(1+math.Abs(ref)) {
+			t.Fatalf("n=%d: Dot = %v, ref = %v", n, vec, ref)
+		}
+		scal := float64(DotScalar(a, b))
+		if math.Abs(scal-ref) > 1e-3*(1+math.Abs(ref)) {
+			t.Fatalf("n=%d: DotScalar = %v, ref = %v", n, scal, ref)
+		}
+	}
+}
+
+func TestDotLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot(make([]float32, 3), make([]float32, 4))
+}
+
+func TestDotProperty(t *testing.T) {
+	f := func(a []float32) bool {
+		for i, v := range a {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				a[i] = 1
+			}
+			// Clamp to keep products finite.
+			if a[i] > 1e3 {
+				a[i] = 1e3
+			}
+			if a[i] < -1e3 {
+				a[i] = -1e3
+			}
+		}
+		// Dot(a, a) >= 0 and equals sum of squares.
+		d := Dot(a, a)
+		if d < 0 {
+			return false
+		}
+		ref := Dot64(a, a)
+		return math.Abs(float64(d)-ref) <= 1e-2*(1+ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 16, 33, 100} {
+		x := randSlice(rng, n)
+		y := randSlice(rng, n)
+		want := make([]float32, n)
+		for i := range want {
+			want[i] = y[i] + 2.5*x[i]
+		}
+		Axpy(2.5, x, y)
+		for i := range y {
+			if math.Abs(float64(y[i]-want[i])) > 1e-5 {
+				t.Fatalf("n=%d i=%d: y = %v, want %v", n, i, y[i], want[i])
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Axpy(1, make([]float32, 2), make([]float32, 3))
+}
+
+func TestScale(t *testing.T) {
+	x := []float32{1, 2, 3}
+	Scale(2, x)
+	if x[0] != 2 || x[1] != 4 || x[2] != 6 {
+		t.Fatalf("Scale result %v", x)
+	}
+}
+
+func TestSumMatches64(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{0, 1, 15, 16, 17, 257} {
+		x := randSlice(rng, n)
+		got := float64(Sum(x))
+		ref := Sum64(x)
+		if math.Abs(got-ref) > 1e-3*(1+math.Abs(ref)) {
+			t.Fatalf("n=%d: Sum = %v, ref = %v", n, got, ref)
+		}
+	}
+}
+
+func TestMulInto(t *testing.T) {
+	a := []float32{1, 2, 3, 4}
+	b := []float32{5, 6, 7, 8}
+	dst := make([]float32, 4)
+	MulInto(dst, a, b)
+	want := []float32{5, 12, 21, 32}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MulInto(dst, a, b[:3])
+}
+
+func TestDotGathered(t *testing.T) {
+	a := []float32{10, 20, 30}
+	b := []float32{1, 2, 3}
+	idxA := []int32{2, 0}
+	idxB := []int32{0, 2}
+	// 30*1 + 10*3 = 60
+	if got := DotGathered(a, b, idxA, idxB); got != 60 {
+		t.Fatalf("DotGathered = %v, want 60", got)
+	}
+	// Identity gather equals plain dot.
+	rng := rand.New(rand.NewSource(5))
+	x, y := randSlice(rng, 64), randSlice(rng, 64)
+	id := make([]int32, 64)
+	for i := range id {
+		id[i] = int32(i)
+	}
+	if math.Abs(float64(DotGathered(x, y, id, id)-Dot(x, y))) > 1e-3 {
+		t.Fatal("identity gather should equal Dot")
+	}
+}
+
+func TestAccumOuterWeighted(t *testing.T) {
+	const b = 5
+	hist := make([]float32, b*b)
+	wA := []float32{0.25, 0.75}
+	wB := []float32{0.4, 0.6}
+	AccumOuterWeighted(hist, b, 1, 2, wA, wB)
+	// hist[1][2] = 0.25*0.4, hist[1][3]=0.25*0.6, hist[2][2]=0.75*0.4, hist[2][3]=0.75*0.6
+	check := func(u, v int, want float32) {
+		t.Helper()
+		if got := hist[u*b+v]; math.Abs(float64(got-want)) > 1e-6 {
+			t.Fatalf("hist[%d][%d] = %v, want %v", u, v, got, want)
+		}
+	}
+	check(1, 2, 0.1)
+	check(1, 3, 0.15)
+	check(2, 2, 0.3)
+	check(2, 3, 0.45)
+	// Total mass equals product of stencil sums (1*1).
+	var total float32
+	for _, v := range hist {
+		total += v
+	}
+	if math.Abs(float64(total-1)) > 1e-6 {
+		t.Fatalf("total mass = %v, want 1", total)
+	}
+}
+
+func TestFusedWeightedCountIsDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a, b := randSlice(rng, 100), randSlice(rng, 100)
+	if FusedWeightedCount(a, b) != Dot(a, b) {
+		t.Fatal("FusedWeightedCount must equal Dot")
+	}
+}
+
+// The vector-formulated joint histogram (FusedWeightedCount over bin rows)
+// must produce the same joint distribution as the scalar scatter
+// formulation (AccumOuterWeighted per sample). This is the central
+// equivalence the paper's optimization relies on.
+func TestHistogramFormulationsAgree(t *testing.T) {
+	const (
+		bins = 7
+		k    = 3
+		m    = 200
+	)
+	rng := rand.New(rand.NewSource(7))
+	// Dense per-bin weight rows for two genes: w[bin][sample].
+	denseA := make([][]float32, bins)
+	denseB := make([][]float32, bins)
+	for u := 0; u < bins; u++ {
+		denseA[u] = make([]float32, m)
+		denseB[u] = make([]float32, m)
+	}
+	// Sparse stencils per sample.
+	offA := make([]int, m)
+	offB := make([]int, m)
+	wA := make([][]float32, m)
+	wB := make([][]float32, m)
+	for s := 0; s < m; s++ {
+		offA[s] = rng.Intn(bins - k + 1)
+		offB[s] = rng.Intn(bins - k + 1)
+		wA[s] = make([]float32, k)
+		wB[s] = make([]float32, k)
+		var sa, sb float32
+		for u := 0; u < k; u++ {
+			wA[s][u] = rng.Float32()
+			wB[s][u] = rng.Float32()
+			sa += wA[s][u]
+			sb += wB[s][u]
+		}
+		for u := 0; u < k; u++ {
+			wA[s][u] /= sa
+			wB[s][u] /= sb
+			denseA[offA[s]+u][s] = wA[s][u]
+			denseB[offB[s]+u][s] = wB[s][u]
+		}
+	}
+	// Scatter formulation.
+	scatter := make([]float32, bins*bins)
+	for s := 0; s < m; s++ {
+		AccumOuterWeighted(scatter, bins, offA[s], offB[s], wA[s], wB[s])
+	}
+	// Dot formulation.
+	for u := 0; u < bins; u++ {
+		for v := 0; v < bins; v++ {
+			dot := FusedWeightedCount(denseA[u], denseB[v])
+			if math.Abs(float64(dot-scatter[u*bins+v])) > 1e-3 {
+				t.Fatalf("joint[%d][%d]: dot %v vs scatter %v", u, v, dot, scatter[u*bins+v])
+			}
+		}
+	}
+}

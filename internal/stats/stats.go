@@ -1,0 +1,205 @@
+// Package stats provides the small statistical helpers the pipeline and
+// benchmark harness share: summary statistics, quantiles, histograms,
+// and timing aggregation.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than
+// two values.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It panics on an empty slice or
+// a q outside [0,1]. The input is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Max returns the maximum of xs; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs; it panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Histogram counts xs into nbins equal-width bins spanning [lo, hi].
+// Values outside the range are clamped into the end bins. It panics if
+// nbins <= 0 or hi <= lo.
+func Histogram(xs []float64, nbins int, lo, hi float64) []int {
+	if nbins <= 0 {
+		panic("stats: non-positive bin count")
+	}
+	if hi <= lo {
+		panic("stats: empty histogram range")
+	}
+	h := make([]int, nbins)
+	w := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		b := int((x - lo) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		h[b]++
+	}
+	return h
+}
+
+// Pearson returns the sample Pearson correlation of x and y, or 0 when
+// either input is constant. It panics on mismatched lengths.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("stats: Pearson length mismatch %d vs %d", len(x), len(y)))
+	}
+	if len(x) == 0 {
+		return 0
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Timer accumulates named durations — the per-phase breakdown the
+// pipeline reports (spline precompute, MI, permutation, threshold, DPI).
+// It is not safe for concurrent use; each worker keeps its own and the
+// results are merged.
+type Timer struct {
+	phases map[string]time.Duration
+	order  []string
+}
+
+// NewTimer returns an empty Timer.
+func NewTimer() *Timer {
+	return &Timer{phases: make(map[string]time.Duration)}
+}
+
+// Add accumulates d under the named phase.
+func (t *Timer) Add(phase string, d time.Duration) {
+	if _, ok := t.phases[phase]; !ok {
+		t.order = append(t.order, phase)
+	}
+	t.phases[phase] += d
+}
+
+// Time runs f and accumulates its wall time under phase.
+func (t *Timer) Time(phase string, f func()) {
+	start := time.Now()
+	f()
+	t.Add(phase, time.Since(start))
+}
+
+// Get returns the accumulated duration for phase (0 if absent).
+func (t *Timer) Get(phase string) time.Duration { return t.phases[phase] }
+
+// Total returns the sum over all phases.
+func (t *Timer) Total() time.Duration {
+	var s time.Duration
+	for _, d := range t.phases {
+		s += d
+	}
+	return s
+}
+
+// Merge adds all of o's phases into t.
+func (t *Timer) Merge(o *Timer) {
+	for _, p := range o.order {
+		t.Add(p, o.phases[p])
+	}
+}
+
+// Phases returns the phase names in first-Add order.
+func (t *Timer) Phases() []string { return append([]string(nil), t.order...) }
+
+// String renders the breakdown as "phase=dur" pairs in order.
+func (t *Timer) String() string {
+	s := ""
+	for i, p := range t.order {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%v", p, t.phases[p].Round(time.Microsecond))
+	}
+	return s
+}

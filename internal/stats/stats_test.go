@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Fatalf("Variance = %v, want 4", v)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Fatalf("StdDev = %v, want 2", s)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs should give 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 4 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.5); q != 2.5 {
+		t.Fatalf("median = %v, want 2.5", q)
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Fatal("Quantile mutated input")
+	}
+	if q := Quantile([]float64{7}, 0.3); q != 7 {
+		t.Fatalf("single-element quantile = %v", q)
+	}
+	mustPanic(t, func() { Quantile(nil, 0.5) })
+	mustPanic(t, func() { Quantile(xs, 1.5) })
+	mustPanic(t, func() { Quantile(xs, -0.1) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			v := Quantile(xs, q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return Quantile(xs, 0) == Min(xs) && Quantile(xs, 1) == Max(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -2, 8, 0}
+	if Min(xs) != -2 || Max(xs) != 8 {
+		t.Fatalf("min/max = %v/%v", Min(xs), Max(xs))
+	}
+	mustPanic(t, func() { Min(nil) })
+	mustPanic(t, func() { Max(nil) })
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.05, 0.15, 0.15, 0.95, -1, 2}
+	h := Histogram(xs, 10, 0, 1)
+	if h[0] != 2 { // 0.05 and clamped -1
+		t.Fatalf("h[0] = %d, want 2", h[0])
+	}
+	if h[1] != 2 {
+		t.Fatalf("h[1] = %d, want 2", h[1])
+	}
+	if h[9] != 2 { // 0.95 and clamped 2
+		t.Fatalf("h[9] = %d, want 2", h[9])
+	}
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != len(xs) {
+		t.Fatalf("total = %d, want %d", total, len(xs))
+	}
+	mustPanic(t, func() { Histogram(xs, 0, 0, 1) })
+	mustPanic(t, func() { Histogram(xs, 5, 1, 1) })
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if r := Pearson(x, y); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("perfect positive r = %v", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if r := Pearson(x, neg); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("perfect negative r = %v", r)
+	}
+	if r := Pearson(x, []float64{3, 3, 3, 3, 3}); r != 0 {
+		t.Fatalf("constant y should give 0, got %v", r)
+	}
+	if Pearson(nil, nil) != 0 {
+		t.Fatal("empty should give 0")
+	}
+	mustPanic(t, func() { Pearson(x, y[:3]) })
+}
+
+func TestPearsonBounded(t *testing.T) {
+	f := func(x, y []float64) bool {
+		n := len(x)
+		if len(y) < n {
+			n = len(y)
+		}
+		xs, ys := make([]float64, 0, n), make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			if math.IsNaN(x[i]) || math.IsInf(x[i], 0) || math.IsNaN(y[i]) || math.IsInf(y[i], 0) {
+				continue
+			}
+			// Clamp magnitude so intermediate sums of squares cannot
+			// overflow float64.
+			xs = append(xs, math.Mod(x[i], 1e6))
+			ys = append(ys, math.Mod(y[i], 1e6))
+		}
+		r := Pearson(xs, ys)
+		return r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	tm := NewTimer()
+	tm.Add("mi", 2*time.Second)
+	tm.Add("mi", time.Second)
+	tm.Add("dpi", time.Second)
+	if tm.Get("mi") != 3*time.Second {
+		t.Fatalf("mi = %v", tm.Get("mi"))
+	}
+	if tm.Total() != 4*time.Second {
+		t.Fatalf("total = %v", tm.Total())
+	}
+	ph := tm.Phases()
+	if len(ph) != 2 || ph[0] != "mi" || ph[1] != "dpi" {
+		t.Fatalf("phases = %v", ph)
+	}
+	other := NewTimer()
+	other.Add("dpi", time.Second)
+	other.Add("io", time.Second)
+	tm.Merge(other)
+	if tm.Get("dpi") != 2*time.Second || tm.Get("io") != time.Second {
+		t.Fatalf("merge result: %v", tm)
+	}
+	if s := tm.String(); s == "" {
+		t.Fatal("String should be non-empty")
+	}
+}
+
+func TestTimerTime(t *testing.T) {
+	tm := NewTimer()
+	tm.Time("sleep", func() { time.Sleep(5 * time.Millisecond) })
+	if tm.Get("sleep") < 4*time.Millisecond {
+		t.Fatalf("timed duration too small: %v", tm.Get("sleep"))
+	}
+}

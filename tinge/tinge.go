@@ -1,0 +1,266 @@
+// Package tinge is the public API of this reproduction of
+// "Parallel Mutual Information Based Construction of Whole-Genome
+// Networks on the Intel Xeon Phi Coprocessor" (Misra, Pamnany, Aluru —
+// IPDPS 2014).
+//
+// It infers gene regulatory networks from expression matrices using
+// B-spline mutual-information estimation with permutation testing
+// (the TINGe method), executed on one of four engines:
+//
+//   - Host: a goroutine pool over cache-sized pair tiles (the paper's
+//     Xeon path);
+//   - Phi: the same exact computation plus a simulated-time account on
+//     a Xeon Phi coprocessor model, including PCIe offload (the paper's
+//     coprocessor path — results exact, time modeled);
+//   - Cluster: an MPI-style multi-rank execution (the original TINGe
+//     cluster baseline);
+//   - Hybrid: concurrent host + coprocessor execution with a
+//     throughput-proportional work split.
+//
+// Quickstart:
+//
+//	data := tinge.MustGenerate(tinge.GenConfig{Genes: 500, Experiments: 300, Seed: 1})
+//	res, err := tinge.InferDataset(data, tinge.Config{DPI: true})
+//	...
+//	score := res.Network.ScoreAgainst(data.TrueEdgeSet())
+package tinge
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/grn"
+	"repro/internal/mat"
+	"repro/internal/mi"
+	"repro/internal/phi"
+	"repro/internal/soft"
+	"repro/internal/tile"
+	"repro/internal/trace"
+)
+
+// Core pipeline types.
+type (
+	// Config parameterizes an inference run; see core.Config for field
+	// documentation. The zero value gives the paper's defaults.
+	Config = core.Config
+	// Result is an inference outcome: network, threshold, timings, and
+	// engine-specific accounts.
+	Result = core.Result
+	// EngineKind selects Host, Phi, or Cluster execution.
+	EngineKind = core.EngineKind
+	// KernelKind selects the MI kernel formulation.
+	KernelKind = core.KernelKind
+)
+
+// Network types.
+type (
+	// Network is an MI-weighted undirected gene network.
+	Network = grn.Network
+	// Edge is one undirected weighted edge.
+	Edge = grn.Edge
+	// Score holds precision/recall/F1 against a ground truth.
+	Score = grn.Score
+)
+
+// Data types.
+type (
+	// Dataset is an expression matrix with gene names and (for
+	// synthetic data) ground truth.
+	Dataset = expr.Dataset
+	// GenConfig parameterizes synthetic dataset generation.
+	GenConfig = expr.GenConfig
+	// Topology selects the synthetic regulatory graph family.
+	Topology = expr.Topology
+	// Matrix is a dense row-major float32 matrix (genes × experiments).
+	Matrix = mat.Dense
+)
+
+// Hardware-model types.
+type (
+	// Device is a simulated chip description for the Phi engine.
+	Device = phi.Device
+	// Offload is the simulated PCIe link model.
+	Offload = phi.Offload
+	// Policy selects the tile scheduling strategy.
+	Policy = tile.Policy
+	// Work is one schedulable unit's cycle cost on a simulated device.
+	Work = phi.Work
+	// KernelParams describes an MI tile for device cost modeling.
+	KernelParams = phi.KernelParams
+	// Tile is a rectangular block of gene pairs.
+	Tile = tile.Tile
+)
+
+// Engine selectors.
+const (
+	// Host runs on a goroutine pool.
+	Host = core.Host
+	// Phi runs with the simulated-coprocessor time model.
+	Phi = core.Phi
+	// Cluster runs over the in-process MPI runtime.
+	Cluster = core.Cluster
+	// Hybrid models concurrent host + coprocessor execution.
+	Hybrid = core.Hybrid
+)
+
+// Kernel formulations.
+const (
+	// KernelBucketed (default) is the vectorization-friendly
+	// sample-bucketing formulation.
+	KernelBucketed = core.KernelBucketed
+	// KernelVec is the dense per-bin-pair dot-product formulation
+	// (wins on wide-SIMD hardware).
+	KernelVec = core.KernelVec
+	// KernelScalar is the naive scatter-histogram baseline.
+	KernelScalar = core.KernelScalar
+)
+
+// Scheduling policies.
+const (
+	// StaticBlock assigns contiguous tile chunks per worker.
+	StaticBlock = tile.StaticBlock
+	// StaticCyclic deals tiles round-robin.
+	StaticCyclic = tile.StaticCyclic
+	// Dynamic uses a shared work queue (the paper's choice).
+	Dynamic = tile.Dynamic
+	// Stealing uses per-worker deques with work stealing.
+	Stealing = tile.Stealing
+)
+
+// Synthetic topologies.
+const (
+	// ScaleFree grows the regulator graph by preferential attachment.
+	ScaleFree = expr.ScaleFree
+	// ErdosRenyi assigns regulators uniformly at random.
+	ErdosRenyi = expr.ErdosRenyi
+)
+
+// XeonPhi5110P returns the paper's coprocessor model.
+func XeonPhi5110P() Device { return phi.XeonPhi5110P() }
+
+// PCIeGen2x16 returns the 5110P's simulated offload link.
+func PCIeGen2x16() Offload { return phi.PCIeGen2x16() }
+
+// PipelineTime returns total seconds for a transfer/compute pipeline,
+// optionally double-buffered. See phi.PipelineTime.
+func PipelineTime(transfers, computes []float64, doubleBuffered bool) float64 {
+	return phi.PipelineTime(transfers, computes, doubleBuffered)
+}
+
+// DecomposePairs tiles the n-gene upper-triangular pair matrix into
+// size×size blocks.
+func DecomposePairs(n, size int) []Tile { return tile.Decompose(n, size) }
+
+// TotalPairs returns n(n-1)/2.
+func TotalPairs(n int) int { return tile.TotalPairs(n) }
+
+// XeonE5 returns the paper's dual-socket host model.
+func XeonE5() Device { return phi.XeonE5() }
+
+// Profile is an instrumented run exposing per-tile costs for simulated
+// scaling studies. See core.Profile.
+type Profile = core.Profile
+
+// TraceRecorder records per-worker execution spans; set it as
+// Config.Trace and export with WriteChromeTrace.
+type TraceRecorder = trace.Recorder
+
+// NewTraceRecorder starts a trace recorder whose epoch is now.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// Infer runs the pipeline on an expression matrix (rows = genes,
+// columns = experiments). The matrix is not modified.
+func Infer(m *Matrix, cfg Config) (*Result, error) { return core.Infer(m, cfg) }
+
+// InferContext is Infer with cancellation; workers stop at the next
+// tile boundary once ctx is done.
+func InferContext(ctx context.Context, m *Matrix, cfg Config) (*Result, error) {
+	return core.InferContext(ctx, m, cfg)
+}
+
+// ProfileTiles runs an instrumented Host-engine pass and returns the
+// per-tile cost profile for replaying onto arbitrary worker counts and
+// scheduling policies — how this reproduction simulates thread-scaling
+// figures beyond the machine's physical core count.
+func ProfileTiles(m *Matrix, cfg Config) (*Profile, error) { return core.ProfileTiles(m, cfg) }
+
+// InferDataset runs the pipeline on a dataset's expression matrix.
+func InferDataset(d *Dataset, cfg Config) (*Result, error) {
+	return core.Infer(d.Expr, cfg)
+}
+
+// Generate builds a synthetic dataset with known ground truth.
+func Generate(cfg GenConfig) (*Dataset, error) { return expr.Generate(cfg) }
+
+// MustGenerate is Generate but panics on error.
+func MustGenerate(cfg GenConfig) *Dataset { return expr.MustGenerate(cfg) }
+
+// MatrixFromRows builds an expression matrix from per-gene rows,
+// copying the data. Rows must have equal lengths.
+func MatrixFromRows(rows [][]float32) *Matrix { return mat.FromRows(rows) }
+
+// ReadExpressionTSV parses a header+rows expression TSV (as written by
+// Dataset.WriteTSV or cmd/genexpr).
+func ReadExpressionTSV(r io.Reader) (*Dataset, error) { return expr.ReadTSV(r) }
+
+// ReadSOFT parses an NCBI GEO SOFT family file (series with per-sample
+// tables, or a dataset with a combined table) and assembles the
+// expression matrix. Missing values come back as NaN; call
+// Dataset.ImputeRowMean before inference.
+func ReadSOFT(r io.Reader) (*Dataset, error) {
+	f, err := soft.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return f.Assemble()
+}
+
+// WriteSOFTSeries emits a dataset as a minimal SOFT series file.
+func WriteSOFTSeries(w io.Writer, d *Dataset, title string) error {
+	return soft.WriteSeries(w, d, title)
+}
+
+// ReadNetworkTSV parses a numeric "i<TAB>j<TAB>weight" edge list over n
+// genes.
+func ReadNetworkTSV(r io.Reader, n int) (*Network, error) { return grn.ReadTSV(r, n) }
+
+// GaussianMI returns the analytic MI in bits between the components of
+// a bivariate Gaussian with correlation rho — useful for validating
+// estimator output.
+func GaussianMI(rho float64) float64 { return mi.GaussianMI(rho) }
+
+// BinningMI estimates MI (bits) by plain equal-width binning of values
+// in [0,1] — the baseline estimator.
+func BinningMI(x, y []float32, bins int) float64 { return mi.BinningMI(x, y, bins) }
+
+// KSGMI estimates MI (bits) with the Kraskov k-nearest-neighbor
+// estimator (brute force; for validation, not the pipeline hot path).
+func KSGMI(x, y []float32, k int) float64 { return mi.KSG(x, y, k) }
+
+// AdaptiveMI estimates MI (bits) with Darbellay–Vajda adaptive
+// partitioning.
+func AdaptiveMI(x, y []float32, minCell int) float64 { return mi.AdaptiveMI(x, y, minCell) }
+
+// ConditionalMI estimates I(X;Y|Z) in bits by binning — the sharper
+// successor to DPI for separating direct from indirect edges.
+func ConditionalMI(x, y, z []float32, bins int) float64 { return mi.ConditionalMI(x, y, z, bins) }
+
+// LaggedMI estimates I(X_t; Y_{t+lag}) from a time-series trajectory
+// (see GenConfig.TimeSeries).
+func LaggedMI(x, y []float32, lag, bins int) float64 { return mi.LaggedMI(x, y, lag, bins) }
+
+// DirectionScore is LaggedMI(x→y) − LaggedMI(y→x): positive values are
+// evidence that x regulates y.
+func DirectionScore(x, y []float32, lag, bins int) float64 {
+	return mi.DirectionScore(x, y, lag, bins)
+}
+
+// NewNetwork creates an empty network over n genes (exposed for tools
+// that assemble networks from external edge lists).
+func NewNetwork(n int) *Network { return grn.New(n) }
+
+// CommunitySizes returns the member counts of a Communities labeling,
+// sorted descending.
+func CommunitySizes(labels []int) []int { return grn.CommunitySizes(labels) }

@@ -1,0 +1,174 @@
+package tinge_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/tinge"
+)
+
+func TestSOFTWrappers(t *testing.T) {
+	d := tinge.MustGenerate(tinge.GenConfig{Genes: 5, Experiments: 6, Seed: 8})
+	var buf bytes.Buffer
+	if err := tinge.WriteSOFTSeries(&buf, d, "GSE-W"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := tinge.ReadSOFT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 5 || back.M() != 6 {
+		t.Fatalf("round trip %dx%d", back.N(), back.M())
+	}
+	if _, err := tinge.ReadSOFT(bytes.NewReader([]byte("^BOGUS\n"))); err == nil {
+		t.Fatal("bad SOFT should error")
+	}
+}
+
+func TestInferContextWrapper(t *testing.T) {
+	d := tinge.MustGenerate(tinge.GenConfig{Genes: 10, Experiments: 20, Seed: 9})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tinge.InferContext(ctx, d.Expr, tinge.Config{Permutations: 5}); err == nil {
+		t.Fatal("cancelled context should error")
+	}
+	res, err := tinge.InferContext(context.Background(), d.Expr, tinge.Config{
+		Permutations: 5, Workers: 1,
+	})
+	if err != nil || res.Network == nil {
+		t.Fatalf("normal context: %v", err)
+	}
+}
+
+func TestProfileTilesWrapper(t *testing.T) {
+	d := tinge.MustGenerate(tinge.GenConfig{Genes: 15, Experiments: 30, Seed: 10})
+	prof, err := tinge.ProfileTiles(d.Expr, tinge.Config{Permutations: 5, Workers: 1, TileSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.SimMakespan(4, tinge.Dynamic) <= 0 {
+		t.Fatal("simulated makespan should be positive")
+	}
+	if len(prof.TileSeconds()) != len(prof.Tiles) {
+		t.Fatal("TileSeconds length mismatch")
+	}
+}
+
+func TestGeometryWrappers(t *testing.T) {
+	if tinge.TotalPairs(10) != 45 {
+		t.Fatalf("TotalPairs = %d", tinge.TotalPairs(10))
+	}
+	tiles := tinge.DecomposePairs(10, 4)
+	total := 0
+	for _, tl := range tiles {
+		total += tl.Pairs()
+	}
+	if total != 45 {
+		t.Fatalf("tile pairs = %d", total)
+	}
+}
+
+func TestPipelineTimeWrapper(t *testing.T) {
+	serial := tinge.PipelineTime([]float64{1, 1}, []float64{2, 2}, false)
+	piped := tinge.PipelineTime([]float64{1, 1}, []float64{2, 2}, true)
+	if serial != 6 || piped != 5 {
+		t.Fatalf("pipeline = %v/%v, want 6/5", serial, piped)
+	}
+}
+
+func TestOffloadWrapper(t *testing.T) {
+	link := tinge.PCIeGen2x16()
+	if link.BandwidthGBps != 6 {
+		t.Fatalf("bandwidth = %v", link.BandwidthGBps)
+	}
+	if link.TransferTime(6e9) < 1 {
+		t.Fatal("1 GB·s/GB transfer should take >= 1 s")
+	}
+}
+
+func TestTraceWrapper(t *testing.T) {
+	rec := tinge.NewTraceRecorder()
+	done := rec.Span(0, "x")
+	done()
+	if rec.Len() != 1 {
+		t.Fatalf("trace len = %d", rec.Len())
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty chrome trace")
+	}
+}
+
+func TestCommunityWrapper(t *testing.T) {
+	net := tinge.NewNetwork(4)
+	net.AddEdge(0, 1, 1)
+	net.AddEdge(2, 3, 1)
+	labels := net.Communities(10, 1)
+	sizes := tinge.CommunitySizes(labels)
+	if len(sizes) != 2 || sizes[0] != 2 {
+		t.Fatalf("community sizes = %v", sizes)
+	}
+}
+
+func TestGenerateErrorWrapper(t *testing.T) {
+	if _, err := tinge.Generate(tinge.GenConfig{Genes: -1, Experiments: 1}); err == nil {
+		t.Fatal("bad config should error")
+	}
+}
+
+func TestMatrixInferDirect(t *testing.T) {
+	rows := [][]float32{{1, 2, 3, 4, 5}, {2, 4, 6, 8, 10}, {5, 3, 1, 2, 4}}
+	m := tinge.MatrixFromRows(rows)
+	res, err := tinge.Infer(m, tinge.Config{Permutations: 5, Workers: 1, Order: 2, Bins: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Network.N() != 3 {
+		t.Fatalf("N = %d", res.Network.N())
+	}
+}
+
+func TestEstimatorWrappers(t *testing.T) {
+	// Perfectly dependent uniform values: every estimator must see
+	// strong dependence; on independent data they must not.
+	x := make([]float32, 600)
+	for i := range x {
+		x[i] = float32((i*7919)%600) / 600
+	}
+	y := make([]float32, 600)
+	copy(y, x)
+	if tinge.BinningMI(x, y, 8) < 1 {
+		t.Fatal("BinningMI on identical data too low")
+	}
+	if tinge.KSGMI(x, y, 4) < 1 {
+		t.Fatal("KSGMI on identical data too low")
+	}
+	if tinge.AdaptiveMI(x, y, 8) < 1 {
+		t.Fatal("AdaptiveMI on identical data too low")
+	}
+	if tinge.ConditionalMI(x, y, x, 6) > 0.2 {
+		t.Fatal("conditioning on x should screen off x-y dependence")
+	}
+	if tinge.LaggedMI(x, y, 0, 8) != tinge.BinningMI(x, y, 8) {
+		t.Fatal("lag-0 LaggedMI must equal BinningMI")
+	}
+	if s := tinge.DirectionScore(x, y, 1, 8); s > 1 || s < -1 {
+		t.Fatalf("direction score of symmetric pair = %v", s)
+	}
+}
+
+func TestTimeSeriesGeneration(t *testing.T) {
+	d := tinge.MustGenerate(tinge.GenConfig{
+		Genes: 10, Experiments: 200, TimeSeries: true, Seed: 12,
+	})
+	if d.N() != 10 || d.M() != 200 {
+		t.Fatalf("shape %dx%d", d.N(), d.M())
+	}
+	if !d.Expr.IsFinite() {
+		t.Fatal("trajectory not finite")
+	}
+}
