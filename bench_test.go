@@ -225,6 +225,59 @@ func BenchmarkT3_EstimatorAccuracyKernel(b *testing.B) {
 	}
 }
 
+// BenchmarkPermSweep contrasts the seed per-permutation decide loop
+// (a fresh counting sort and permutation gather per evaluation) with
+// the amortized sweep engine (i-side keys loaded once per pair; cached
+// variant additionally streams precomputed permuted offset+weight
+// rows). The observed MI is set above every permuted value so all q
+// permutations run — the worst case, and the regime where surviving
+// edges spend their time. The end-to-end counterpart (and the
+// BENCH_permsweep.json artifact) comes from
+// `go run ./cmd/benchsuite -exp PS`.
+func BenchmarkPermSweep(b *testing.B) {
+	const m, q = 337, 30
+	d := benchDataset(b, 16, m)
+	norm := d.Expr.Clone()
+	norm.RankNormalize()
+	est := mi.NewEstimator(bspline.Precompute(bspline.MustNew(3, 10), norm))
+	ws := mi.NewWorkspace(est)
+	pool := perm.MustNewPool(1, m, q)
+	perms := pool.Perms()
+	const obs = 1e9 // never exceeded: full q-permutation sweeps
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			j := 1 + i%15
+			for p := 0; p < q; p++ {
+				if est.PairPermutedBucketed(0, j, pool.Perm(p), ws) >= obs {
+					b.Fatal("unexpected early exit")
+				}
+			}
+		}
+	})
+	b.Run("sweep", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			j := 1 + i%15
+			if _, survived := est.SweepBucketed(0, j, obs, perms, nil, nil, ws); !survived {
+				b.Fatal("unexpected early exit")
+			}
+		}
+	})
+	b.Run("sweep-cached", func(b *testing.B) {
+		cache := mi.NewPermCache(est, perms, 16)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j := 1 + i%15
+			poffs, pw := cache.Gene(j)
+			if _, survived := est.SweepBucketed(0, j, obs, perms, poffs, pw, ws); !survived {
+				b.Fatal("unexpected early exit")
+			}
+		}
+	})
+}
+
 // BenchmarkPermutationReuse is the ablation DESIGN.md calls out:
 // permuting precomputed weights vs recomputing weights on permuted raw
 // data.

@@ -15,6 +15,8 @@
 //	F8  Xeon vs Xeon Phi (simulated single-chip comparison)
 //	T3  accuracy: estimator vs analytic MI; network recovery vs
 //	    baselines
+//	PS  amortized permutation sweep vs the seed per-permutation loop
+//	    (writes BENCH_permsweep.json)
 //
 // Usage:
 //
@@ -26,6 +28,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -63,7 +66,7 @@ func main() {
 	flag.Parse()
 
 	s := &suite{seed: *seed, quick: *quick}
-	all := []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "T3", "A1", "A2"}
+	all := []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "T3", "A1", "A2", "PS"}
 	var ids []string
 	if *expFlag == "all" {
 		ids = all
@@ -75,7 +78,7 @@ func main() {
 	runners := map[string]func(){
 		"T1": s.t1, "T2": s.t2, "F1": s.f1, "F2": s.f2, "F3": s.f3,
 		"F4": s.f4, "F5": s.f5, "F6": s.f6, "F7": s.f7, "F8": s.f8,
-		"T3": s.t3, "A1": s.a1, "A2": s.a2, "F9": s.f9,
+		"T3": s.t3, "A1": s.a1, "A2": s.a2, "F9": s.f9, "PS": s.ps,
 	}
 	for _, id := range ids {
 		run, ok := runners[id]
@@ -618,6 +621,87 @@ func (s *suite) f9() {
 			n, plan.Panels, weights, float64(plan.TotalTransferBytes)/1e9,
 			computeSec/60, 100*xferSec/(xferSec+computeSec))
 	}
+}
+
+// psRow is one measured configuration of the PS experiment, serialized
+// into BENCH_permsweep.json.
+type psRow struct {
+	Genes           int     `json:"genes"`
+	Samples         int     `json:"samples"`
+	Permutations    int     `json:"permutations"`
+	LegacyMISeconds float64 `json:"legacy_mi_seconds"`
+	SweepMISeconds  float64 `json:"sweep_mi_seconds"`
+	Speedup         float64 `json:"speedup"`
+	Edges           int     `json:"edges"`
+	PermCacheHits   int64   `json:"perm_cache_hits"`
+	PermCacheMisses int64   `json:"perm_cache_misses"`
+	PermSkipped     int64   `json:"permutations_skipped"`
+}
+
+// PS: the amortized permutation-sweep engine against the seed
+// per-permutation decide loop, on the T2 host configuration. Both runs
+// must emit identical networks (the sweep is bit-identical); only the
+// mi-phase time moves. Measurements are written to BENCH_permsweep.json
+// alongside the printed table.
+func (s *suite) ps() {
+	header("PS", "amortized permutation sweep vs per-permutation loop (host engine)")
+	sizes := []int{250, 500, 1000}
+	m, perms := 337, 30
+	if s.quick {
+		sizes = []int{100, 200}
+		m, perms = 128, 10
+	}
+	fmt.Printf("%7s %12s %11s %9s %7s %10s %10s %10s\n",
+		"genes", "legacyMi(s)", "sweepMi(s)", "speedup", "edges", "cacheHits", "cacheMiss", "permSkip")
+	var rows []psRow
+	for _, n := range sizes {
+		d := s.dataset(n, m)
+		cfg := tinge.Config{Seed: s.seed, Permutations: perms, DPI: true}
+		legacyCfg := cfg
+		legacyCfg.LegacyPermutation = true
+		lres, err := tinge.InferDataset(d, legacyCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sres, err := tinge.InferDataset(d, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if lres.Network.Len() != sres.Network.Len() ||
+			lres.Threshold != sres.Threshold ||
+			lres.PairsEvaluated != sres.PairsEvaluated {
+			log.Fatalf("PS n=%d: sweep diverged from legacy (edges %d/%d, thresh %v/%v, evals %d/%d)",
+				n, sres.Network.Len(), lres.Network.Len(),
+				sres.Threshold, lres.Threshold,
+				sres.PairsEvaluated, lres.PairsEvaluated)
+		}
+		lmi := lres.Timer.Get("mi").Seconds()
+		smi := sres.Timer.Get("mi").Seconds()
+		r := psRow{
+			Genes: n, Samples: m, Permutations: perms,
+			LegacyMISeconds: lmi, SweepMISeconds: smi, Speedup: lmi / smi,
+			Edges:         sres.Network.Len(),
+			PermCacheHits: sres.PermCacheHits, PermCacheMisses: sres.PermCacheMisses,
+			PermSkipped: sres.PermutationsSkipped,
+		}
+		rows = append(rows, r)
+		fmt.Printf("%7d %12.3f %11.3f %8.2fx %7d %10d %10d %10d\n",
+			n, lmi, smi, r.Speedup, r.Edges, r.PermCacheHits, r.PermCacheMisses, r.PermSkipped)
+	}
+	out := struct {
+		Experiment string  `json:"experiment"`
+		Engine     string  `json:"engine"`
+		Seed       uint64  `json:"seed"`
+		Rows       []psRow `json:"rows"`
+	}{Experiment: "PS", Engine: "host", Seed: s.seed, Rows: rows}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_permsweep.json", append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote BENCH_permsweep.json")
 }
 
 // A1 (ablation): tile size vs simulated Phi makespan. Small tiles give

@@ -17,6 +17,7 @@ package bspline
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/mat"
 )
@@ -197,6 +198,14 @@ type WeightMatrix struct {
 // matrix (values must already be normalized into [0,1]) and returns the
 // packed weights. This is the O(n·m·k) precompute phase.
 func Precompute(basis *Basis, expr *mat.Dense) *WeightMatrix {
+	return PrecomputeParallel(basis, expr, 1)
+}
+
+// PrecomputeParallel is Precompute sharded over workers goroutines.
+// Gene g only writes Offsets[g·m..], Sparse[g·m·k..], and Dense rows
+// g·bins..(g+1)·bins, so the gene ranges are disjoint and the packed
+// weights are identical to the serial result for any worker count.
+func PrecomputeParallel(basis *Basis, expr *mat.Dense, workers int) *WeightMatrix {
 	n, m := expr.Rows(), expr.Cols()
 	k, bins := basis.Order(), basis.Bins()
 	wm := &WeightMatrix{
@@ -207,18 +216,38 @@ func Precompute(basis *Basis, expr *mat.Dense) *WeightMatrix {
 		Sparse:  make([]float32, n*m*k),
 		Dense:   mat.NewDensePadded(n*bins, m, 16),
 	}
-	stencil := make([]float32, k)
-	for g := 0; g < n; g++ {
-		row := expr.Row(g)
-		for s := 0; s < m; s++ {
-			first := basis.Weights(float64(row[s]), stencil)
-			wm.Offsets[g*m+s] = int32(first)
-			copy(wm.Sparse[(g*m+s)*k:], stencil)
-			for u := 0; u < k; u++ {
-				wm.Dense.Row(g*bins + first + u)[s] = stencil[u]
+	if workers > n {
+		workers = n
+	}
+	precomputeRange := func(lo, hi int) {
+		stencil := make([]float32, k)
+		for g := lo; g < hi; g++ {
+			row := expr.Row(g)
+			for s := 0; s < m; s++ {
+				first := basis.Weights(float64(row[s]), stencil)
+				wm.Offsets[g*m+s] = int32(first)
+				copy(wm.Sparse[(g*m+s)*k:], stencil)
+				for u := 0; u < k; u++ {
+					wm.Dense.Row(g*bins + first + u)[s] = stencil[u]
+				}
 			}
 		}
 	}
+	if workers <= 1 {
+		precomputeRange(0, n)
+		return wm
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			precomputeRange(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 	return wm
 }
 

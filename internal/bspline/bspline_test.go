@@ -295,3 +295,31 @@ func BenchmarkPrecompute1000x337(b *testing.B) {
 		Precompute(basis, expr)
 	}
 }
+
+func TestPrecomputeParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	basis := MustNew(3, 10)
+	expr := buildExpr(rng, 37, 53)
+	want := Precompute(basis, expr)
+	for _, workers := range []int{2, 5, 16, 64} {
+		got := PrecomputeParallel(basis, expr, workers)
+		for x := range want.Offsets {
+			if got.Offsets[x] != want.Offsets[x] {
+				t.Fatalf("workers=%d Offsets[%d] differ", workers, x)
+			}
+		}
+		for x := range want.Sparse {
+			if got.Sparse[x] != want.Sparse[x] {
+				t.Fatalf("workers=%d Sparse[%d] differ", workers, x)
+			}
+		}
+		for r := 0; r < 37*10; r++ {
+			gr, wr := got.Dense.Row(r), want.Dense.Row(r)
+			for s := range wr {
+				if gr[s] != wr[s] {
+					t.Fatalf("workers=%d Dense row %d col %d differ", workers, r, s)
+				}
+			}
+		}
+	}
+}

@@ -25,13 +25,16 @@ func runCluster(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *
 	n := wm.Genes
 	tiles := tile.Decompose(n, cfg.TileSize)
 	type rankOut struct {
-		edges     []grn.Edge
-		threshold float64
-		nullSize  int
-		evals     int64
-		busy      float64
-		msgs      int64
-		bytes     int64
+		edges       []grn.Edge
+		threshold   float64
+		nullSize    int
+		evals       int64
+		skipped     int64
+		cacheHits   int64
+		cacheMisses int64
+		busy        float64
+		msgs        int64
+		bytes       int64
 	}
 	out := make([]rankOut, cfg.Ranks)
 
@@ -70,15 +73,17 @@ func runCluster(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *
 
 		// Phase 4: cyclic tile partition, sequential per rank.
 		busyStart := time.Now()
+		pc := k.newPermCache(cfg)
 		var edges []grn.Edge
-		var evals int64
+		var evals, skipped int64
 		for ti := c.Rank(); ti < len(tiles); ti += c.Size() {
 			if ctx.Err() != nil {
 				break
 			}
 			tiles[ti].ForEachPair(func(i, j int) {
-				obs, sig, ev := k.decide(i, j, ws)
+				obs, sig, ev, sk := k.decide(i, j, ws, pc)
 				evals += ev
+				skipped += sk
 				if sig {
 					edges = append(edges, grn.Edge{I: i, J: j, Weight: obs})
 				}
@@ -99,6 +104,11 @@ func runCluster(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *
 		o.threshold = threshold
 		o.nullSize = nullSize
 		o.evals = evals
+		o.skipped = skipped
+		if pc != nil {
+			o.cacheHits = pc.Hits()
+			o.cacheMisses = pc.Misses()
+		}
 		o.busy = busy
 		o.msgs = msgs
 		o.bytes = bytes
@@ -139,6 +149,9 @@ func runCluster(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *
 	busy := make([]float64, cfg.Ranks)
 	for r := range out {
 		res.PairsEvaluated += out[r].evals
+		res.PermutationsSkipped += out[r].skipped
+		res.PermCacheHits += out[r].cacheHits
+		res.PermCacheMisses += out[r].cacheMisses
 		busy[r] = out[r].busy
 	}
 	res.Imbalance = tile.Imbalance(busy)

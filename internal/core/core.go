@@ -145,6 +145,12 @@ type Config struct {
 	Seed uint64
 	// Kernel selects the MI kernel formulation (default Bucketed).
 	Kernel KernelKind
+	// LegacyPermutation disables the amortized permutation-sweep engine
+	// and runs the original per-permutation decide loop (a fresh kernel
+	// setup and permutation gather per evaluation). The two paths emit
+	// bit-identical networks for equal seeds; the flag exists for
+	// before/after benchmarking and equivalence testing.
+	LegacyPermutation bool
 	// Progress, when non-nil, is invoked after every completed pair
 	// tile with (tilesDone, tilesTotal). It is called concurrently from
 	// worker goroutines and must be safe for concurrent use; keep it
@@ -315,6 +321,16 @@ type Result struct {
 	HybridPhiShare float64
 	// Imbalance is max/mean per-worker busy time for phase 4.
 	Imbalance float64
+	// PermCacheHits and PermCacheMisses count lookups of the worker
+	// permuted-row caches during phase 4 (0 on the legacy path and for
+	// the vectorized kernel, which does not use the cache). A miss
+	// materializes a gene's q permuted offset+weight rows; a hit reuses
+	// them — the tile-level amortization at work.
+	PermCacheHits, PermCacheMisses int64
+	// PermutationsSkipped counts permutation evaluations avoided by the
+	// early exit during phase 4 (summed over pairs that entered the
+	// permutation test).
+	PermutationsSkipped int64
 }
 
 // Infer runs the pipeline on the expression matrix (rows = genes,
@@ -358,7 +374,7 @@ func InferContext(ctx context.Context, exprMat *mat.Dense, cfg Config) (*Result,
 	}
 	var wm *bspline.WeightMatrix
 	timer.Time("precompute", func() {
-		wm = bspline.Precompute(basis, norm)
+		wm = bspline.PrecomputeParallel(basis, norm, cfg.Workers)
 	})
 
 	res := &Result{Timer: timer}

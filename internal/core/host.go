@@ -165,6 +165,8 @@ func hostScan(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Re
 	busy := make([]float64, cfg.Workers)
 	edgesPerWorker := make([][]grn.Edge, cfg.Workers)
 	var totalEvals int64
+	var totalSkipped int64
+	var cacheHits, cacheMisses int64
 	var tilesDone int64
 	res.Timer.Time("mi", func() {
 		sched := tile.NewScheduler(cfg.Policy, len(pending), cfg.Workers)
@@ -174,9 +176,10 @@ func hostScan(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Re
 			go func(w int) {
 				defer wg.Done()
 				ws := mi.NewWorkspace(k.est)
+				pc := k.newPermCache(cfg)
 				start := time.Now()
 				var local []grn.Edge
-				var evals int64
+				var evals, skipped int64
 				for {
 					pi := sched.Next(w)
 					if pi == -1 || ctx.Err() != nil {
@@ -190,8 +193,9 @@ func hostScan(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Re
 					var tileEvals int64
 					var tileEdges []grn.Edge
 					tiles[ti].ForEachPair(func(i, j int) {
-						obs, sig, ev := k.decide(i, j, ws)
+						obs, sig, ev, sk := k.decide(i, j, ws, pc)
 						tileEvals += ev
+						skipped += sk
 						if sig {
 							tileEdges = append(tileEdges, grn.Edge{I: i, J: j, Weight: obs})
 						}
@@ -206,6 +210,15 @@ func hostScan(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Re
 					if endSpan != nil {
 						endSpan()
 					}
+					if cfg.Trace != nil {
+						// Per-worker amortization counter tracks: cumulative
+						// permutations skipped by early exit and permuted-row
+						// cache hits, sampled at every tile boundary.
+						cfg.Trace.Counter(w, "perm_skipped", float64(skipped))
+						if pc != nil {
+							cfg.Trace.Counter(w, "permcache_hits", float64(pc.Hits()))
+						}
+					}
 					if cfg.Progress != nil {
 						cfg.Progress(int(atomic.AddInt64(&tilesDone, 1)), len(pending))
 					}
@@ -213,6 +226,11 @@ func hostScan(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Re
 				busy[w] = time.Since(start).Seconds()
 				edgesPerWorker[w] = local
 				atomic.AddInt64(&totalEvals, evals)
+				atomic.AddInt64(&totalSkipped, skipped)
+				if pc != nil {
+					atomic.AddInt64(&cacheHits, pc.Hits())
+					atomic.AddInt64(&cacheMisses, pc.Misses())
+				}
 			}(w)
 		}
 		wg.Wait()
@@ -227,6 +245,9 @@ func hostScan(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Re
 		return nil, nil, err
 	}
 	res.PairsEvaluated = totalEvals
+	res.PermutationsSkipped = totalSkipped
+	res.PermCacheHits = cacheHits
+	res.PermCacheMisses = cacheMisses
 	res.Imbalance = tile.Imbalance(busy)
 
 	net := grn.New(n)

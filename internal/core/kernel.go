@@ -4,24 +4,40 @@ import (
 	"repro/internal/bspline"
 	"repro/internal/mi"
 	"repro/internal/perm"
+	"repro/internal/tile"
 )
 
 // pairKernel bundles the estimator, permutation pool, and kernel choice
 // shared by all engines. It is immutable and safe for concurrent use
-// with per-goroutine workspaces.
+// with per-goroutine workspaces (and per-goroutine permutation caches).
 type pairKernel struct {
 	est    *mi.Estimator
 	pool   *perm.Pool
 	kind   KernelKind
+	legacy bool    // per-permutation seed path instead of the batched sweep
 	thresh float64 // I_alpha; 0 during the threshold-estimation phase
 }
 
 func newPairKernel(wm *bspline.WeightMatrix, cfg Config) *pairKernel {
 	return &pairKernel{
-		est:  mi.NewEstimator(wm),
-		pool: perm.MustNewPool(cfg.Seed, wm.Samples, cfg.Permutations),
-		kind: cfg.Kernel,
+		est:    mi.NewEstimatorParallel(wm, cfg.Workers),
+		pool:   perm.MustNewPool(cfg.Seed, wm.Samples, cfg.Permutations),
+		kind:   cfg.Kernel,
+		legacy: cfg.LegacyPermutation,
 	}
+}
+
+// newPermCache builds the worker-local permuted-row cache for the sweep
+// path. It returns nil when the cache cannot pay off: on the legacy
+// path, with no permutations, or for the vectorized kernel (whose sweep
+// amortizes the dense-row resolution instead of offset rows). Capacity
+// is one tile's worth of column genes — a tile touches at most TileSize
+// distinct j genes, so entries live exactly as long as they are useful.
+func (k *pairKernel) newPermCache(cfg Config) *mi.PermCache {
+	if k.legacy || k.pool.Q() == 0 || k.kind == KernelVec {
+		return nil
+	}
+	return mi.NewPermCache(k.est, k.pool.Perms(), cfg.TileSize)
 }
 
 // miPair computes the unpermuted MI of pair (i, j).
@@ -32,7 +48,10 @@ func (k *pairKernel) miPair(i, j int, ws *mi.Workspace) float64 {
 	case KernelVec:
 		return k.est.PairVec(i, j, ws)
 	default:
-		return k.est.PairBucketed(i, j, ws)
+		if k.legacy {
+			return k.est.PairBucketed(i, j, ws)
+		}
+		return k.est.PairBlocked(i, j, ws)
 	}
 }
 
@@ -51,30 +70,70 @@ func (k *pairKernel) miPermuted(i, j, p int, ws *mi.Workspace) float64 {
 // decide evaluates pair (i, j) fully: the observed MI, the global
 // threshold cut, and — for survivors — the per-pair permutation check
 // with early exit (the observed value must strictly exceed every
-// permuted value, i.e. empirical p < 1/(q+1)). It returns the observed
-// MI, whether the edge is significant, and the number of MI kernel
-// evaluations spent (1 + permutations actually computed).
-func (k *pairKernel) decide(i, j int, ws *mi.Workspace) (obs float64, significant bool, evals int64) {
+// permuted value, i.e. empirical p < 1/(q+1)).
+//
+// It returns the observed MI, whether the edge is significant, the
+// number of MI kernel evaluations spent (1 + permutations actually
+// computed — identical between the sweep and legacy paths, since both
+// stop at the first permuted MI >= obs), and the number of permutations
+// the early exit skipped (q minus the permutations computed, 0 for
+// pairs cut by the threshold).
+//
+// pc, when non-nil, is this goroutine's permuted-row cache; the sweep
+// kernels stream gene j's cached rows instead of gathering through the
+// permutation per evaluation. Results are bit-identical with or without
+// the cache.
+func (k *pairKernel) decide(i, j int, ws *mi.Workspace, pc *mi.PermCache) (obs float64, significant bool, evals, skipped int64) {
 	obs = k.miPair(i, j, ws)
 	evals = 1
 	if obs < k.thresh {
-		return obs, false, evals
+		return obs, false, evals, 0
 	}
-	for p := 0; p < k.pool.Q(); p++ {
-		evals++
-		if k.miPermuted(i, j, p, ws) >= obs {
-			return obs, false, evals
+	q := k.pool.Q()
+	if q == 0 {
+		return obs, true, evals, 0
+	}
+	if k.legacy {
+		for p := 0; p < q; p++ {
+			evals++
+			if k.miPermuted(i, j, p, ws) >= obs {
+				return obs, false, evals, int64(q - p - 1)
+			}
 		}
+		return obs, true, evals, 0
 	}
-	return obs, true, evals
+	perms := k.pool.Perms()
+	var poffs []int32
+	var pw []float32
+	if pc != nil {
+		poffs, pw = pc.Gene(j)
+	}
+	var done int
+	switch k.kind {
+	case KernelScalar:
+		done, significant = k.est.SweepScalar(i, j, obs, perms, poffs, pw, ws)
+	case KernelVec:
+		done, significant = k.est.SweepVec(i, j, obs, perms, ws)
+	default:
+		done, significant = k.est.SweepBucketed(i, j, obs, perms, poffs, pw, ws)
+	}
+	return obs, significant, evals + int64(done), int64(q - done)
 }
 
-// sampleNullPairs deterministically selects count pairs (i<j) from an
-// n-gene universe for pooled-null estimation, seeded independently of
-// the permutation pool.
+// sampleNullPairs deterministically selects count distinct pairs (i<j)
+// from an n-gene universe for pooled-null estimation, seeded
+// independently of the permutation pool. count is clamped to the number
+// of distinct pairs; rejection of repeats keeps the draw deterministic
+// for a given seed (the RNG stream is fixed, only which draws are kept
+// changes), and guarantees no pair's permuted MIs are double-counted in
+// the pooled null.
 func sampleNullPairs(seed uint64, n, count int) [][2]int {
+	if max := tile.TotalPairs(n); count > max {
+		count = max
+	}
 	rng := perm.NewRNG(seed).Split(0xD1CE)
 	pairs := make([][2]int, 0, count)
+	seen := make(map[[2]int]struct{}, count)
 	for len(pairs) < count {
 		i := rng.Intn(n)
 		j := rng.Intn(n)
@@ -84,7 +143,12 @@ func sampleNullPairs(seed uint64, n, count int) [][2]int {
 		if i > j {
 			i, j = j, i
 		}
-		pairs = append(pairs, [2]int{i, j})
+		pr := [2]int{i, j}
+		if _, dup := seen[pr]; dup {
+			continue
+		}
+		seen[pr] = struct{}{}
+		pairs = append(pairs, pr)
 	}
 	return pairs
 }

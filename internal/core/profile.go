@@ -70,7 +70,7 @@ func ProfileTiles(exprMat *mat.Dense, cfg Config) (*Profile, error) {
 	if err != nil {
 		return nil, err
 	}
-	wm := bspline.Precompute(basis, norm)
+	wm := bspline.PrecomputeParallel(basis, norm, cfg.Workers)
 
 	res := &Result{Timer: stats.NewTimer()}
 	evals, tiles, err := hostScan(context.Background(), wm, cfg, res)

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bspline"
+	"repro/internal/mat"
+	"repro/internal/mi"
+	"repro/internal/tile"
+)
+
+// precomputeWeights replicates Infer's phase-1/2 front half for tests
+// that drive the pair kernel directly.
+func precomputeWeights(t *testing.T, cfg Config, norm *mat.Dense) *bspline.WeightMatrix {
+	t.Helper()
+	basis, err := bspline.New(cfg.Order, cfg.Bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bspline.PrecomputeParallel(basis, norm, cfg.Workers)
+}
+
+// identicalNetworks requires exact equality — same edge order, same I/J,
+// bitwise-equal weights. The sweep engine's claim is bit-identity with
+// the seed path, not mere closeness.
+func identicalNetworks(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if a.Threshold != b.Threshold {
+		t.Fatalf("%s: threshold %v != %v", label, a.Threshold, b.Threshold)
+	}
+	if a.PairsEvaluated != b.PairsEvaluated {
+		t.Fatalf("%s: PairsEvaluated %d != %d", label, a.PairsEvaluated, b.PairsEvaluated)
+	}
+	ae, be := a.Network.Edges(), b.Network.Edges()
+	if len(ae) != len(be) {
+		t.Fatalf("%s: %d edges != %d edges", label, len(ae), len(be))
+	}
+	for k := range ae {
+		if ae[k].I != be[k].I || ae[k].J != be[k].J || ae[k].Weight != be[k].Weight {
+			t.Fatalf("%s: edge %d differs: %+v vs %+v", label, k, ae[k], be[k])
+		}
+	}
+}
+
+// TestSweepGoldenEquivalence is the golden equivalence suite: for fixed
+// seeds the amortized sweep path must emit networks byte-identical to
+// the seed per-permutation path — same edges in the same order, bitwise
+// equal weights, equal threshold, and equal PairsEvaluated (both paths
+// count 1 observed evaluation plus the permutations actually computed
+// before early exit; skipped permutations are never counted) — across
+// seeds {1,2,3}, orders {1,3}, all four engines, and all three kernels.
+func TestSweepGoldenEquivalence(t *testing.T) {
+	engines := []EngineKind{Host, Phi, Cluster, Hybrid}
+	kernels := []KernelKind{KernelBucketed, KernelScalar, KernelVec}
+	for _, seed := range []uint64{1, 2, 3} {
+		d := testDataset(t, 20, 60, seed)
+		for _, order := range []int{1, 3} {
+			for _, eng := range engines {
+				for _, kern := range kernels {
+					cfg := Config{
+						Engine: eng, Kernel: kern, Order: order,
+						Seed: seed, Permutations: 8, Workers: 4, TileSize: 8, Ranks: 2,
+					}
+					legacyCfg := cfg
+					legacyCfg.LegacyPermutation = true
+					want, err := Infer(d.Expr, legacyCfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := Infer(d.Expr, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					label := eng.String() + "/" + kern.String()
+					identicalNetworks(t, label, got, want)
+					if want.PermCacheHits != 0 || want.PermCacheMisses != 0 {
+						t.Fatalf("%s: legacy path touched the perm cache (%d/%d)",
+							label, want.PermCacheHits, want.PermCacheMisses)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSweepAmortizationCounters checks the counters the sweep engine
+// exposes: cache hits dominate misses on a multi-row tile, and early
+// exits skip permutations on uncorrelated survivors.
+func TestSweepAmortizationCounters(t *testing.T) {
+	d := testDataset(t, 30, 100, 2)
+	// A generous alpha drops I_alpha low enough that marginal pairs enter
+	// the permutation test and fail it part-way — exercising the early
+	// exit alongside the cache reuse.
+	res, err := Infer(d.Expr, Config{Seed: 4, Permutations: 16, Workers: 4, TileSize: 8, Alpha: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PermCacheMisses == 0 {
+		t.Fatal("sweep run materialized no cache entries")
+	}
+	if res.PermCacheHits == 0 {
+		t.Fatal("no cache hits: tile-level reuse is not happening")
+	}
+	if res.PermutationsSkipped == 0 {
+		t.Fatal("no permutations skipped: early exit is not reported")
+	}
+	// The vec kernel does not use the permuted-row cache.
+	vres, err := Infer(d.Expr, Config{Seed: 4, Permutations: 16, Workers: 4, TileSize: 8, Kernel: KernelVec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vres.PermCacheHits != 0 || vres.PermCacheMisses != 0 {
+		t.Fatalf("vec kernel touched the perm cache (%d/%d)", vres.PermCacheHits, vres.PermCacheMisses)
+	}
+}
+
+// TestPermCacheConcurrentWorkers hammers the sweep path from
+// cfg.Workers goroutines sharing one immutable estimator and pool, each
+// with a private workspace and cache — the exact phase-4 sharing
+// pattern. Run with -race; it also cross-checks every goroutine's
+// decisions against a serial reference.
+func TestPermCacheConcurrentWorkers(t *testing.T) {
+	d := testDataset(t, 24, 80, 5)
+	cfg := Config{Seed: 9, Permutations: 12, Workers: 8, TileSize: 6}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	norm := d.Expr.Clone()
+	norm.RankNormalize()
+	wm := precomputeWeights(t, cfg, norm)
+	k := newPairKernel(wm, cfg)
+	k.thresh = 0.01
+
+	type verdict struct {
+		obs     float64
+		sig     bool
+		evals   int64
+		skipped int64
+	}
+	// Serial reference over all pairs.
+	ref := make(map[[2]int]verdict)
+	refWS := mi.NewWorkspace(k.est)
+	refPC := k.newPermCache(cfg)
+	tiles := tile.Decompose(24, cfg.TileSize)
+	for _, tl := range tiles {
+		tl.ForEachPair(func(i, j int) {
+			obs, sig, ev, sk := k.decide(i, j, refWS, refPC)
+			ref[[2]int{i, j}] = verdict{obs, sig, ev, sk}
+		})
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := mi.NewWorkspace(k.est)
+			pc := k.newPermCache(cfg)
+			// Each worker scans a cyclic share of the tiles, twice, so
+			// caches churn through evictions under load.
+			for round := 0; round < 2; round++ {
+				for ti := w; ti < len(tiles); ti += cfg.Workers {
+					tiles[ti].ForEachPair(func(i, j int) {
+						obs, sig, ev, sk := k.decide(i, j, ws, pc)
+						want := ref[[2]int{i, j}]
+						if obs != want.obs || sig != want.sig || ev != want.evals || sk != want.skipped {
+							select {
+							case errs <- "worker decision diverged from serial reference":
+							default:
+							}
+						}
+					})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+// TestSampleNullPairsDistinct is the regression test for the
+// duplicate-pair bias: every sampled pair must be distinct (a duplicate
+// double-counts its permuted MIs in the pooled null), canonical (i<j),
+// deterministic per seed, and the count must clamp to the pair
+// universe.
+func TestSampleNullPairsDistinct(t *testing.T) {
+	pairs := sampleNullPairs(42, 12, 60)
+	if len(pairs) != 60 {
+		t.Fatalf("got %d pairs, want 60", len(pairs))
+	}
+	seen := make(map[[2]int]bool)
+	for _, pr := range pairs {
+		if pr[0] >= pr[1] {
+			t.Fatalf("non-canonical pair %v", pr)
+		}
+		if seen[pr] {
+			t.Fatalf("duplicate pair %v", pr)
+		}
+		seen[pr] = true
+	}
+	// Determinism.
+	again := sampleNullPairs(42, 12, 60)
+	for x := range pairs {
+		if pairs[x] != again[x] {
+			t.Fatalf("pair %d differs across identical calls: %v vs %v", x, pairs[x], again[x])
+		}
+	}
+	// Different seed, different draw.
+	other := sampleNullPairs(43, 12, 60)
+	same := true
+	for x := range pairs {
+		if pairs[x] != other[x] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed does not influence the sample")
+	}
+	// Requesting more pairs than exist clamps to the full universe.
+	all := sampleNullPairs(7, 6, 1000)
+	if len(all) != tile.TotalPairs(6) {
+		t.Fatalf("clamp: got %d pairs, want %d", len(all), tile.TotalPairs(6))
+	}
+}

@@ -18,6 +18,7 @@ package mi
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/bspline"
 	"repro/internal/simd"
@@ -66,10 +67,38 @@ type Estimator struct {
 
 // NewEstimator precomputes marginal entropies for every gene.
 func NewEstimator(wm *bspline.WeightMatrix) *Estimator {
+	return NewEstimatorParallel(wm, 1)
+}
+
+// NewEstimatorParallel is NewEstimator with the marginal-entropy loop
+// sharded over workers goroutines. Each gene's entropy is an
+// independent computation into a private slot, so the result is
+// identical to the serial construction for any worker count.
+func NewEstimatorParallel(wm *bspline.WeightMatrix, workers int) *Estimator {
 	e := &Estimator{wm: wm, hMarginal: make([]float64, wm.Genes)}
-	for g := 0; g < wm.Genes; g++ {
-		e.hMarginal[g] = Entropy(wm.Marginal(g))
+	n := wm.Genes
+	if workers > n {
+		workers = n
 	}
+	if workers <= 1 {
+		for g := 0; g < n; g++ {
+			e.hMarginal[g] = Entropy(wm.Marginal(g))
+		}
+		return e
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for g := lo; g < hi; g++ {
+				e.hMarginal[g] = Entropy(wm.Marginal(g))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 	return e
 }
 
@@ -92,6 +121,18 @@ type Workspace struct {
 	counts []int32
 	starts []int32
 	order  []int32
+	// jointClean tracks the invariant "joint is all zeros". The bucketed
+	// and blocked kernels restore it before returning by clearing only
+	// the blocks they touched, so consecutive calls skip the full b²
+	// reset; kernels that leave residue mark the joint dirty instead.
+	jointClean bool
+	// Sweep-kernel scratch: keyI caches gene i's scaled bucket keys
+	// (offs·nOff) for the row gene keyIGene, and blockAcc holds one k×k
+	// float32 accumulator block per (offI, offJ) bucket. blockAcc is
+	// all-zero between calls (same style of invariant as jointClean).
+	keyI     []int32
+	keyIGene int
+	blockAcc []float32
 }
 
 // NewWorkspace allocates scratch sized for the estimator's basis and
@@ -108,12 +149,16 @@ func NewWorkspace(e *Estimator) *Workspace {
 	}
 	nOff := bins - k + 1
 	return &Workspace{
-		bins:     bins,
-		joint:    make([]float64, bins*bins),
-		permuted: rows,
-		counts:   make([]int32, nOff*nOff),
-		starts:   make([]int32, nOff*nOff+1),
-		order:    make([]int32, m),
+		bins:       bins,
+		joint:      make([]float64, bins*bins),
+		permuted:   rows,
+		counts:     make([]int32, nOff*nOff),
+		starts:     make([]int32, nOff*nOff+1),
+		order:      make([]int32, m),
+		jointClean: true,
+		keyI:       make([]int32, m),
+		keyIGene:   -1,
+		blockAcc:   make([]float32, nOff*nOff*k*k),
 	}
 }
 
@@ -149,6 +194,7 @@ func (e *Estimator) miFromJoint(i, j int, joint []float64, total float64) float6
 // the kernel the paper maps onto the Phi's 16-lane VPU: contiguous
 // streaming loads, no scatter.
 func (e *Estimator) PairVec(i, j int, ws *Workspace) float64 {
+	ws.jointClean = false
 	bins := ws.bins
 	rowsI := e.wm.GeneDenseRows(i)
 	rowsJ := e.wm.GeneDenseRows(j)
@@ -167,7 +213,10 @@ func (e *Estimator) PairVec(i, j int, ws *Workspace) float64 {
 // stencil into the joint histogram. This is the paper's unvectorized
 // baseline kernel (data-dependent scatter defeats SIMD).
 func (e *Estimator) PairScalar(i, j int, ws *Workspace) float64 {
-	ws.resetJoint()
+	if !ws.jointClean {
+		ws.resetJoint()
+	}
+	ws.jointClean = false
 	bins := ws.bins
 	m := e.wm.Samples
 	for s := 0; s < m; s++ {
@@ -192,7 +241,10 @@ func (e *Estimator) PairPermutedScalar(i, j int, perm []int32, ws *Workspace) fl
 	if len(perm) != e.wm.Samples {
 		panic(fmt.Sprintf("mi: perm len %d != samples %d", len(perm), e.wm.Samples))
 	}
-	ws.resetJoint()
+	if !ws.jointClean {
+		ws.resetJoint()
+	}
+	ws.jointClean = false
 	bins := ws.bins
 	m := e.wm.Samples
 	for s := 0; s < m; s++ {
@@ -233,6 +285,7 @@ func (e *Estimator) GatherPermuted(g int, perm []int32, ws *Workspace) {
 // dot-product formulation against gene i's unpermuted rows.
 func (e *Estimator) PairPermutedVec(i, j int, perm []int32, ws *Workspace) float64 {
 	e.GatherPermuted(j, perm, ws)
+	ws.jointClean = false
 	bins := ws.bins
 	rowsI := e.wm.GeneDenseRows(i)
 	for u := 0; u < bins; u++ {
@@ -250,6 +303,7 @@ func (e *Estimator) PairPermutedVec(i, j int, perm []int32, ws *Workspace) float
 // GatherPermuted call). This lets the permutation loop hoist the gather
 // out of the i loop when testing one permuted gene against many others.
 func (e *Estimator) PairVecAgainstGathered(i, j int, ws *Workspace) float64 {
+	ws.jointClean = false
 	bins := ws.bins
 	rowsI := e.wm.GeneDenseRows(i)
 	for u := 0; u < bins; u++ {
@@ -334,13 +388,20 @@ func (e *Estimator) pairBucketed(i, j int, perm []int32, ws *Workspace) float64 
 	}
 
 	// Per-bucket dense accumulation into a register-resident k×k block.
-	ws.resetJoint()
+	// Only the occupied k×k blocks are written, so when the previous
+	// call left the joint all-zero the full b² reset is skipped and the
+	// blocks are re-zeroed after the entropy pass instead.
+	if !ws.jointClean {
+		ws.resetJoint()
+	}
+	occupied := 0
 	sp := e.wm.Sparse
 	for b := 0; b < nOff*nOff; b++ {
 		lo, hi := starts[b], starts[b+1]
 		if lo == hi {
 			continue
 		}
+		occupied++
 		oa := b / nOff
 		ob := b % nOff
 		if k == 3 {
@@ -406,7 +467,28 @@ func (e *Estimator) pairBucketed(i, j int, perm []int32, ws *Workspace) float64 
 			}
 		}
 	}
-	return e.miFromJoint(i, j, ws.joint, float64(m))
+	v := e.miFromJoint(i, j, ws.joint, float64(m))
+	// Restore the all-zero invariant: clear just the occupied blocks
+	// when that beats the full b² wipe.
+	if occupied*k*k < len(ws.joint) {
+		for b := 0; b < nOff*nOff; b++ {
+			if starts[b] == starts[b+1] {
+				continue
+			}
+			oa := b / nOff
+			ob := b % nOff
+			for u := 0; u < k; u++ {
+				row := ws.joint[(oa+u)*bins+ob:]
+				for x := 0; x < k; x++ {
+					row[x] = 0
+				}
+			}
+		}
+	} else {
+		ws.resetJoint()
+	}
+	ws.jointClean = true
+	return v
 }
 
 // PairReference is a slow float64 implementation used only in tests: it

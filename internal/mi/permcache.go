@@ -1,0 +1,87 @@
+package mi
+
+// PermCache materializes, per gene, the permuted offset rows
+// permOffs[p][s] = Offsets[g·m + perm_p[s]] and the matching permuted
+// stencil-weight rows for every permutation of the pool. Building an
+// entry costs one gather per permutation; after that every permuted
+// evaluation against the gene streams both arrays sequentially —
+// no double indirection, no per-permutation gather — and the entry is
+// shared by all rows i of a tile and all q permutations.
+//
+// The cache is worker-local (the Workspace rule: one per goroutine).
+// Entries are evicted wholesale when the capacity is exceeded, which in
+// practice never happens mid-tile: capacity is sized to the tile width,
+// and a tile touches at most tileSize distinct j genes.
+type PermCache struct {
+	est      *Estimator
+	perms    [][]int32
+	capacity int
+	entries  map[int]permEntry
+	hits     int64
+	misses   int64
+}
+
+// permEntry holds one gene's cached rows: offs is q·m scaled-or-raw
+// permuted offsets (row p at [p·m, (p+1)·m)), w is q·m·k permuted
+// stencil weights (row p at [p·m·k, (p+1)·m·k)).
+type permEntry struct {
+	offs []int32
+	w    []float32
+}
+
+// NewPermCache builds a cache over the given permutation pool rows.
+// capacity bounds the number of genes cached at once; values < 1 are
+// clamped to 1.
+func NewPermCache(est *Estimator, perms [][]int32, capacity int) *PermCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PermCache{
+		est:      est,
+		perms:    perms,
+		capacity: capacity,
+		entries:  make(map[int]permEntry, capacity),
+	}
+}
+
+// Gene returns gene g's cached permuted offset and weight rows,
+// materializing them on first use.
+func (c *PermCache) Gene(g int) (offs []int32, w []float32) {
+	if e, ok := c.entries[g]; ok {
+		c.hits++
+		return e.offs, e.w
+	}
+	c.misses++
+	if len(c.entries) >= c.capacity {
+		// Wholesale eviction: the scan visits genes in tile-block order,
+		// so anything older than the current column block is dead anyway.
+		clear(c.entries)
+	}
+	m := c.est.wm.Samples
+	k := c.est.wm.Basis.Order()
+	q := len(c.perms)
+	e := permEntry{
+		offs: make([]int32, q*m),
+		w:    make([]float32, q*m*k),
+	}
+	base := g * m
+	srcOffs := c.est.wm.Offsets
+	srcW := c.est.wm.Sparse
+	for p, perm := range c.perms {
+		po := e.offs[p*m:]
+		pw := e.w[p*m*k:]
+		for s, idx := range perm {
+			j := base + int(idx)
+			po[s] = srcOffs[j]
+			copy(pw[s*k:s*k+k], srcW[j*k:j*k+k])
+		}
+	}
+	c.entries[g] = e
+	return e.offs, e.w
+}
+
+// Hits returns the number of cache hits so far.
+func (c *PermCache) Hits() int64 { return c.hits }
+
+// Misses returns the number of entry materializations so far.
+func (c *PermCache) Misses() int64 { return c.misses }

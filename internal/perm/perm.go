@@ -136,6 +136,11 @@ func (p *Pool) M() int { return p.m }
 // Perm returns permutation i. The returned slice must not be modified.
 func (p *Pool) Perm(i int) []int32 { return p.perms[i] }
 
+// Perms returns all permutations in pool order (the slice and its rows
+// must not be modified). Batched sweep kernels iterate it directly so
+// one call covers the whole permutation test of a pair.
+func (p *Pool) Perms() [][]int32 { return p.perms }
+
 // Null accumulates permutation-test MI values (the null distribution)
 // and derives the significance threshold. It is built per worker and
 // merged, so methods are not concurrency-safe.

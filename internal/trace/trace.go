@@ -22,11 +22,22 @@ type Event struct {
 	Dur    time.Duration
 }
 
+// CounterSample is one point on a per-worker counter track (Chrome
+// trace "C" events) — used for the scan's amortization counters
+// (permutations skipped by early exit, permuted-row cache hits).
+type CounterSample struct {
+	Worker int
+	Name   string
+	At     time.Duration // offset from the recorder's epoch
+	Value  float64
+}
+
 // Recorder accumulates events. It is safe for concurrent use.
 type Recorder struct {
-	mu     sync.Mutex
-	epoch  time.Time
-	events []Event
+	mu       sync.Mutex
+	epoch    time.Time
+	events   []Event
+	counters []CounterSample
 }
 
 // NewRecorder starts a recorder whose epoch is now.
@@ -58,11 +69,37 @@ func (r *Recorder) Span(worker int, name string) func() {
 	}
 }
 
-// Len returns the number of recorded events.
+// Counter samples a monotonic (or free-form) per-worker counter at the
+// current time. Counter samples live on a separate track and do not
+// affect Len or Utilization.
+func (r *Recorder) Counter(worker int, name string, value float64) {
+	at := time.Since(r.epoch)
+	r.mu.Lock()
+	r.counters = append(r.counters, CounterSample{
+		Worker: worker,
+		Name:   name,
+		At:     at,
+		Value:  value,
+	})
+	r.mu.Unlock()
+}
+
+// Len returns the number of recorded span events (counter samples are
+// not included).
 func (r *Recorder) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.events)
+}
+
+// Counters returns a copy of the recorded counter samples sorted by
+// sample time.
+func (r *Recorder) Counters() []CounterSample {
+	r.mu.Lock()
+	out := append([]CounterSample(nil), r.counters...)
+	r.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].At < out[b].At })
+	return out
 }
 
 // Events returns a copy of the recorded events sorted by start time.
@@ -75,29 +112,42 @@ func (r *Recorder) Events() []Event {
 }
 
 // chromeEvent is the trace-event JSON shape ("X" = complete event,
-// timestamps in microseconds).
+// "C" = counter sample; timestamps in microseconds).
 type chromeEvent struct {
-	Name string  `json:"name"`
-	Ph   string  `json:"ph"`
-	Ts   float64 `json:"ts"`
-	Dur  float64 `json:"dur"`
-	Pid  int     `json:"pid"`
-	Tid  int     `json:"tid"`
+	Name string             `json:"name"`
+	Ph   string             `json:"ph"`
+	Ts   float64            `json:"ts"`
+	Dur  float64            `json:"dur,omitempty"`
+	Pid  int                `json:"pid"`
+	Tid  int                `json:"tid"`
+	Args map[string]float64 `json:"args,omitempty"`
 }
 
-// WriteChromeTrace emits the events as a Chrome trace-event JSON array.
+// WriteChromeTrace emits the spans (as "X" complete events) and counter
+// samples (as "C" counter events) as a Chrome trace-event JSON array.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	events := r.Events()
-	out := make([]chromeEvent, len(events))
-	for i, e := range events {
-		out[i] = chromeEvent{
+	counters := r.Counters()
+	out := make([]chromeEvent, 0, len(events)+len(counters))
+	for _, e := range events {
+		out = append(out, chromeEvent{
 			Name: e.Name,
 			Ph:   "X",
 			Ts:   float64(e.Start.Nanoseconds()) / 1e3,
 			Dur:  float64(e.Dur.Nanoseconds()) / 1e3,
 			Pid:  1,
 			Tid:  e.Worker,
-		}
+		})
+	}
+	for _, c := range counters {
+		out = append(out, chromeEvent{
+			Name: c.Name,
+			Ph:   "C",
+			Ts:   float64(c.At.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  c.Worker,
+			Args: map[string]float64{"value": c.Value},
+		})
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
