@@ -2,32 +2,99 @@
 // expression matrices to /jobs and poll for networks. See
 // internal/server for the API.
 //
-//	tinged -addr :8080
+//	tinged -addr :8080 -checkpoint-dir /var/lib/tinged
 //	curl -s -X POST --data-binary @expr.tsv 'localhost:8080/jobs?permutations=30&dpi=1'
 //	curl -s localhost:8080/jobs/job-1
 //	curl -s localhost:8080/jobs/job-1/network > net.tsv
+//	curl -s localhost:8080/metrics
+//
+// The server sheds load with 429 past -max-queued waiting jobs, evicts
+// finished jobs after -job-ttl, and exports Prometheus metrics at
+// /metrics. On SIGINT/SIGTERM it stops accepting work and drains: with
+// -checkpoint-dir set, the running scan is canceled and flushes its
+// progress to a checkpoint, so resubmitting the same job to a restarted
+// server resumes instead of recomputing; without it, the running job is
+// allowed to finish (up to -shutdown-timeout).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/server"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tinged: ")
 	addr := flag.String("addr", ":8080", "listen address")
+	checkpointDir := flag.String("checkpoint-dir", "", "directory for per-job scan checkpoints (enables shutdown/resume)")
+	maxRunning := flag.Int("max-running", 1, "jobs executing concurrently")
+	maxQueued := flag.Int("max-queued", 8, "jobs allowed to wait; more are shed with 429")
+	jobTTL := flag.Duration("job-ttl", 15*time.Minute, "how long finished jobs stay queryable")
+	maxJobs := flag.Int("max-jobs", 256, "registry size cap (oldest finished jobs evicted early)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 2*time.Minute, "drain budget after SIGTERM")
+	logJSON := flag.Bool("log-json", false, "emit JSON logs instead of text")
 	flag.Parse()
 
-	srv := &http.Server{
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler).With("service", "tinged")
+
+	if *checkpointDir != "" {
+		if err := os.MkdirAll(*checkpointDir, 0o755); err != nil {
+			logger.Error("checkpoint dir", "error", err)
+			os.Exit(1)
+		}
+	}
+
+	srv := server.New()
+	srv.CheckpointDir = *checkpointDir
+	srv.MaxRunning = *maxRunning
+	srv.MaxQueued = *maxQueued
+	srv.TTL = *jobTTL
+	srv.MaxJobs = *maxJobs
+	srv.Logger = logger
+
+	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New().Handler(),
+		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Info("listening", "addr", *addr,
+		"max_running", *maxRunning, "max_queued", *maxQueued, "checkpoint_dir", *checkpointDir)
+
+	select {
+	case err := <-errc:
+		logger.Error("serve", "error", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	logger.Info("signal received, draining", "timeout", *shutdownTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Warn("http shutdown", "error", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		logger.Error("job drain incomplete", "error", err)
+		os.Exit(1)
+	}
+	logger.Info("shutdown complete")
 }

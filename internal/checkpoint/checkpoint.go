@@ -29,9 +29,13 @@ type Fingerprint struct {
 	Order        int
 	Bins         int
 	Permutations int
-	TileSize     int
-	Alpha        float64
-	Seed         uint64
+	// NullSamplePairs sizes the pooled null behind the saved Threshold;
+	// resuming under a different value would keep a threshold the
+	// requested config never produces.
+	NullSamplePairs int
+	TileSize        int
+	Alpha           float64
+	Seed            uint64
 }
 
 // State is the resumable scan state.

@@ -13,7 +13,8 @@ import (
 func testFP() Fingerprint {
 	return Fingerprint{
 		Genes: 100, Samples: 300, Order: 3, Bins: 10,
-		Permutations: 30, TileSize: 32, Alpha: 0.01, Seed: 7,
+		Permutations: 30, NullSamplePairs: 500, TileSize: 32,
+		Alpha: 0.01, Seed: 7,
 	}
 }
 
@@ -38,6 +39,13 @@ func TestValidate(t *testing.T) {
 	other.Seed = 8
 	if err := s.Validate(other, 4); err == nil {
 		t.Fatal("fingerprint mismatch should fail")
+	}
+	// NullSamplePairs changes the pooled-null threshold, so a checkpoint
+	// saved under one value must not resume under another.
+	other = testFP()
+	other.NullSamplePairs = 200
+	if err := s.Validate(other, 4); err == nil {
+		t.Fatal("NullSamplePairs mismatch should fail")
 	}
 	if err := s.Validate(testFP(), 5); err == nil {
 		t.Fatal("tile count mismatch should fail")

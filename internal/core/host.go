@@ -57,14 +57,15 @@ func (m *ckptManager) flush() error {
 
 func fingerprint(wm *bspline.WeightMatrix, cfg Config) checkpoint.Fingerprint {
 	return checkpoint.Fingerprint{
-		Genes:        wm.Genes,
-		Samples:      wm.Samples,
-		Order:        cfg.Order,
-		Bins:         cfg.Bins,
-		Permutations: cfg.Permutations,
-		TileSize:     cfg.TileSize,
-		Alpha:        cfg.Alpha,
-		Seed:         cfg.Seed,
+		Genes:           wm.Genes,
+		Samples:         wm.Samples,
+		Order:           cfg.Order,
+		Bins:            cfg.Bins,
+		Permutations:    cfg.Permutations,
+		NullSamplePairs: cfg.NullSamplePairs,
+		TileSize:        cfg.TileSize,
+		Alpha:           cfg.Alpha,
+		Seed:            cfg.Seed,
 	}
 }
 

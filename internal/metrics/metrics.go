@@ -1,0 +1,334 @@
+// Package metrics is a minimal, dependency-free metrics registry that
+// renders in the Prometheus text exposition format. The inference
+// service exports queue depth, job states, per-phase pipeline timings
+// and kernel counters through it; anything that speaks the Prometheus
+// scrape protocol (or curl) can read the output.
+//
+// Three instrument kinds are supported:
+//
+//   - Counter: a monotonically increasing float64 (Add/Inc).
+//   - Gauge: a settable float64, or a callback sampled at scrape time.
+//   - Histogram: cumulative fixed-bucket observations with sum and count.
+//
+// Instruments are identified by (name, labels). Registering the same
+// identity twice returns the same instrument, so hot paths may call
+// Registry.Counter per event without caching; registering a name with
+// a different kind panics (a programming error, not an input error).
+// All instruments are safe for concurrent use.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels attaches dimension values to an instrument, e.g.
+// Labels{"phase": "mi"}.
+type Labels map[string]string
+
+// instrument is one (name, labels) series.
+type instrument interface {
+	// writeSeries renders the series lines. base is the family name,
+	// labels the pre-rendered label body ("" when unlabeled).
+	writeSeries(w io.Writer, base, labels string)
+}
+
+// family groups every series sharing one metric name.
+type family struct {
+	name string
+	help string
+	kind string // "counter", "gauge", "histogram"
+
+	mu     sync.Mutex
+	series map[string]instrument
+	order  []string // label-body strings in first-registration order
+}
+
+// Registry holds instrument families and renders them. The zero value
+// is not usable; create with New.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// familyFor returns the named family, creating it on first use and
+// panicking on a kind conflict.
+func (r *Registry) familyFor(name, help, kind string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]instrument)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, f.kind, kind))
+	}
+	return f
+}
+
+// seriesFor returns the series for the label set, creating it with
+// make on first use.
+func (f *family) seriesFor(l Labels, make func() instrument) instrument {
+	body := renderLabels(l)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.series[body]
+	if s == nil {
+		s = make()
+		f.series[body] = s
+		f.order = append(f.order, body)
+	}
+	return s
+}
+
+// renderLabels renders a deterministic `k="v",k2="v2"` body.
+func renderLabels(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q escapes exactly what the text format reserves in label
+		// values: backslash, double quote, and newline.
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	return b.String()
+}
+
+// formatFloat renders v the way Prometheus expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// seriesName joins a family name and a label body into one sample line
+// prefix.
+func seriesName(base, labels string) string {
+	if labels == "" {
+		return base
+	}
+	return base + "{" + labels + "}"
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add accumulates v; negative deltas are a caller bug and are ignored.
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+func (c *Counter) writeSeries(w io.Writer, base, labels string) {
+	fmt.Fprintf(w, "%s %s\n", seriesName(base, labels), formatFloat(c.Value()))
+}
+
+// Counter returns the counter for (name, labels), registering it on
+// first use.
+func (r *Registry) Counter(name, help string, l Labels) *Counter {
+	f := r.familyFor(name, help, "counter")
+	return f.seriesFor(l, func() instrument { return &Counter{} }).(*Counter)
+}
+
+// Gauge is a settable value, or a callback sampled at scrape time.
+type Gauge struct {
+	bits atomic.Uint64
+	fn   func() float64
+}
+
+// Set stores v. Calling Set on a callback gauge panics.
+func (g *Gauge) Set(v float64) {
+	if g.fn != nil {
+		panic("metrics: Set on a callback gauge")
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add accumulates a (possibly negative) delta.
+func (g *Gauge) Add(v float64) {
+	if g.fn != nil {
+		panic("metrics: Add on a callback gauge")
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value, invoking the callback if set.
+func (g *Gauge) Value() float64 {
+	if g.fn != nil {
+		return g.fn()
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+func (g *Gauge) writeSeries(w io.Writer, base, labels string) {
+	fmt.Fprintf(w, "%s %s\n", seriesName(base, labels), formatFloat(g.Value()))
+}
+
+// Gauge returns the settable gauge for (name, labels), registering it
+// on first use.
+func (r *Registry) Gauge(name, help string, l Labels) *Gauge {
+	f := r.familyFor(name, help, "gauge")
+	return f.seriesFor(l, func() instrument { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeFunc registers a callback gauge for (name, labels); fn is
+// invoked at every scrape and must be safe for concurrent use. A series
+// registered earlier under the same identity keeps its original
+// callback.
+func (r *Registry) GaugeFunc(name, help string, l Labels, fn func() float64) {
+	f := r.familyFor(name, help, "gauge")
+	f.seriesFor(l, func() instrument { return &Gauge{fn: fn} })
+}
+
+// Histogram accumulates observations into cumulative fixed buckets.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // ascending upper bounds, +Inf implicit
+	buckets []uint64  // non-cumulative per-bound counts
+	inf     uint64
+	sum     float64
+	count   uint64
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += v
+	h.count++
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i]++
+			return
+		}
+	}
+	h.inf++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+func (h *Histogram) writeSeries(w io.Writer, base, labels string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	withLE := func(le string) string {
+		lb := `le="` + le + `"`
+		if labels != "" {
+			lb = labels + "," + lb
+		}
+		return lb
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.buckets[i]
+		fmt.Fprintf(w, "%s_bucket{%s} %d\n", base, withLE(formatFloat(b)), cum)
+	}
+	cum += h.inf
+	fmt.Fprintf(w, "%s_bucket{%s} %d\n", base, withLE("+Inf"), cum)
+	fmt.Fprintf(w, "%s %s\n", seriesName(base+"_sum", labels), formatFloat(h.sum))
+	fmt.Fprintf(w, "%s %d\n", seriesName(base+"_count", labels), h.count)
+}
+
+// Histogram returns the histogram for (name, labels) with the given
+// ascending upper bounds, registering it on first use. Later calls may
+// pass nil bounds to address the existing series.
+func (r *Registry) Histogram(name, help string, l Labels, bounds []float64) *Histogram {
+	f := r.familyFor(name, help, "histogram")
+	return f.seriesFor(l, func() instrument {
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		return &Histogram{bounds: b, buckets: make([]uint64, len(b))}
+	}).(*Histogram)
+}
+
+// WritePrometheus renders every registered family in the text
+// exposition format, in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.mu.Lock()
+		bodies := append([]string(nil), f.order...)
+		series := make([]instrument, len(bodies))
+		for i, b := range bodies {
+			series[i] = f.series[b]
+		}
+		kind, help := f.kind, f.help
+		f.mu.Unlock()
+		if help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, kind)
+		for i, s := range series {
+			s.writeSeries(w, f.name, bodies[i])
+		}
+	}
+}
+
+// Handler returns an http.Handler serving the scrape output.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func scrape(r *Registry) string {
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	return buf.String()
+}
+
+func TestCounterRendering(t *testing.T) {
+	r := New()
+	c := r.Counter("jobs_total", "Jobs.", Labels{"state": "done"})
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Fatalf("value = %v", c.Value())
+	}
+	// Same identity returns the same instrument.
+	r.Counter("jobs_total", "Jobs.", Labels{"state": "done"}).Inc()
+	out := scrape(r)
+	for _, want := range []string{
+		"# HELP jobs_total Jobs.",
+		"# TYPE jobs_total counter",
+		`jobs_total{state="done"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Fatalf("value = %v", c.Value())
+	}
+}
+
+func TestGaugeSetAndFunc(t *testing.T) {
+	r := New()
+	g := r.Gauge("depth", "Queue depth.", nil)
+	g.Set(7)
+	g.Add(-2)
+	v := 41.0
+	r.GaugeFunc("sampled", "Sampled.", nil, func() float64 { return v + 1 })
+	out := scrape(r)
+	if !strings.Contains(out, "depth 5") {
+		t.Fatalf("gauge missing:\n%s", out)
+	}
+	if !strings.Contains(out, "sampled 42") {
+		t.Fatalf("callback gauge missing:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE depth gauge") {
+		t.Fatalf("gauge type missing:\n%s", out)
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("secs", "Seconds.", Labels{"op": "scan"}, []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	out := scrape(r)
+	for _, want := range []string{
+		"# TYPE secs histogram",
+		`secs_bucket{op="scan",le="0.1"} 1`,
+		`secs_bucket{op="scan",le="1"} 3`,
+		`secs_bucket{op="scan",le="10"} 4`,
+		`secs_bucket{op="scan",le="+Inf"} 5`,
+		`secs_sum{op="scan"} 106.05`,
+		`secs_count{op="scan"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestLabelsSortedAndEscaped(t *testing.T) {
+	r := New()
+	r.Counter("c", "", Labels{"b": "x", "a": `sl\ash"q`}).Inc()
+	out := scrape(r)
+	want := `c{a="sl\\ash\"q",b="x"} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("want %q in:\n%s", want, out)
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := New()
+	r.Counter("x", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind conflict should panic")
+		}
+	}()
+	r.Gauge("x", "", nil)
+}
+
+func TestHandlerServesText(t *testing.T) {
+	r := New()
+	r.Counter("hits", "", nil).Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "hits 1") {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("ops", "", Labels{"w": "x"}).Inc()
+				r.Gauge("g", "", nil).Add(1)
+				r.Histogram("h", "", nil, []float64{1, 2}).Observe(1.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("ops", "", Labels{"w": "x"}).Value(); got != 4000 {
+		t.Fatalf("ops = %v", got)
+	}
+	if got := r.Histogram("h", "", nil, nil).Count(); got != 4000 {
+		t.Fatalf("histogram count = %d", got)
+	}
+}

@@ -7,31 +7,55 @@
 //
 //	POST   /jobs            TSV expression matrix in the body; config
 //	                        via query params (permutations, alpha, dpi,
-//	                        engine, seed, workers). Returns 202 with
-//	                        {"id": ...}.
+//	                        engine, seed, workers, nullpairs, ...).
+//	                        Returns 202 with {"id": ...}, 429 with a
+//	                        Retry-After header when the admission queue
+//	                        is full, 503 while draining for shutdown.
+//	GET    /jobs            list every registered job (oldest first).
 //	GET    /jobs/{id}       job status JSON: state, progress, and — when
 //	                        done — edges, threshold, timings.
 //	GET    /jobs/{id}/network  the edge TSV (409 until done).
-//	DELETE /jobs/{id}       cancel a running job.
+//	DELETE /jobs/{id}       cancel a queued or running job.
+//	GET    /metrics         Prometheus text-format metrics: queue depth,
+//	                        jobs by state, per-phase pipeline seconds,
+//	                        kernel counters, job wall-time histogram.
 //	GET    /healthz         liveness.
 //
-// Jobs run one at a time (the pipeline saturates the machine); queued
-// jobs wait in submission order.
+// Admission is bounded: at most MaxRunning jobs execute concurrently
+// and at most MaxQueued more may wait; past that POST /jobs sheds load
+// with 429. Terminal jobs (done/failed/canceled) are evicted from the
+// registry after TTL, and the registry never holds more than MaxJobs
+// terminal entries, so memory stays bounded under sustained traffic.
+//
+// When CheckpointDir is set, every (matrix, scan-config) submission is
+// assigned a deterministic checkpoint file there. Shutdown cancels the
+// running jobs, which flush their completed tiles to that file; a
+// restarted server resumes an identical resubmission from the
+// checkpoint instead of recomputing it.
 package server
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/expr"
 	"repro/internal/grn"
+	"repro/internal/metrics"
 )
 
 // JobState is a job's lifecycle phase.
@@ -46,9 +70,18 @@ const (
 	StateCanceled JobState = "canceled"
 )
 
+// terminal reports whether s is a final state.
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
 type job struct {
 	id     string
+	ctx    context.Context
 	cancel context.CancelFunc
+	// ckptPath is the job's checkpoint file ("" when checkpointing is
+	// off or the engine does not support it).
+	ckptPath string
 
 	mu        sync.Mutex
 	state     JobState
@@ -56,46 +89,179 @@ type job struct {
 	progress  float64
 	result    *core.Result
 	geneNames []string
+	created   time.Time
+	started   time.Time
+	finished  time.Time
 }
 
-func (j *job) setState(s JobState) {
+func (j *job) snapshotState() JobState {
 	j.mu.Lock()
-	j.state = s
-	j.mu.Unlock()
+	defer j.mu.Unlock()
+	return j.state
 }
 
 // Server is the HTTP handler plus its job registry. Create with New,
-// mount via Handler.
+// adjust the exported knobs before serving, mount via Handler.
 type Server struct {
-	mu     sync.Mutex
-	jobs   map[string]*job
-	nextID int64
-	// sem serializes job execution.
-	sem chan struct{}
 	// MaxBodyBytes bounds uploaded matrices (default 1 GiB).
 	MaxBodyBytes int64
+	// MaxRunning is the number of jobs executing concurrently
+	// (default 1: the pipeline saturates the machine).
+	MaxRunning int
+	// MaxQueued is the number of additional jobs allowed to wait;
+	// admission past MaxRunning+MaxQueued active jobs returns 429
+	// (default 8).
+	MaxQueued int
+	// TTL is how long terminal jobs stay queryable before eviction
+	// (default 15 minutes).
+	TTL time.Duration
+	// MaxJobs caps the registry size; when exceeded, the oldest
+	// terminal jobs are evicted early (default 256).
+	MaxJobs int
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// CheckpointDir, when non-empty, enables crash/shutdown-safe jobs:
+	// each submission checkpoints into a deterministic file under the
+	// directory, and an identical resubmission resumes from it.
+	CheckpointDir string
+	// Logger receives structured request and job-lifecycle records
+	// (default: discard).
+	Logger *slog.Logger
+	// Metrics is the exported registry (default: a fresh one).
+	Metrics *metrics.Registry
+
+	initOnce sync.Once
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // job ids, oldest first
+	nextID   int64
+	draining bool
+	sem      chan struct{}
+	wg       sync.WaitGroup
+	// now is the lifecycle clock (a test seam; defaults to time.Now).
+	now func() time.Time
+
+	// Pre-registered instruments (hot-path safe: no registry lookups).
+	mSubmitted, mRejected, mEvicted  *metrics.Counter
+	mPairs, mSkipped, mHits, mMisses *metrics.Counter
+	mTerminal                        map[JobState]*metrics.Counter
+	hJobSeconds                      *metrics.Histogram
 }
 
-// New returns an empty server.
+// New returns a server with default limits.
 func New() *Server {
 	return &Server{
-		jobs:         make(map[string]*job),
-		sem:          make(chan struct{}, 1),
 		MaxBodyBytes: 1 << 30,
+		MaxRunning:   1,
+		MaxQueued:    8,
+		TTL:          15 * time.Minute,
+		MaxJobs:      256,
+		RetryAfter:   time.Second,
+		jobs:         make(map[string]*job),
+		now:          time.Now,
 	}
+}
+
+// init finalizes configuration on first use: the run semaphore is
+// sized, defaults are filled, and instruments are registered.
+func (s *Server) init() {
+	s.initOnce.Do(func() {
+		if s.MaxRunning < 1 {
+			s.MaxRunning = 1
+		}
+		if s.MaxQueued < 0 {
+			s.MaxQueued = 0
+		}
+		s.sem = make(chan struct{}, s.MaxRunning)
+		if s.Logger == nil {
+			s.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+		}
+		if s.Metrics == nil {
+			s.Metrics = metrics.New()
+		}
+		r := s.Metrics
+		s.mSubmitted = r.Counter("tinge_jobs_submitted_total", "Jobs accepted for execution.", nil)
+		s.mRejected = r.Counter("tinge_jobs_rejected_total", "Submissions shed with 429 at the queue bound.", nil)
+		s.mEvicted = r.Counter("tinge_jobs_evicted_total", "Terminal jobs evicted from the registry.", nil)
+		s.mTerminal = make(map[JobState]*metrics.Counter)
+		for _, st := range []JobState{StateDone, StateFailed, StateCanceled} {
+			s.mTerminal[st] = r.Counter("tinge_jobs_finished_total",
+				"Jobs reaching a terminal state.", metrics.Labels{"state": string(st)})
+		}
+		s.mPairs = r.Counter("tinge_pairs_evaluated_total", "MI kernel evaluations including permutations.", nil)
+		s.mSkipped = r.Counter("tinge_permutations_skipped_total", "Permutation evaluations avoided by early exit.", nil)
+		s.mHits = r.Counter("tinge_permcache_hits_total", "Permuted-row cache hits.", nil)
+		s.mMisses = r.Counter("tinge_permcache_misses_total", "Permuted-row cache misses.", nil)
+		s.hJobSeconds = r.Histogram("tinge_job_seconds", "Job wall time from start to terminal state.",
+			nil, []float64{0.1, 0.5, 1, 5, 15, 60, 300, 1800, 7200})
+		for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+			st := st
+			r.GaugeFunc("tinge_jobs", "Registered jobs by state.",
+				metrics.Labels{"state": string(st)}, func() float64 { return float64(s.countState(st)) })
+		}
+		r.GaugeFunc("tinge_queue_capacity", "Admission bound: max queued plus running jobs.",
+			nil, func() float64 { return float64(s.MaxQueued + s.MaxRunning) })
+	})
+}
+
+// countState counts registered jobs in state st.
+func (s *Server) countState(st JobState) int {
+	s.mu.Lock()
+	js := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		js = append(js, j)
+	}
+	s.mu.Unlock()
+	n := 0
+	for _, j := range js {
+		if j.snapshotState() == st {
+			n++
+		}
+	}
+	return n
 }
 
 // Handler returns the routed http.Handler.
 func (s *Server) Handler() http.Handler {
+	s.init()
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("POST /jobs", s.handleSubmit)
-	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /jobs/{id}/network", s.handleNetwork)
-	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	}))
+	mux.HandleFunc("POST /jobs", s.instrument("/jobs", s.handleSubmit))
+	mux.HandleFunc("GET /jobs", s.instrument("/jobs", s.handleList))
+	mux.HandleFunc("GET /jobs/{id}", s.instrument("/jobs/{id}", s.handleStatus))
+	mux.HandleFunc("GET /jobs/{id}/network", s.instrument("/jobs/{id}/network", s.handleNetwork))
+	mux.HandleFunc("DELETE /jobs/{id}", s.instrument("/jobs/{id}", s.handleCancel))
+	mux.Handle("GET /metrics", s.Metrics.Handler())
 	return mux
+}
+
+// statusWriter captures the response code for logs and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with structured request logging and a
+// per-route/status request counter.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.Metrics.Counter("tinge_http_requests_total", "HTTP requests by route and status.",
+			metrics.Labels{"route": route, "code": strconv.Itoa(sw.code)}).Inc()
+		s.Logger.Info("request",
+			"method", r.Method, "route", route, "path", r.URL.Path,
+			"status", sw.code, "dur_ms", float64(time.Since(start).Microseconds())/1000)
+	}
 }
 
 // parseConfig builds a core.Config from query parameters.
@@ -119,6 +285,8 @@ func parseConfig(r *http.Request) (core.Config, error) {
 		"bins":         &cfg.Bins,
 		"tile":         &cfg.TileSize,
 		"ranks":        &cfg.Ranks,
+		"nullpairs":    &cfg.NullSamplePairs,
+		"ckptevery":    &cfg.CheckpointEvery,
 	} {
 		if err := intParam(name, dst); err != nil {
 			return cfg, err
@@ -154,13 +322,30 @@ func parseConfig(r *http.Request) (core.Config, error) {
 	return cfg, nil
 }
 
+// jobKey fingerprints (matrix bytes, scan-affecting config) into the
+// checkpoint file stem, so an identical resubmission maps to the same
+// checkpoint and resumes.
+func jobKey(body []byte, cfg core.Config) string {
+	h := sha256.New()
+	h.Write(body)
+	fmt.Fprintf(h, "|%d|%d|%d|%d|%d|%v|%d|%v|%v|%v",
+		cfg.Order, cfg.Bins, cfg.Permutations, cfg.NullSamplePairs,
+		cfg.TileSize, cfg.Alpha, cfg.Seed, cfg.Engine, cfg.DPI, cfg.Kernel)
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	cfg, err := parseConfig(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	data, err := expr.ReadTSV(http.MaxBytesReader(w, r.Body, s.MaxBodyBytes))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.MaxBodyBytes))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("read body: %v", err), http.StatusBadRequest)
+		return
+	}
+	data, err := expr.ReadTSV(bytes.NewReader(body))
 	if err != nil {
 		http.Error(w, fmt.Sprintf("parse expression matrix: %v", err), http.StatusBadRequest)
 		return
@@ -168,51 +353,228 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if data.MissingCount() > 0 {
 		data.ImputeRowMean()
 	}
-
-	ctx, cancel := context.WithCancel(context.Background())
-	j := &job{cancel: cancel, state: StateQueued, geneNames: data.Genes}
-	s.mu.Lock()
-	s.nextID++
-	j.id = fmt.Sprintf("job-%d", s.nextID)
-	s.jobs[j.id] = j
-	s.mu.Unlock()
-
-	var done int64
-	cfg.Progress = func(d, total int) {
-		if total > 0 && atomic.AddInt64(&done, 1) >= 0 {
-			j.mu.Lock()
-			j.progress = float64(d) / float64(total)
-			j.mu.Unlock()
-		}
+	if s.CheckpointDir != "" && cfg.Engine != core.Cluster {
+		cfg.CheckpointPath = filepath.Join(s.CheckpointDir, jobKey(body, cfg)+".ckpt")
 	}
 
-	go func() {
-		s.sem <- struct{}{}
-		defer func() { <-s.sem }()
-		if ctx.Err() != nil {
-			j.setState(StateCanceled)
-			return
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		ctx: ctx, cancel: cancel, ckptPath: cfg.CheckpointPath,
+		state: StateQueued, geneNames: data.Genes,
+	}
+
+	s.mu.Lock()
+	s.evictLocked()
+	if s.draining {
+		s.mu.Unlock()
+		cancel()
+		http.Error(w, "server is shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	active := 0
+	for _, other := range s.jobs {
+		if !other.snapshotState().terminal() {
+			active++
 		}
-		j.setState(StateRunning)
-		res, err := core.InferContext(ctx, data.Expr, cfg)
-		j.mu.Lock()
-		defer j.mu.Unlock()
-		switch {
-		case err == context.Canceled:
-			j.state = StateCanceled
-		case err != nil:
-			j.state = StateFailed
-			j.err = err.Error()
-		default:
-			j.state = StateDone
-			j.progress = 1
-			j.result = res
-		}
-	}()
+	}
+	if active >= s.MaxQueued+s.MaxRunning {
+		s.mu.Unlock()
+		cancel()
+		s.mRejected.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.RetryAfter+time.Second-1)/time.Second)))
+		http.Error(w, "job queue full", http.StatusTooManyRequests)
+		s.Logger.Warn("job rejected", "active", active, "bound", s.MaxQueued+s.MaxRunning)
+		return
+	}
+	s.nextID++
+	j.id = fmt.Sprintf("job-%d", s.nextID)
+	j.created = s.now()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	s.mSubmitted.Inc()
+	s.Logger.Info("job queued", "job", j.id,
+		"genes", len(data.Genes), "samples", data.Expr.Cols(), "checkpoint", j.ckptPath != "")
+	go s.run(j, data, cfg)
 
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	json.NewEncoder(w).Encode(map[string]string{"id": j.id})
+}
+
+// run executes one job: wait for a run slot, infer, record the
+// terminal state. It owns the job's context (satellite fix: the cancel
+// func is always released) and exports the run's counters on success.
+func (s *Server) run(j *job, data *expr.Dataset, cfg core.Config) {
+	defer s.wg.Done()
+	defer j.cancel()
+
+	select {
+	case s.sem <- struct{}{}:
+	case <-j.ctx.Done():
+		s.finish(j, StateCanceled, "", nil)
+		return
+	}
+	defer func() { <-s.sem }()
+	if j.ctx.Err() != nil {
+		s.finish(j, StateCanceled, "", nil)
+		return
+	}
+
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = s.now()
+	j.mu.Unlock()
+	s.Logger.Info("job running", "job", j.id)
+
+	// Progress is monotonic: concurrent tile completions may report
+	// out of order, and a resumed run restarts the fraction — never
+	// move the published value backwards.
+	cfg.Progress = func(d, total int) {
+		if total <= 0 {
+			return
+		}
+		f := float64(d) / float64(total)
+		j.mu.Lock()
+		if f > j.progress {
+			j.progress = f
+		}
+		j.mu.Unlock()
+	}
+
+	res, err := core.InferContext(j.ctx, data.Expr, cfg)
+	switch {
+	case errors.Is(err, context.Canceled):
+		s.finish(j, StateCanceled, "", nil)
+	case err != nil:
+		s.finish(j, StateFailed, err.Error(), nil)
+	default:
+		s.finish(j, StateDone, "", res)
+	}
+}
+
+// finish records a job's terminal state, exports its metrics, and
+// cleans up its checkpoint when the result is final.
+func (s *Server) finish(j *job, st JobState, errMsg string, res *core.Result) {
+	now := s.now()
+	j.mu.Lock()
+	j.state = st
+	j.err = errMsg
+	j.finished = now
+	started := j.started
+	if res != nil {
+		j.progress = 1
+		j.result = res
+	}
+	j.mu.Unlock()
+
+	wall := 0.0
+	if !started.IsZero() {
+		wall = now.Sub(started).Seconds()
+	}
+	s.mTerminal[st].Inc()
+	s.hJobSeconds.Observe(wall)
+	if res != nil {
+		s.mPairs.Add(float64(res.PairsEvaluated))
+		s.mSkipped.Add(float64(res.PermutationsSkipped))
+		s.mHits.Add(float64(res.PermCacheHits))
+		s.mMisses.Add(float64(res.PermCacheMisses))
+		for phase, secs := range res.Timer.Seconds() {
+			s.Metrics.Counter("tinge_phase_seconds_total",
+				"Pipeline wall seconds by phase, summed over jobs.",
+				metrics.Labels{"phase": phase}).Add(secs)
+		}
+		// A finished network supersedes its checkpoint.
+		if j.ckptPath != "" {
+			os.Remove(j.ckptPath)
+		}
+	}
+	attrs := []any{"job", j.id, "state", string(st), "wall_s", wall}
+	if errMsg != "" {
+		attrs = append(attrs, "error", errMsg)
+	}
+	if res != nil {
+		attrs = append(attrs, "edges", res.Network.Len(), "threshold", res.Threshold,
+			"evals", res.PairsEvaluated)
+	}
+	s.Logger.Info("job finished", attrs...)
+}
+
+// evictLocked drops terminal jobs older than TTL and, past MaxJobs,
+// the oldest terminal jobs regardless of age. Callers hold s.mu.
+func (s *Server) evictLocked() {
+	now := s.now()
+	evict := func(j *job) bool {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return j.state.terminal() && now.Sub(j.finished) > s.TTL
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if evict(s.jobs[id]) {
+			delete(s.jobs, id)
+			s.mEvicted.Inc()
+		} else {
+			kept = append(kept, id)
+		}
+	}
+	s.order = kept
+	if s.MaxJobs > 0 && len(s.order) > s.MaxJobs {
+		kept = s.order[:0]
+		over := len(s.order) - s.MaxJobs
+		for _, id := range s.order {
+			if over > 0 && s.jobs[id].snapshotState().terminal() {
+				delete(s.jobs, id)
+				s.mEvicted.Inc()
+				over--
+			} else {
+				kept = append(kept, id)
+			}
+		}
+		s.order = kept
+	}
+}
+
+// Shutdown drains the server for a graceful exit: new submissions get
+// 503, queued jobs are canceled, and running jobs either drain to
+// completion (no CheckpointDir) or are canceled so they flush their
+// progress to their checkpoint files for resume after restart. It
+// returns once every job goroutine has exited, or with ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.init()
+	s.mu.Lock()
+	s.draining = true
+	var toCancel []*job
+	for _, id := range s.order {
+		j := s.jobs[id]
+		switch j.snapshotState() {
+		case StateQueued:
+			toCancel = append(toCancel, j)
+		case StateRunning:
+			if s.CheckpointDir != "" {
+				toCancel = append(toCancel, j)
+			}
+		}
+	}
+	s.mu.Unlock()
+	s.Logger.Info("shutdown draining", "canceling", len(toCancel), "checkpoint", s.CheckpointDir != "")
+	for _, j := range toCancel {
+		j.cancel()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.Logger.Info("shutdown complete")
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // statusResponse is the job-status JSON shape.
@@ -221,6 +583,8 @@ type statusResponse struct {
 	State     JobState `json:"state"`
 	Progress  float64  `json:"progress"`
 	Error     string   `json:"error,omitempty"`
+	Created   string   `json:"created,omitempty"`
+	Finished  string   `json:"finished,omitempty"`
 	Edges     int      `json:"edges,omitempty"`
 	RawEdges  int      `json:"rawEdges,omitempty"`
 	Threshold float64  `json:"threshold,omitempty"`
@@ -228,9 +592,32 @@ type statusResponse struct {
 	SimSecs   float64  `json:"simSeconds,omitempty"`
 }
 
+// status snapshots a job into the response shape. Callers must not
+// hold j.mu.
+func (j *job) status() statusResponse {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	resp := statusResponse{ID: j.id, State: j.state, Progress: j.progress, Error: j.err}
+	if !j.created.IsZero() {
+		resp.Created = j.created.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		resp.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if j.result != nil {
+		resp.Edges = j.result.Network.Len()
+		resp.RawEdges = j.result.RawEdges
+		resp.Threshold = j.result.Threshold
+		resp.Evals = j.result.PairsEvaluated
+		resp.SimSecs = j.result.SimSeconds
+	}
+	return resp
+}
+
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
 	id := r.PathValue("id")
 	s.mu.Lock()
+	s.evictLocked()
 	j := s.jobs[id]
 	s.mu.Unlock()
 	if j == nil {
@@ -239,23 +626,29 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
 	return j
 }
 
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.evictLocked()
+	js := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		js = append(js, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]statusResponse, len(js))
+	for i, j := range js {
+		out[i] = j.status()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(w, r)
 	if j == nil {
 		return
 	}
-	j.mu.Lock()
-	resp := statusResponse{ID: j.id, State: j.state, Progress: j.progress, Error: j.err}
-	if j.result != nil {
-		resp.Edges = j.result.Network.Len()
-		resp.RawEdges = j.result.RawEdges
-		resp.Threshold = j.result.Threshold
-		resp.Evals = j.result.PairsEvaluated
-		resp.SimSecs = j.result.SimSeconds
-	}
-	j.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
+	json.NewEncoder(w).Encode(j.status())
 }
 
 func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
@@ -289,10 +682,6 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.cancel()
-	j.mu.Lock()
-	if j.state == StateQueued {
-		j.state = StateCanceled
-	}
-	j.mu.Unlock()
+	s.Logger.Info("job cancel requested", "job", j.id)
 	w.WriteHeader(http.StatusNoContent)
 }

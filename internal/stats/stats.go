@@ -173,6 +173,16 @@ func (t *Timer) Time(phase string, f func()) {
 // Get returns the accumulated duration for phase (0 if absent).
 func (t *Timer) Get(phase string) time.Duration { return t.phases[phase] }
 
+// Seconds returns every phase's accumulated wall time in seconds — the
+// export shape metrics scrapes consume.
+func (t *Timer) Seconds() map[string]float64 {
+	m := make(map[string]float64, len(t.phases))
+	for p, d := range t.phases {
+		m[p] = d.Seconds()
+	}
+	return m
+}
+
 // Total returns the sum over all phases.
 func (t *Timer) Total() time.Duration {
 	var s time.Duration

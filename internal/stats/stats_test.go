@@ -192,3 +192,13 @@ func TestTimerTime(t *testing.T) {
 		t.Fatalf("timed duration too small: %v", tm.Get("sleep"))
 	}
 }
+
+func TestTimerSeconds(t *testing.T) {
+	tm := NewTimer()
+	tm.Add("mi", 1500*time.Millisecond)
+	tm.Add("dpi", 250*time.Millisecond)
+	s := tm.Seconds()
+	if len(s) != 2 || s["mi"] != 1.5 || s["dpi"] != 0.25 {
+		t.Fatalf("Seconds = %v", s)
+	}
+}
