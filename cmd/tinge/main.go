@@ -50,6 +50,17 @@ func main() {
 		ckpt     = flag.String("checkpoint", "", "checkpoint file: resume from it if present, save progress to it")
 		ckptIvl  = flag.Int("checkpoint-every", 64, "tiles between checkpoint saves")
 		maxGenes = flag.Int("max-genes", 0, "keep only the first N genes (0 = all)")
+
+		maxRecov = flag.Int("max-recoveries", 0, "cluster rank-failure recoveries allowed (0 = ranks-1, -1 = disabled)")
+
+		// Chaos fault injection (cluster engine; for testing the
+		// recovery path — results stay bit-identical to a clean run).
+		faultKillRank  = flag.Int("fault-kill-rank", -1, "kill this rank (-1 = no kill)")
+		faultKillAfter = flag.Int("fault-kill-after-sends", 0, "kill trigger: after the rank's Nth send")
+		faultKillPhase = flag.String("fault-kill-phase", "", "kill trigger: entering this phase (null-pool|tile-scan|gather)")
+		faultSeed      = flag.Uint64("fault-seed", 1, "fault-injection RNG seed")
+		faultDelayProb = flag.Float64("fault-delay-prob", 0, "per-message delay probability")
+		faultDelayMax  = flag.Duration("fault-delay-max", 0, "max injected per-message delay")
 	)
 	flag.Parse()
 
@@ -98,6 +109,22 @@ func main() {
 		ThreadsPerCore:  *tpc,
 		CheckpointPath:  *ckpt,
 		CheckpointEvery: *ckptIvl,
+		MaxRecoveries:   *maxRecov,
+	}
+	if *faultKillRank >= 0 || *faultDelayProb > 0 {
+		plan := &tinge.FaultPlan{
+			Seed:      *faultSeed,
+			DelayProb: *faultDelayProb,
+			DelayMax:  *faultDelayMax,
+		}
+		if *faultKillRank >= 0 {
+			plan.Kill = &tinge.KillSpec{
+				Rank:       *faultKillRank,
+				AfterSends: *faultKillAfter,
+				Phase:      *faultKillPhase,
+			}
+		}
+		cfg.Fault = plan
 	}
 	switch *engine {
 	case "host":
@@ -198,6 +225,14 @@ func main() {
 	if res.Messages > 0 {
 		fmt.Fprintf(os.Stderr, "tinge: cluster traffic %d messages, %d bytes\n",
 			res.Messages, res.TrafficBytes)
+	}
+	if res.RankFailures > 0 {
+		fmt.Fprintf(os.Stderr, "tinge: recovered from %d rank failure(s): %d re-run(s), %d tile(s) redistributed\n",
+			res.RankFailures, res.RecoveryRuns, res.RecoveredTiles)
+	}
+	if res.FaultDelayedMessages > 0 || res.FaultDroppedMessages > 0 {
+		fmt.Fprintf(os.Stderr, "tinge: fault injection: %d message(s) delayed, %d dropped\n",
+			res.FaultDelayedMessages, res.FaultDroppedMessages)
 	}
 	if *truth != "" {
 		tf, err := os.Open(*truth)

@@ -71,6 +71,19 @@ func (s *State) Remaining() int {
 	return n
 }
 
+// PendingTiles returns the indices of incomplete tiles in ascending
+// order — the work list a resuming or recovering engine redistributes
+// over its surviving workers.
+func (s *State) PendingTiles() []int {
+	out := make([]int, 0, s.Remaining())
+	for i, d := range s.Done {
+		if !d {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // Validate reports whether the state belongs to a run with the given
 // fingerprint and tile count.
 func (s *State) Validate(fp Fingerprint, nTiles int) error {

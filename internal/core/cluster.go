@@ -2,10 +2,13 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/bspline"
+	"repro/internal/checkpoint"
 	"repro/internal/grn"
 	"repro/internal/mi"
 	"repro/internal/mpi"
@@ -13,153 +16,349 @@ import (
 	"repro/internal/tile"
 )
 
+// corruptGatherForTest, when non-nil, mangles a rank's flat edge-gather
+// payload before it is sent — the test seam for the malformed-gather
+// error path (which must abort the world, not deadlock it).
+var corruptGatherForTest func(rank int, flat []float64) []float64
+
+// clusterRecorder is the shared tile-commit log behind the cluster
+// engine's fault tolerance — the in-process stand-in for the shared
+// filesystem TINGe deployments checkpoint to between work blocks. Ranks
+// commit each finished tile (bitmap bit, edges, eval counts) under one
+// mutex; when a world aborts, committed tiles survive and only the
+// in-flight remainder is redistributed to the surviving ranks. With a
+// CheckpointPath it also persists the state every `every` commits, so
+// a killed process resumes the same way a killed rank does.
+type clusterRecorder struct {
+	mu    sync.Mutex
+	state *checkpoint.State
+	// skipped is the per-tile early-exit skip count (in-memory only —
+	// observability, not resume state).
+	skipped []int64
+
+	thresholdDone bool
+
+	path      string
+	every     int
+	sinceSave int
+	saveErr   error
+
+	// Traffic high-water marks: the world's counters are global and
+	// monotone per attempt; ranks sample them at commit points, and
+	// foldAttempt accumulates the attempt's peak into the run total so
+	// failed attempts' communication is still accounted.
+	msgsCur, bytesCur     int64
+	msgsTotal, bytesTotal int64
+}
+
+// threshold returns the committed threshold state.
+func (r *clusterRecorder) threshold() (th float64, nullSize int, done bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state.Threshold, r.state.NullSize, r.thresholdDone
+}
+
+// setThreshold commits the phase-3 result once; every rank computes the
+// identical value from the seed, so first-wins is not a race.
+func (r *clusterRecorder) setThreshold(th float64, nullSize int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.thresholdDone {
+		return
+	}
+	r.state.Threshold = th
+	r.state.NullSize = nullSize
+	r.thresholdDone = true
+}
+
+// tileDone commits one finished tile and persists opportunistically.
+func (r *clusterRecorder) tileDone(ti int, evals, skipped int64, edges []grn.Edge) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state.Done[ti] {
+		return
+	}
+	r.state.Done[ti] = true
+	r.state.EvalsPerTile[ti] = evals
+	r.skipped[ti] = skipped
+	r.state.Edges = append(r.state.Edges, edges...)
+	if r.path == "" {
+		return
+	}
+	r.sinceSave++
+	if r.sinceSave >= r.every {
+		r.saveLocked()
+	}
+}
+
+func (r *clusterRecorder) saveLocked() {
+	if err := checkpoint.SaveFile(r.path, r.state); err != nil && r.saveErr == nil {
+		r.saveErr = err
+	}
+	r.sinceSave = 0
+}
+
+// flush forces a save and returns the first save error, if any.
+func (r *clusterRecorder) flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.path != "" {
+		r.saveLocked()
+	}
+	return r.saveErr
+}
+
+// sampleTraffic records the world's traffic counters at a commit point.
+func (r *clusterRecorder) sampleTraffic(msgs, bytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if msgs > r.msgsCur {
+		r.msgsCur = msgs
+	}
+	if bytes > r.bytesCur {
+		r.bytesCur = bytes
+	}
+}
+
+// foldAttempt folds the finished (or aborted) attempt's traffic peak
+// into the run totals.
+func (r *clusterRecorder) foldAttempt() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.msgsTotal += r.msgsCur
+	r.bytesTotal += r.bytesCur
+	r.msgsCur, r.bytesCur = 0, 0
+}
+
+// traffic returns the accumulated run totals.
+func (r *clusterRecorder) traffic() (msgs, bytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.msgsTotal, r.bytesTotal
+}
+
 // runCluster executes phases 3/4 as the original TINGe does on a
 // cluster: ranks own a cyclic partition of the pair tiles, each rank
 // computes its share of the pooled null, the null values are
 // all-gathered so every rank derives the identical threshold, each rank
 // scans its tiles sequentially, and edges are gathered at rank 0.
 //
-// Because the permutation pool and the null-pair sample depend only on
-// the seed, the cluster network matches the host engine's exactly.
+// The world is fail-stop-safe and the engine recoverable: a rank that
+// errors, panics, or is killed by an injected fault aborts the world
+// (no peer blocks past it — see mpi.AbortError), the un-committed state
+// of the surviving ranks is discarded, and the engine re-runs with the
+// failed rank excluded — the checkpoint tile bitmap keeps every
+// committed tile, and only the pending remainder is redistributed
+// cyclically over the survivors. Because the permutation pool and the
+// null-pair sample depend only on the seed (never on the world size),
+// the recovered network is bit-identical to the fault-free run and to
+// the host engine's.
 func runCluster(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Result) error {
 	n := wm.Genes
 	tiles := tile.Decompose(n, cfg.TileSize)
+
+	state := checkpoint.NewState(fingerprint(wm, cfg), len(tiles))
+	resumed := false
+	if cfg.CheckpointPath != "" {
+		loaded, err := checkpoint.LoadFile(cfg.CheckpointPath)
+		if err != nil {
+			return err
+		}
+		if loaded != nil {
+			if err := loaded.Validate(state.Fingerprint, len(tiles)); err != nil {
+				return err
+			}
+			state = loaded
+			resumed = true
+		}
+	}
+	rec := &clusterRecorder{
+		state:   state,
+		skipped: make([]int64, len(tiles)),
+		// A resumed checkpoint was saved after phase 3 completed, so its
+		// threshold is authoritative.
+		thresholdDone: resumed,
+		path:          cfg.CheckpointPath,
+		every:         cfg.CheckpointEvery,
+	}
+
 	type rankOut struct {
-		edges       []grn.Edge
-		threshold   float64
-		nullSize    int
-		evals       int64
-		skipped     int64
-		cacheHits   int64
-		cacheMisses int64
-		busy        float64
-		msgs        int64
-		bytes       int64
+		threshold              float64
+		cacheHits, cacheMisses int64
+		busy                   float64
 	}
-	out := make([]rankOut, cfg.Ranks)
 
-	var scanSpan time.Duration
+	alive := cfg.Ranks
+	var out []rankOut
 	start := time.Now()
-	err := mpi.Run(cfg.Ranks, func(c *mpi.Comm) error {
-		k := newPairKernel(wm, cfg)
-		ws := mi.NewWorkspace(k.est)
+	for {
+		// Snapshot the pending work list outside the world so every rank
+		// partitions the identical slice this attempt.
+		pending := state.PendingTiles()
+		out = make([]rankOut, alive)
+		err := mpi.RunOpts(ctx, alive, mpi.Options{Fault: cfg.Fault}, func(c *mpi.Comm) error {
+			k := newPairKernel(wm, cfg)
+			ws := mi.NewWorkspace(k.est)
 
-		// Phase 3 (distributed): cyclic partition of the null sample.
-		var threshold float64
-		var nullSize int
-		if cfg.Permutations > 0 {
-			count := cfg.NullSamplePairs
-			if max := tile.TotalPairs(n); count > max {
-				count = max
+			// Phase 3 (distributed): cyclic partition of the null sample.
+			// Skipped when a prior attempt or a resumed checkpoint already
+			// committed the threshold — it depends only on the seed, never
+			// on the world size, so recovery cannot change it.
+			c.Phase("null-pool")
+			threshold, nullSize, thresholdDone := rec.threshold()
+			if !thresholdDone && cfg.Permutations > 0 {
+				count := cfg.NullSamplePairs
+				if max := tile.TotalPairs(n); count > max {
+					count = max
+				}
+				pairs := sampleNullPairs(cfg.Seed, n, count)
+				var local perm.Null
+				for idx := c.Rank(); idx < len(pairs); idx += c.Size() {
+					if err := c.Err(); err != nil {
+						return err
+					}
+					for p := 0; p < k.pool.Q(); p++ {
+						local.Add(k.miPermuted(pairs[idx][0], pairs[idx][1], p, ws))
+					}
+				}
+				gathered := c.Allgatherv(local.Values())
+				pooled := &perm.Null{}
+				for _, vals := range gathered {
+					pooled.AddAll(vals)
+				}
+				nullSize = pooled.Len()
+				if nullSize > 0 {
+					threshold = pooled.Threshold(cfg.Alpha)
+				}
+				rec.setThreshold(threshold, nullSize)
 			}
-			pairs := sampleNullPairs(cfg.Seed, n, count)
-			var local perm.Null
-			for idx := c.Rank(); idx < len(pairs); idx += c.Size() {
-				for p := 0; p < k.pool.Q(); p++ {
-					local.Add(k.miPermuted(pairs[idx][0], pairs[idx][1], p, ws))
+			k.thresh = threshold
+
+			// Phase 4: cyclic partition of the pending tiles, sequential
+			// per rank. Each finished tile is committed immediately so a
+			// later abort costs only in-flight work.
+			c.Phase("tile-scan")
+			busyStart := time.Now()
+			pc := k.newPermCache(cfg)
+			var edges []grn.Edge
+			for idx := c.Rank(); idx < len(pending); idx += c.Size() {
+				if err := c.Err(); err != nil {
+					return err
+				}
+				ti := pending[idx]
+				var tileEvals, tileSkipped int64
+				var tileEdges []grn.Edge
+				tiles[ti].ForEachPair(func(i, j int) {
+					obs, sig, ev, sk := k.decide(i, j, ws, pc)
+					tileEvals += ev
+					tileSkipped += sk
+					if sig {
+						tileEdges = append(tileEdges, grn.Edge{I: i, J: j, Weight: obs})
+					}
+				})
+				rec.tileDone(ti, tileEvals, tileSkipped, tileEdges)
+				edges = append(edges, tileEdges...)
+				m, b := c.Traffic()
+				rec.sampleTraffic(m, b)
+			}
+			busy := time.Since(busyStart).Seconds()
+
+			// Gather this attempt's edges at root as flat (i, j, w)
+			// triples — the TINGe wire protocol, kept for communication
+			// accounting and validated at root; the network itself is
+			// assembled from the committed tile log.
+			c.Phase("gather")
+			flat := make([]float64, 0, len(edges)*3)
+			for _, e := range edges {
+				flat = append(flat, float64(e.I), float64(e.J), e.Weight)
+			}
+			if corruptGatherForTest != nil {
+				flat = corruptGatherForTest(c.Rank(), flat)
+			}
+			gatheredEdges := c.Gatherv(0, flat)
+			c.Barrier()
+			m, b := c.Traffic()
+			rec.sampleTraffic(m, b)
+
+			o := &out[c.Rank()]
+			o.threshold = threshold
+			if pc != nil {
+				o.cacheHits = pc.Hits()
+				o.cacheMisses = pc.Misses()
+			}
+			o.busy = busy
+			if c.Rank() == 0 {
+				for _, part := range gatheredEdges {
+					if len(part)%3 != 0 {
+						return fmt.Errorf("core: malformed edge gather of %d values", len(part))
+					}
 				}
 			}
-			gathered := c.Allgatherv(local.Values())
-			pooled := &perm.Null{}
-			for _, vals := range gathered {
-				pooled.AddAll(vals)
-			}
-			nullSize = pooled.Len()
-			if nullSize > 0 {
-				threshold = pooled.Threshold(cfg.Alpha)
-			}
+			return nil
+		})
+		rec.foldAttempt()
+		if err == nil {
+			break
 		}
-		k.thresh = threshold
 
-		// Phase 4: cyclic tile partition, sequential per rank.
-		busyStart := time.Now()
-		pc := k.newPermCache(cfg)
-		var edges []grn.Edge
-		var evals, skipped int64
-		for ti := c.Rank(); ti < len(tiles); ti += c.Size() {
-			if ctx.Err() != nil {
-				break
-			}
-			tiles[ti].ForEachPair(func(i, j int) {
-				obs, sig, ev, sk := k.decide(i, j, ws, pc)
-				evals += ev
-				skipped += sk
-				if sig {
-					edges = append(edges, grn.Edge{I: i, J: j, Weight: obs})
-				}
-			})
+		// Recovery policy: a rank-attributed failure with survivors and
+		// retry budget left excludes the failed rank and redistributes
+		// its pending tiles; cancellation and exhausted budgets surface.
+		var ab *mpi.AbortError
+		if errors.As(err, &ab) && ab.Rank >= 0 && alive > 1 &&
+			res.RecoveryRuns < cfg.MaxRecoveries && ctx.Err() == nil {
+			res.RankFailures++
+			res.RecoveryRuns++
+			res.RecoveredTiles += state.Remaining()
+			alive--
+			continue
 		}
-		busy := time.Since(busyStart).Seconds()
-
-		// Gather edges at root as flat (i, j, w) triples.
-		flat := make([]float64, 0, len(edges)*3)
-		for _, e := range edges {
-			flat = append(flat, float64(e.I), float64(e.J), e.Weight)
+		// Persist whatever committed, even on a terminal failure.
+		if ferr := rec.flush(); ferr != nil && ctx.Err() == nil {
+			return ferr
 		}
-		gatheredEdges := c.Gatherv(0, flat)
-		c.Barrier()
-		msgs, bytes := c.Traffic()
-
-		o := &out[c.Rank()]
-		o.threshold = threshold
-		o.nullSize = nullSize
-		o.evals = evals
-		o.skipped = skipped
-		if pc != nil {
-			o.cacheHits = pc.Hits()
-			o.cacheMisses = pc.Misses()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
 		}
-		o.busy = busy
-		o.msgs = msgs
-		o.bytes = bytes
-		if c.Rank() == 0 {
-			for _, part := range gatheredEdges {
-				if len(part)%3 != 0 {
-					return fmt.Errorf("core: malformed edge gather of %d values", len(part))
-				}
-				for x := 0; x < len(part); x += 3 {
-					o.edges = append(o.edges, grn.Edge{
-						I: int(part[x]), J: int(part[x+1]), Weight: part[x+2],
-					})
-				}
-			}
-		}
-		return nil
-	})
-	scanSpan = time.Since(start)
-	if err != nil {
 		return err
 	}
-	if err := ctx.Err(); err != nil {
-		return err
-	}
+	scanSpan := time.Since(start)
 
 	// Ranks computed thresholds from identical pooled values; assert
 	// agreement (a mismatch indicates nondeterminism).
-	for r := 1; r < cfg.Ranks; r++ {
+	for r := 1; r < len(out); r++ {
 		if out[r].threshold != out[0].threshold {
 			return fmt.Errorf("core: rank %d threshold %v != rank 0 %v",
 				r, out[r].threshold, out[0].threshold)
 		}
 	}
-	res.Threshold = out[0].threshold
-	res.NullSize = out[0].nullSize
+	if err := rec.flush(); err != nil {
+		return err
+	}
+
+	res.Threshold, res.NullSize, _ = rec.threshold()
 	res.Timer.Add("threshold+mi(cluster)", scanSpan)
 
-	busy := make([]float64, cfg.Ranks)
+	busy := make([]float64, len(out))
 	for r := range out {
-		res.PairsEvaluated += out[r].evals
-		res.PermutationsSkipped += out[r].skipped
 		res.PermCacheHits += out[r].cacheHits
 		res.PermCacheMisses += out[r].cacheMisses
 		busy[r] = out[r].busy
 	}
 	res.Imbalance = tile.Imbalance(busy)
-	res.Messages = out[0].msgs
-	res.TrafficBytes = out[0].bytes
+	for ti := range state.EvalsPerTile {
+		res.PairsEvaluated += state.EvalsPerTile[ti]
+		res.PermutationsSkipped += rec.skipped[ti]
+	}
+	res.Messages, res.TrafficBytes = rec.traffic()
+	if cfg.Fault != nil {
+		st := cfg.Fault.Stats()
+		res.FaultDelayedMessages = st.Delayed
+		res.FaultDroppedMessages = st.Dropped
+	}
 
 	net := grn.New(n)
-	for _, e := range out[0].edges {
+	for _, e := range state.Edges {
 		net.AddEdge(e.I, e.J, e.Weight)
 	}
 	res.Network = net

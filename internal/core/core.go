@@ -37,6 +37,7 @@ import (
 	"repro/internal/bspline"
 	"repro/internal/grn"
 	"repro/internal/mat"
+	"repro/internal/mpi"
 	"repro/internal/phi"
 	"repro/internal/stats"
 	"repro/internal/tile"
@@ -185,6 +186,18 @@ type Config struct {
 
 	// Ranks is the cluster engine's world size (default 4).
 	Ranks int
+	// MaxRecoveries bounds how many rank-failure recovery re-runs the
+	// cluster engine performs before surfacing the AbortError (default
+	// Ranks-1: tolerate every rank but one failing; -1 disables
+	// recovery entirely). Recovery never changes results: committed
+	// tiles are kept, pending tiles are redistributed cyclically over
+	// the surviving ranks, and the threshold is seed-deterministic, so
+	// the recovered network is bit-identical to the fault-free run.
+	MaxRecoveries int
+	// Fault injects deterministic failures into the cluster engine's
+	// MPI world for chaos testing (see mpi.FaultPlan); nil disables
+	// injection. Ignored by the other engines.
+	Fault *mpi.FaultPlan
 }
 
 // Validate fills defaults and rejects inconsistent settings.
@@ -243,9 +256,6 @@ func (c *Config) Validate() error {
 	if c.CheckpointEvery < 1 {
 		return fmt.Errorf("core: non-positive checkpoint interval %d", c.CheckpointEvery)
 	}
-	if c.CheckpointPath != "" && c.Engine == Cluster {
-		return fmt.Errorf("core: checkpointing is not supported on the cluster engine")
-	}
 	if c.Engine == Phi || c.Engine == Hybrid {
 		if c.Device.Cores == 0 {
 			c.Device = phi.XeonPhi5110P()
@@ -277,6 +287,12 @@ func (c *Config) Validate() error {
 		}
 		if c.Ranks < 1 {
 			return fmt.Errorf("core: non-positive ranks %d", c.Ranks)
+		}
+		if c.MaxRecoveries == 0 {
+			c.MaxRecoveries = c.Ranks - 1
+		}
+		if c.MaxRecoveries < 0 {
+			c.MaxRecoveries = 0 // -1 and below: recovery disabled
 		}
 	}
 	switch c.Engine {
@@ -331,6 +347,19 @@ type Result struct {
 	// early exit during phase 4 (summed over pairs that entered the
 	// permutation test).
 	PermutationsSkipped int64
+	// RankFailures counts rank failures the cluster engine observed
+	// (recovered or not) during the run; 0 elsewhere.
+	RankFailures int
+	// RecoveryRuns counts world re-runs the cluster engine performed
+	// after excluding failed ranks.
+	RecoveryRuns int
+	// RecoveredTiles counts pending tiles redistributed to surviving
+	// ranks across recovery re-runs — the re-scan cost of the failures
+	// (committed tiles are never recomputed).
+	RecoveredTiles int
+	// FaultDelayedMessages and FaultDroppedMessages report what an
+	// injected Config.Fault plan actually did to the message stream.
+	FaultDelayedMessages, FaultDroppedMessages int64
 }
 
 // Infer runs the pipeline on the expression matrix (rows = genes,

@@ -631,10 +631,28 @@ func TestCheckpointPhiEngineSimTime(t *testing.T) {
 	}
 }
 
-func TestCheckpointClusterRejected(t *testing.T) {
-	cfg := Config{Engine: Cluster, CheckpointPath: "/tmp/x.ckpt"}
-	if err := cfg.Validate(); err == nil {
-		t.Fatal("cluster + checkpoint should fail validation")
+func TestCheckpointClusterResume(t *testing.T) {
+	// Cluster checkpointing backs rank recovery; a second run over a
+	// completed checkpoint must reproduce the network without rescanning.
+	d := testDataset(t, 24, 80, 91)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	cfg := Config{Engine: Cluster, Ranks: 3, Seed: 9, Permutations: 8, TileSize: 4, CheckpointPath: path}
+	first, err := Infer(d.Expr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Infer(d.Expr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameEdges(first.Network, second.Network) {
+		t.Fatal("resumed cluster network differs")
+	}
+	if second.PairsEvaluated != first.PairsEvaluated {
+		t.Fatalf("resume lost eval history: %d vs %d", second.PairsEvaluated, first.PairsEvaluated)
+	}
+	if second.Threshold != first.Threshold {
+		t.Fatalf("resume changed threshold: %v vs %v", second.Threshold, first.Threshold)
 	}
 }
 

@@ -1,0 +1,202 @@
+package mpi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Fail-stop semantics. Real MPI implementations treat a dead rank as a
+// job-fatal event: MPI_Abort tears down the communicator so no peer
+// blocks forever on a message that will never arrive. This file gives
+// the in-process world the same property — a terminal failed state that
+// every blocked Recv/Barrier/collective observes promptly.
+//
+// Mechanism: the world carries a close-once abort channel. Every
+// blocking operation selects on it; when it fires, the operation panics
+// with the private abortSignal sentinel, unwinding the rank's stack out
+// of fn. The Run driver recovers the sentinel silently (the originating
+// rank's error is already recorded) and returns a typed *AbortError
+// naming the rank that failed first and why.
+
+// AbortError is the terminal failure of a world: the first rank whose
+// fn returned an error or panicked (or, for Rank < 0, an external
+// cause — context cancellation or the Options.Timeout watchdog).
+// Unwrap exposes the cause, so errors.Is(err, context.Canceled) and
+// errors.Is(err, ErrTimeout) work through it.
+type AbortError struct {
+	// Rank is the originating rank, or -1 for an external abort.
+	Rank int
+	// Cause is the error that killed the world.
+	Cause error
+}
+
+// Error formats the abort with its originating rank.
+func (e *AbortError) Error() string {
+	if e.Rank < 0 {
+		return fmt.Sprintf("mpi: world aborted: %v", e.Cause)
+	}
+	return fmt.Sprintf("mpi: rank %d aborted the world: %v", e.Rank, e.Cause)
+}
+
+// Unwrap exposes the abort cause.
+func (e *AbortError) Unwrap() error { return e.Cause }
+
+// ErrTimeout is the cause recorded when the Options.Timeout watchdog
+// expires before every rank's fn returns.
+var ErrTimeout = errors.New("mpi: world timeout")
+
+// abortSignal is the panic sentinel that unwinds a rank blocked in a
+// communication call once the world has failed. It never escapes the
+// package: the Run driver recovers it.
+type abortSignal struct{}
+
+// abort moves the world to its terminal failed state (first caller
+// wins): records the error, fires the abort channel, and wakes barrier
+// waiters. Safe to call concurrently and repeatedly.
+func (w *World) abort(rank int, cause error) {
+	w.abortMu.Lock()
+	defer w.abortMu.Unlock()
+	if w.abortErr != nil || w.completed {
+		return
+	}
+	w.abortErr = &AbortError{Rank: rank, Cause: cause}
+	close(w.abortCh)
+	w.barrier.abort()
+}
+
+// failure returns the recorded abort, or nil.
+func (w *World) failure() *AbortError {
+	w.abortMu.Lock()
+	defer w.abortMu.Unlock()
+	return w.abortErr
+}
+
+// checkAbort panics with the abort sentinel if the world has failed —
+// the cheap poll every communication entry point performs.
+func (w *World) checkAbort() {
+	select {
+	case <-w.abortCh:
+		panic(abortSignal{})
+	default:
+	}
+}
+
+// Err reports the world's terminal failure, or nil while it is healthy.
+// Long compute loops that do not communicate should poll it (like
+// ctx.Err()) so a peer's failure or a cancellation stops them at the
+// next iteration instead of at the next collective.
+func (c *Comm) Err() error {
+	if e := c.world.failure(); e != nil {
+		return e
+	}
+	return nil
+}
+
+// Phase labels the rank's current execution phase. It doubles as an
+// abort checkpoint (panicking out of a failed world) and as the hook
+// point for FaultPlan phase kills, so chaos tests can target "die
+// during null pooling" vs "die during the tile scan" deterministically.
+func (c *Comm) Phase(name string) {
+	c.world.checkAbort()
+	if fp := c.world.fault; fp != nil {
+		fp.enterPhase(c.rank, name)
+	}
+}
+
+// Options tunes a world beyond its size.
+type Options struct {
+	// Fault injects deterministic failures for chaos testing (nil: no
+	// injection). A plan may be shared across worlds; its kill fires at
+	// most once in total.
+	Fault *FaultPlan
+	// Timeout aborts the world if the ranks have not all returned
+	// within the duration (0: no watchdog). The failure surfaces as an
+	// *AbortError with Rank -1 wrapping ErrTimeout — a rank-attributed
+	// deadlock report instead of a hung test binary.
+	Timeout time.Duration
+}
+
+// RunContext is Run with cancellation: when ctx is canceled the world
+// aborts, every blocked rank unwinds, and the returned *AbortError
+// wraps ctx's error.
+func RunContext(ctx context.Context, size int, fn func(c *Comm) error) error {
+	return RunOpts(ctx, size, Options{}, fn)
+}
+
+// RunOpts starts size ranks with fault injection and watchdog options.
+// It always terminates: a rank that returns an error, panics, or
+// observes a canceled context aborts the world, and every peer blocked
+// in a communication call unwinds promptly. The first failure is
+// returned as an *AbortError; a fault-free world returns nil.
+func RunOpts(ctx context.Context, size int, opts Options, fn func(c *Comm) error) error {
+	if size <= 0 {
+		return fmt.Errorf("mpi: non-positive world size %d", size)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	w := newWorld(size, opts.Fault)
+
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				p := recover()
+				if p == nil {
+					return
+				}
+				if _, ok := p.(abortSignal); ok {
+					// Unwound by a failure elsewhere; the originating
+					// rank already recorded the cause.
+					return
+				}
+				if err, ok := p.(error); ok {
+					w.abort(rank, fmt.Errorf("mpi: rank %d panicked: %w", rank, err))
+				} else {
+					w.abort(rank, fmt.Errorf("mpi: rank %d panicked: %v", rank, p))
+				}
+			}()
+			if err := fn(&Comm{world: w, rank: rank}); err != nil {
+				w.abort(rank, err)
+			}
+		}(r)
+	}
+
+	// External watchers: context cancellation and the deadlock watchdog
+	// abort with Rank -1.
+	watchDone := make(chan struct{})
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				w.abort(-1, ctx.Err())
+			case <-watchDone:
+			}
+		}()
+	}
+	if opts.Timeout > 0 {
+		t := time.AfterFunc(opts.Timeout, func() {
+			w.abort(-1, fmt.Errorf("%w: ranks still blocked after %v", ErrTimeout, opts.Timeout))
+		})
+		defer t.Stop()
+	}
+
+	wg.Wait()
+	close(watchDone)
+
+	// Mark completion under the abort lock so a watcher firing exactly
+	// now cannot retroactively fail a finished world.
+	w.abortMu.Lock()
+	w.completed = true
+	err := w.abortErr
+	w.abortMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,347 @@
+package mpi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Every test here exercises the fail-stop contract: a failed world must
+// terminate promptly with a rank-attributed *AbortError, never hang.
+// testTimeout bounds each world far below go test's own timeout so a
+// regression fails fast.
+const testTimeout = 10 * time.Second
+
+func runBounded(t *testing.T, size int, opts Options, fn func(c *Comm) error) error {
+	t.Helper()
+	if opts.Timeout == 0 {
+		opts.Timeout = testTimeout
+	}
+	err := RunOpts(context.Background(), size, opts, fn)
+	if errors.Is(err, ErrTimeout) {
+		t.Fatalf("world hung (watchdog fired): %v", err)
+	}
+	return err
+}
+
+func TestAbortUnblocksRecv(t *testing.T) {
+	err := runBounded(t, 2, Options{}, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return fmt.Errorf("rank 1 dies")
+		}
+		c.Recv(1, 0) // never satisfied; must unwind on abort
+		return fmt.Errorf("recv returned after abort")
+	})
+	var ab *AbortError
+	if !errors.As(err, &ab) || ab.Rank != 1 {
+		t.Fatalf("err = %v, want AbortError from rank 1", err)
+	}
+}
+
+func TestAbortUnblocksBarrier(t *testing.T) {
+	err := runBounded(t, 4, Options{}, func(c *Comm) error {
+		if c.Rank() == 2 {
+			panic("rank 2 dies before the barrier")
+		}
+		c.Barrier()
+		return fmt.Errorf("barrier released without all ranks")
+	})
+	var ab *AbortError
+	if !errors.As(err, &ab) || ab.Rank != 2 {
+		t.Fatalf("err = %v, want AbortError from rank 2", err)
+	}
+}
+
+func TestAbortUnblocksFullBufferSend(t *testing.T) {
+	err := runBounded(t, 2, Options{}, func(c *Comm) error {
+		if c.Rank() == 1 {
+			// Never receives; rank 0 fills the 64-slot buffer and blocks.
+			time.Sleep(20 * time.Millisecond)
+			return fmt.Errorf("rank 1 dies")
+		}
+		for i := 0; ; i++ {
+			c.Send(1, 0, []float64{float64(i)})
+		}
+	})
+	var ab *AbortError
+	if !errors.As(err, &ab) || ab.Rank != 1 {
+		t.Fatalf("err = %v, want AbortError from rank 1", err)
+	}
+}
+
+func TestAbortUnblocksNonblockingWait(t *testing.T) {
+	err := runBounded(t, 3, Options{}, func(c *Comm) error {
+		switch c.Rank() {
+		case 2:
+			return fmt.Errorf("rank 2 dies")
+		case 0:
+			c.IRecv(1, 7).Wait() // rank 1 never sends
+			return fmt.Errorf("wait returned after abort")
+		default:
+			c.Recv(0, 9) // also blocked
+			return fmt.Errorf("recv returned after abort")
+		}
+	})
+	var ab *AbortError
+	if !errors.As(err, &ab) || ab.Rank != 2 {
+		t.Fatalf("err = %v, want AbortError from rank 2", err)
+	}
+}
+
+func TestRunContextCancelUnblocksWorld(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := RunOpts(ctx, 3, Options{Timeout: testTimeout}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Recv(1, 0) // rank 1 never sends: only the cancel can end this
+			return fmt.Errorf("recv returned")
+		}
+		c.Barrier()
+		return fmt.Errorf("barrier released")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled through AbortError", err)
+	}
+	var ab *AbortError
+	if !errors.As(err, &ab) || ab.Rank != -1 {
+		t.Fatalf("err = %v, want external AbortError (rank -1)", err)
+	}
+	if time.Since(start) > testTimeout/2 {
+		t.Fatalf("cancellation took %v; abort did not propagate", time.Since(start))
+	}
+}
+
+func TestTimeoutWatchdogReportsDeadlock(t *testing.T) {
+	err := RunOpts(context.Background(), 2, Options{Timeout: 50 * time.Millisecond},
+		func(c *Comm) error {
+			c.Recv(1-c.Rank(), 0) // mutual recv with no sends: deadlock
+			return nil
+		})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestCommErrSeesPeerFailure(t *testing.T) {
+	err := runBounded(t, 2, Options{}, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return fmt.Errorf("rank 1 dies")
+		}
+		// Pure compute loop: poll Err like a ctx.
+		deadline := time.Now().Add(testTimeout)
+		for c.Err() == nil {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("Err never reported the abort")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return nil
+	})
+	var ab *AbortError
+	if !errors.As(err, &ab) || ab.Rank != 1 {
+		t.Fatalf("err = %v, want AbortError from rank 1", err)
+	}
+}
+
+func TestFaultKillAfterSendsIsDeterministic(t *testing.T) {
+	for trial := 0; trial < 3; trial++ {
+		plan := &FaultPlan{Seed: 7, Kill: &KillSpec{Rank: 1, AfterSends: 2}}
+		var delivered int64
+		err := runBounded(t, 2, Options{Fault: plan}, func(c *Comm) error {
+			if c.Rank() == 1 {
+				for i := 0; i < 10; i++ {
+					c.Send(0, i, []float64{1})
+				}
+				return fmt.Errorf("survived past the injected kill")
+			}
+			for i := 0; ; i++ {
+				c.Recv(1, i)
+				atomic.AddInt64(&delivered, 1)
+			}
+		})
+		var ab *AbortError
+		if !errors.As(err, &ab) || ab.Rank != 1 || !errors.Is(err, ErrInjected) {
+			t.Fatalf("trial %d: err = %v, want injected abort from rank 1", trial, err)
+		}
+		if plan.Stats().Kills != 1 {
+			t.Fatalf("trial %d: kills = %d", trial, plan.Stats().Kills)
+		}
+		// Exactly 2 sends complete before the kill; receipt of the 2nd
+		// may race the abort, so delivered is 1 or 2, never 3+.
+		if d := atomic.LoadInt64(&delivered); d > 2 {
+			t.Fatalf("trial %d: %d messages delivered after a kill at send 3", trial, d)
+		}
+	}
+}
+
+func TestFaultKillInPhase(t *testing.T) {
+	plan := &FaultPlan{Kill: &KillSpec{Rank: 0, Phase: "scan"}}
+	err := runBounded(t, 2, Options{Fault: plan}, func(c *Comm) error {
+		c.Phase("setup")
+		c.Barrier()
+		c.Phase("scan")
+		if c.Rank() == 0 {
+			return fmt.Errorf("rank 0 survived phase kill")
+		}
+		c.Barrier() // rank 0 never arrives; abort must release this
+		return fmt.Errorf("barrier released")
+	})
+	var ab *AbortError
+	if !errors.As(err, &ab) || ab.Rank != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want injected abort from rank 0 in phase scan", err)
+	}
+}
+
+func TestFaultKillFiresOnceAcrossWorlds(t *testing.T) {
+	// The recovery shape: one plan shared by a failed world and its
+	// re-run. The second world must not be re-killed.
+	plan := &FaultPlan{Kill: &KillSpec{Rank: 0, Phase: "work"}}
+	err := runBounded(t, 2, Options{Fault: plan}, func(c *Comm) error {
+		c.Phase("work")
+		c.Barrier()
+		return nil
+	})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("first world: err = %v, want injected", err)
+	}
+	err = runBounded(t, 2, Options{Fault: plan}, func(c *Comm) error {
+		c.Phase("work")
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("second world must survive a spent plan, got %v", err)
+	}
+}
+
+func TestFaultDelayIsSeededAndCounted(t *testing.T) {
+	counts := make([]int64, 2)
+	for trial := range counts {
+		plan := &FaultPlan{Seed: 42, DelayProb: 0.5, DelayMax: time.Microsecond}
+		err := runBounded(t, 2, Options{Fault: plan}, func(c *Comm) error {
+			other := 1 - c.Rank()
+			for i := 0; i < 50; i++ {
+				c.Send(other, i, []float64{1})
+			}
+			for i := 0; i < 50; i++ {
+				c.Recv(other, i)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[trial] = plan.Stats().Delayed
+	}
+	if counts[0] == 0 {
+		t.Fatal("DelayProb 0.5 over 100 sends delayed nothing")
+	}
+	if counts[0] != counts[1] {
+		t.Fatalf("same seed, different delay schedules: %d vs %d", counts[0], counts[1])
+	}
+}
+
+func TestFaultSlowRankDelaysSends(t *testing.T) {
+	plan := &FaultPlan{SlowDelay: time.Millisecond, SlowRank: 1}
+	err := runBounded(t, 2, Options{Fault: plan}, func(c *Comm) error {
+		other := 1 - c.Rank()
+		for i := 0; i < 3; i++ {
+			c.Send(other, i, nil)
+			c.Recv(other, i)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Stats().Delayed; got != 3 {
+		t.Fatalf("slow rank delayed %d sends, want 3", got)
+	}
+}
+
+func TestFaultDropSurfacesAsTimeoutNotHang(t *testing.T) {
+	// Drop the one message a Recv depends on: without the abort
+	// machinery this test would hang for go test's full timeout; with
+	// it, the watchdog converts the loss into a typed error.
+	plan := &FaultPlan{Seed: 1, DropProb: 1, DropMax: 1}
+	err := RunOpts(context.Background(), 2,
+		Options{Fault: plan, Timeout: 50 * time.Millisecond},
+		func(c *Comm) error {
+			if c.Rank() == 0 {
+				c.Send(1, 0, []float64{1})
+				return nil
+			}
+			c.Recv(0, 0)
+			return fmt.Errorf("received a dropped message")
+		})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if plan.Stats().Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", plan.Stats().Dropped)
+	}
+}
+
+// TestBcastReceiverOwnsPayload documents the fan-out ownership
+// contract: every rank may mutate what Bcast/Allgatherv returned.
+// Without per-receiver deep copies this races under -race.
+func TestBcastReceiverOwnsPayload(t *testing.T) {
+	err := runBounded(t, 4, Options{}, func(c *Comm) error {
+		var payload []float64
+		if c.Rank() == 0 {
+			payload = []float64{1, 2, 3}
+		}
+		got := c.Bcast(0, payload).([]float64)
+		for i := range got {
+			got[i] += float64(c.Rank()) // concurrent mutation per rank
+		}
+		tree := c.BcastTree(0, append([]float64(nil), 9, 8)).([]float64)
+		tree[0] = float64(c.Rank())
+
+		all := c.Allgatherv([]float64{float64(c.Rank())})
+		for r := range all {
+			for i := range all[r] {
+				all[r][i] *= 2
+			}
+		}
+		c.Barrier()
+		if got[0] != 1+float64(c.Rank()) {
+			return fmt.Errorf("rank %d saw peer mutation: %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllgathervTrafficAccounting is the regression test for nested
+// payload accounting: Allgatherv's cost is each part sent once to root
+// plus the gathered [][]float64 broadcast to every non-root rank.
+func TestAllgathervTrafficAccounting(t *testing.T) {
+	const size = 3
+	err := runBounded(t, size, Options{}, func(c *Comm) error {
+		local := make([]float64, c.Rank()+1) // parts of 1, 2, 3 elements
+		c.Allgatherv(local)
+		c.Barrier()
+		msgs, bytes := c.Traffic()
+		// Gatherv: ranks 1,2 send 2+3 elems = 40 bytes in 2 messages.
+		// Bcast of the 6-elem gathered set to 2 ranks = 96 bytes, 2 msgs.
+		const wantMsgs, wantBytes = 4, (2+3)*8 + 2*6*8
+		if msgs != wantMsgs || bytes != wantBytes {
+			return fmt.Errorf("traffic = %d msgs / %d bytes, want %d / %d",
+				msgs, bytes, wantMsgs, wantBytes)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

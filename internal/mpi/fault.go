@@ -1,0 +1,161 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Deterministic chaos. A FaultPlan describes the failures to inject
+// into a world — rank kills, message latency, slow ranks, message
+// loss — all driven by a stateless hash of (seed, rank, event index),
+// so a chaos test replays identically regardless of goroutine
+// interleaving: the same seed kills the same rank at the same send and
+// delays the same messages every run.
+
+// ErrInjected marks failures raised by a FaultPlan kill; recovery
+// logic and tests detect injected faults with errors.Is.
+var ErrInjected = errors.New("injected fault")
+
+// KillSpec targets one rank for a fail-stop kill. Exactly one trigger
+// applies: when Phase is non-empty the rank dies on entering that
+// Comm.Phase; otherwise it dies at its first send attempt after
+// completing AfterSends sends (AfterSends 0: at its very first send).
+type KillSpec struct {
+	// Rank is the world rank to kill.
+	Rank int
+	// AfterSends is how many sends the rank completes before dying.
+	AfterSends int
+	// Phase, when non-empty, kills on entering the named phase instead.
+	Phase string
+}
+
+// FaultPlan injects deterministic failures into a world (pass via
+// Options.Fault). The zero value injects nothing. A plan carries its
+// own counters and may be shared across sequential worlds — the shape
+// recovery produces: the kill fires at most once in total, so the
+// re-run after a recovered failure is not re-killed, while delay, slow
+// and drop interference keep applying.
+type FaultPlan struct {
+	// Seed drives every probabilistic decision; equal seeds give equal
+	// fault schedules.
+	Seed uint64
+	// Kill, when non-nil, fail-stops one rank (once, ever).
+	Kill *KillSpec
+	// DelayProb is the per-send probability of injected latency,
+	// uniform in (0, DelayMax].
+	DelayProb float64
+	// DelayMax bounds injected per-message latency (required when
+	// DelayProb > 0).
+	DelayMax time.Duration
+	// SlowDelay, when positive, is added to every send by SlowRank —
+	// the straggler that load-balance and recovery tests need.
+	SlowDelay time.Duration
+	// SlowRank is the straggling rank (meaningful when SlowDelay > 0).
+	SlowRank int
+	// DropProb is the per-send probability of silently losing the
+	// message. A dropped collective message deadlocks its receiver by
+	// design — pair drops with Options.Timeout so the loss surfaces as
+	// a rank-attributed abort instead of a hang.
+	DropProb float64
+	// DropMax caps total dropped messages (0: unlimited).
+	DropMax int64
+
+	killFired int32
+	delayed   int64
+	dropped   int64
+}
+
+// FaultStats reports what a plan actually injected, cumulative across
+// every world that used it.
+type FaultStats struct {
+	// Kills is 1 once the kill has fired.
+	Kills int64
+	// Delayed counts messages given injected latency (slow-rank sends
+	// included).
+	Delayed int64
+	// Dropped counts messages silently lost.
+	Dropped int64
+}
+
+// Stats snapshots the plan's injection counters.
+func (fp *FaultPlan) Stats() FaultStats {
+	if fp == nil {
+		return FaultStats{}
+	}
+	return FaultStats{
+		Kills:   int64(atomic.LoadInt32(&fp.killFired)),
+		Delayed: atomic.LoadInt64(&fp.delayed),
+		Dropped: atomic.LoadInt64(&fp.dropped),
+	}
+}
+
+// fireKill claims the plan's single kill; true for exactly one caller.
+func (fp *FaultPlan) fireKill() bool {
+	return atomic.CompareAndSwapInt32(&fp.killFired, 0, 1)
+}
+
+// enterPhase applies phase-triggered kills (called from Comm.Phase).
+func (fp *FaultPlan) enterPhase(rank int, name string) {
+	k := fp.Kill
+	if k == nil || k.Phase != name || k.Rank != rank {
+		return
+	}
+	if fp.fireKill() {
+		panic(fmt.Errorf("mpi: rank %d killed in phase %q: %w", rank, name, ErrInjected))
+	}
+}
+
+// beforeSend applies send-triggered faults for the rank's seq-th send
+// (1-based). It may panic (kill), sleep (delay/slow — interruptible via
+// abortCh), or report drop=true (the message is silently lost).
+func (fp *FaultPlan) beforeSend(rank int, seq int64, abortCh <-chan struct{}) (drop bool) {
+	if k := fp.Kill; k != nil && k.Phase == "" && k.Rank == rank && seq > int64(k.AfterSends) {
+		if fp.fireKill() {
+			panic(fmt.Errorf("mpi: rank %d killed after %d sends: %w", rank, seq-1, ErrInjected))
+		}
+	}
+	var delay time.Duration
+	if fp.SlowDelay > 0 && rank == fp.SlowRank {
+		delay += fp.SlowDelay
+	}
+	if fp.DelayProb > 0 && fp.DelayMax > 0 {
+		h := faultHash(fp.Seed, uint64(rank), uint64(seq), 0x9E3779B97F4A7C15)
+		if unitFloat(h) < fp.DelayProb {
+			jitter := faultHash(fp.Seed, uint64(rank), uint64(seq), 0xBF58476D1CE4E5B9)
+			delay += time.Duration(jitter%uint64(fp.DelayMax)) + 1
+		}
+	}
+	if delay > 0 {
+		atomic.AddInt64(&fp.delayed, 1)
+		select {
+		case <-time.After(delay):
+		case <-abortCh:
+			panic(abortSignal{})
+		}
+	}
+	if fp.DropProb > 0 {
+		h := faultHash(fp.Seed, uint64(rank), uint64(seq), 0x94D049BB133111EB)
+		if unitFloat(h) < fp.DropProb {
+			if fp.DropMax <= 0 || atomic.LoadInt64(&fp.dropped) < fp.DropMax {
+				atomic.AddInt64(&fp.dropped, 1)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// faultHash mixes (seed, rank, event index, salt) with splitmix64 —
+// stateless, so fault decisions are independent of scheduling order.
+func faultHash(seed, rank, seq, salt uint64) uint64 {
+	z := seed ^ salt ^ rank*0xA0761D6478BD642F ^ seq*0xE7037ED1A0B428DB
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// unitFloat maps a hash to [0, 1).
+func unitFloat(h uint64) float64 { return float64(h>>11) / (1 << 53) }

@@ -12,10 +12,22 @@
 //
 // Semantics: Send transfers ownership of slice payloads; the sender must
 // not mutate a slice after sending it. Matching is by (source, tag) with
-// out-of-order buffering, as in MPI.
+// out-of-order buffering, as in MPI. Fan-out collectives (Bcast,
+// BcastTree, and therefore Allgatherv/Allreduce) deep-copy slice
+// payloads per receiver, so every rank owns — and may freely mutate —
+// what a collective returns; only payload types clonePayload does not
+// know are delivered shared and must be treated as read-only.
+//
+// The world is fail-stop-safe: when any rank's fn returns an error or
+// panics, when RunContext's context is canceled, or when the
+// Options.Timeout watchdog fires, the world aborts — every blocked
+// Recv/Barrier/collective unwinds promptly and Run returns a typed
+// *AbortError naming the originating rank (see abort.go). Deterministic
+// failure injection for chaos tests lives in fault.go.
 package mpi
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -39,24 +51,32 @@ type World struct {
 
 	barrier *barrier
 
+	// fault is the optional injection plan; sendSeq[r] numbers rank r's
+	// send attempts so fault decisions replay deterministically.
+	fault   *FaultPlan
+	sendSeq []int64
+
+	// Terminal failed state (see abort.go): abortCh is closed exactly
+	// once, after abortErr is set; completed blocks post-success aborts
+	// from external watchers.
+	abortMu   sync.Mutex
+	abortErr  *AbortError
+	abortCh   chan struct{}
+	completed bool
+
 	msgCount  int64
 	byteCount int64
 }
 
-// Comm is one rank's handle on the world.
-type Comm struct {
-	world *World
-	rank  int
-}
-
-// Run starts size ranks, each executing fn with its own Comm, and waits
-// for all to finish. The first non-nil error (or recovered panic) is
-// returned. size must be positive.
-func Run(size int, fn func(c *Comm) error) error {
-	if size <= 0 {
-		return fmt.Errorf("mpi: non-positive world size %d", size)
+// newWorld allocates the links, buffers and abort state for size ranks.
+func newWorld(size int, fault *FaultPlan) *World {
+	w := &World{
+		size:    size,
+		barrier: newBarrier(size),
+		fault:   fault,
+		sendSeq: make([]int64, size),
+		abortCh: make(chan struct{}),
 	}
-	w := &World{size: size, barrier: newBarrier(size)}
 	w.links = make([][]chan message, size)
 	w.pending = make([][][]message, size)
 	for s := 0; s < size; s++ {
@@ -70,27 +90,21 @@ func Run(size int, fn func(c *Comm) error) error {
 	for d := 0; d < size; d++ {
 		w.pending[d] = make([][]message, size)
 	}
-	errs := make([]error, size)
-	var wg sync.WaitGroup
-	for r := 0; r < size; r++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
-				}
-			}()
-			errs[rank] = fn(&Comm{world: w, rank: rank})
-		}(r)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return w
+}
+
+// Comm is one rank's handle on the world.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Run starts size ranks, each executing fn with its own Comm, and waits
+// for all to finish. A rank failure (error return or panic) aborts the
+// world — no peer blocks past it — and is reported as an *AbortError
+// naming the originating rank. size must be positive.
+func Run(size int, fn func(c *Comm) error) error {
+	return RunOpts(context.Background(), size, Options{}, fn)
 }
 
 // Rank returns this communicator's rank in [0, Size).
@@ -100,7 +114,10 @@ func (c *Comm) Rank() int { return c.rank }
 func (c *Comm) Size() int { return c.world.size }
 
 // payloadBytes estimates the wire size of a payload for the traffic
-// counters.
+// counters. Nested slices — Allgatherv's broadcast of the gathered
+// parts is the hot case — count the sum of their elements, so
+// allgather-heavy runs report true communication volume instead of
+// falling through to the 8-byte default.
 func payloadBytes(payload any) int64 {
 	switch p := payload.(type) {
 	case []float32:
@@ -113,10 +130,56 @@ func payloadBytes(payload any) int64 {
 		return int64(len(p)) * 8
 	case []int:
 		return int64(len(p)) * 8
+	case [][]float32:
+		var n int64
+		for _, s := range p {
+			n += int64(len(s)) * 4
+		}
+		return n
+	case [][]float64:
+		var n int64
+		for _, s := range p {
+			n += int64(len(s)) * 8
+		}
+		return n
+	case [][]int:
+		var n int64
+		for _, s := range p {
+			n += int64(len(s)) * 8
+		}
+		return n
 	case nil:
 		return 0
 	default:
 		return 8
+	}
+}
+
+// clonePayload deep-copies the payload types the fan-out collectives
+// distribute, so every receiver owns its slice: a rank mutating what
+// Bcast or Allgatherv returned cannot race with (or corrupt) its
+// peers. Unknown types are returned as-is — delivered shared, to be
+// treated as read-only by receivers.
+func clonePayload(payload any) any {
+	switch p := payload.(type) {
+	case []float32:
+		return append([]float32(nil), p...)
+	case []float64:
+		return append([]float64(nil), p...)
+	case []int32:
+		return append([]int32(nil), p...)
+	case []int64:
+		return append([]int64(nil), p...)
+	case []int:
+		return append([]int(nil), p...)
+	case [][]float64:
+		out := make([][]float64, len(p))
+		for i, s := range p {
+			out[i] = append([]float64(nil), s...)
+		}
+		return out
+	default:
+		return payload
 	}
 }
 
@@ -137,9 +200,20 @@ func (c *Comm) send(dst, tag int, payload any) {
 	if tag < 0 {
 		panic(fmt.Sprintf("mpi: negative tag %d", tag))
 	}
+	c.world.checkAbort()
+	if fp := c.world.fault; fp != nil {
+		seq := atomic.AddInt64(&c.world.sendSeq[c.rank], 1)
+		if fp.beforeSend(c.rank, seq, c.world.abortCh) {
+			return // message lost by the fault plan
+		}
+	}
 	atomic.AddInt64(&c.world.msgCount, 1)
 	atomic.AddInt64(&c.world.byteCount, payloadBytes(payload))
-	c.world.links[c.rank][dst] <- message{tag: tag, payload: payload}
+	select {
+	case c.world.links[c.rank][dst] <- message{tag: tag, payload: payload}:
+	case <-c.world.abortCh:
+		panic(abortSignal{})
+	}
 }
 
 // Recv blocks until a message with the given tag arrives from rank src
@@ -161,7 +235,13 @@ func (c *Comm) Recv(src, tag int) any {
 		}
 	}
 	for {
-		m := <-c.world.links[src][c.rank]
+		var m message
+		select {
+		case m = <-c.world.links[src][c.rank]:
+		case <-c.world.abortCh:
+			// A message that will never arrive: the world failed.
+			panic(abortSignal{})
+		}
 		if m.tag == tag {
 			return m.payload
 		}
@@ -169,13 +249,16 @@ func (c *Comm) Recv(src, tag int) any {
 	}
 }
 
-// barrier is a reusable generation barrier.
+// barrier is a reusable generation barrier with a terminal aborted
+// state: once aborted, current and future waiters unwind with the
+// abort sentinel instead of waiting for ranks that will never arrive.
 type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	size  int
-	count int
-	gen   int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	size    int
+	count   int
+	gen     int
+	aborted bool
 }
 
 func newBarrier(size int) *barrier {
@@ -186,6 +269,10 @@ func newBarrier(size int) *barrier {
 
 func (b *barrier) wait() {
 	b.mu.Lock()
+	if b.aborted {
+		b.mu.Unlock()
+		panic(abortSignal{})
+	}
 	gen := b.gen
 	b.count++
 	if b.count == b.size {
@@ -193,10 +280,23 @@ func (b *barrier) wait() {
 		b.gen++
 		b.cond.Broadcast()
 	} else {
-		for gen == b.gen {
+		for gen == b.gen && !b.aborted {
 			b.cond.Wait()
 		}
+		if b.aborted {
+			b.mu.Unlock()
+			panic(abortSignal{})
+		}
 	}
+	b.mu.Unlock()
+}
+
+// abort permanently releases the barrier; waiters panic with the abort
+// sentinel and unwind out of their rank's fn.
+func (b *barrier) abort() {
+	b.mu.Lock()
+	b.aborted = true
+	b.cond.Broadcast()
 	b.mu.Unlock()
 }
 
@@ -204,7 +304,10 @@ func (b *barrier) wait() {
 func (c *Comm) Barrier() { c.world.barrier.wait() }
 
 // Bcast distributes root's payload to every rank and returns it. Ranks
-// other than root pass nil (their argument is ignored).
+// other than root pass nil (their argument is ignored). Slice payloads
+// are deep-copied per receiver, so a rank may mutate what Bcast
+// returned without racing with its peers; root's own return value is
+// the original payload.
 func (c *Comm) Bcast(root int, payload any) any {
 	if root < 0 || root >= c.world.size {
 		panic(fmt.Sprintf("mpi: bcast from invalid root %d", root))
@@ -215,7 +318,7 @@ func (c *Comm) Bcast(root int, payload any) any {
 	if c.rank == root {
 		for d := 0; d < c.world.size; d++ {
 			if d != root {
-				c.send(d, collectiveTag, payload)
+				c.send(d, collectiveTag, clonePayload(payload))
 			}
 		}
 		return payload

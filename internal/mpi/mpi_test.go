@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -43,8 +44,12 @@ func TestRunPropagatesErrors(t *testing.T) {
 		}
 		return nil
 	})
-	if err == nil || err.Error() != "boom" {
-		t.Fatalf("err = %v", err)
+	var ab *AbortError
+	if !errors.As(err, &ab) {
+		t.Fatalf("err = %v, want *AbortError", err)
+	}
+	if ab.Rank != 1 || ab.Cause.Error() != "boom" {
+		t.Fatalf("abort = %+v, want rank 1 / boom", ab)
 	}
 }
 
@@ -56,8 +61,12 @@ func TestRunRecoversPanics(t *testing.T) {
 		// Rank 1 must not deadlock waiting for rank 0: no communication.
 		return nil
 	})
-	if err == nil {
-		t.Fatal("panic should surface as error")
+	var ab *AbortError
+	if !errors.As(err, &ab) {
+		t.Fatalf("panic should surface as *AbortError, got %v", err)
+	}
+	if ab.Rank != 0 {
+		t.Fatalf("abort rank = %d, want 0", ab.Rank)
 	}
 }
 
@@ -322,6 +331,11 @@ func TestPayloadBytes(t *testing.T) {
 		{[]int32{1}, 4},
 		{[]int64{1}, 8},
 		{[]int{1, 2, 3}, 24},
+		// Nested slices (Allgatherv's broadcast payload) must count
+		// their elements, not the 8-byte default.
+		{[][]float64{{1, 2}, {3}, nil}, 24},
+		{[][]float32{{1, 2, 3}, {4}}, 16},
+		{[][]int{{1}, {2, 3}}, 24},
 		{nil, 0},
 		{3.14, 8},
 	}

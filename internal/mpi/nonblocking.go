@@ -5,24 +5,58 @@ import "fmt"
 // Request is a pending nonblocking operation. Complete it with Wait
 // (or poll with Test). Every request must eventually be waited on.
 type Request struct {
+	world   *World
 	done    chan struct{}
 	payload any
+	// aborted marks a request whose background operation was unwound by
+	// a world abort; Wait/Test propagate the unwind to the caller.
+	aborted bool
+}
+
+// finish runs op in the background and completes the request. A world
+// abort unwinding op is captured here (a panic escaping a detached
+// goroutine would kill the process) and re-raised in Wait/Test on the
+// rank's own stack.
+func (r *Request) finish(op func()) {
+	defer func() {
+		if p := recover(); p != nil {
+			if _, ok := p.(abortSignal); !ok {
+				panic(p)
+			}
+			r.aborted = true
+		}
+		close(r.done)
+	}()
+	op()
 }
 
 // Wait blocks until the operation completes and returns the received
-// payload (nil for sends).
+// payload (nil for sends). If the world aborts first, Wait unwinds like
+// every blocking operation.
 func (r *Request) Wait() any {
-	<-r.done
+	select {
+	case <-r.done:
+	case <-r.world.abortCh:
+		panic(abortSignal{})
+	}
+	if r.aborted {
+		panic(abortSignal{})
+	}
 	return r.payload
 }
 
 // Test reports whether the operation has completed, returning the
-// payload when it has. It never blocks.
+// payload when it has. It never blocks. Like Wait, it unwinds if the
+// world has aborted.
 func (r *Request) Test() (any, bool) {
 	select {
 	case <-r.done:
+		if r.aborted {
+			panic(abortSignal{})
+		}
 		return r.payload, true
 	default:
+		r.world.checkAbort()
 		return nil, false
 	}
 }
@@ -42,11 +76,8 @@ func (c *Comm) ISend(dst, tag int, payload any) *Request {
 	if tag < 0 {
 		panic(fmt.Sprintf("mpi: negative tag %d", tag))
 	}
-	r := &Request{done: make(chan struct{})}
-	go func() {
-		c.send(dst, tag, payload)
-		close(r.done)
-	}()
+	r := &Request{world: c.world, done: make(chan struct{})}
+	go r.finish(func() { c.send(dst, tag, payload) })
 	return r
 }
 
@@ -60,11 +91,8 @@ func (c *Comm) IRecv(src, tag int) *Request {
 	if src < 0 || src >= c.world.size || src == c.rank {
 		panic(fmt.Sprintf("mpi: irecv from invalid rank %d (size %d)", src, c.world.size))
 	}
-	r := &Request{done: make(chan struct{})}
-	go func() {
-		r.payload = c.Recv(src, tag)
-		close(r.done)
-	}()
+	r := &Request{world: c.world, done: make(chan struct{})}
+	go r.finish(func() { r.payload = c.Recv(src, tag) })
 	return r
 }
 

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -26,31 +27,27 @@ func TestISendIRecvBasic(t *testing.T) {
 }
 
 func TestRequestTest(t *testing.T) {
-	err := Run(2, func(c *Comm) error {
-		if c.Rank() == 0 {
-			// Delay the send so the first Test sees incompleteness.
-			time.Sleep(20 * time.Millisecond)
-			c.Send(1, 0, []float64{1})
-			return nil
-		}
-		req := c.IRecv(0, 0)
-		if _, ok := req.Test(); ok {
-			return fmt.Errorf("Test completed before the send")
-		}
-		deadline := time.Now().Add(5 * time.Second)
-		for {
-			if payload, ok := req.Test(); ok {
-				if payload.([]float64)[0] != 1 {
-					return fmt.Errorf("payload %v", payload)
-				}
+	// The watchdog replaces the old hand-rolled polling deadline: if the
+	// request never completes, the world aborts with a rank-attributed
+	// ErrTimeout instead of this test hanging until go test's timeout.
+	err := RunOpts(context.Background(), 2, Options{Timeout: 5 * time.Second},
+		func(c *Comm) error {
+			if c.Rank() == 0 {
+				// Delay the send so the first Test sees incompleteness.
+				time.Sleep(20 * time.Millisecond)
+				c.Send(1, 0, []float64{1})
 				return nil
 			}
-			if time.Now().After(deadline) {
-				return fmt.Errorf("request never completed")
+			req := c.IRecv(0, 0)
+			if _, ok := req.Test(); ok {
+				return fmt.Errorf("Test completed before the send")
 			}
-			time.Sleep(time.Millisecond)
-		}
-	})
+			payload := req.Wait()
+			if payload.([]float64)[0] != 1 {
+				return fmt.Errorf("payload %v", payload)
+			}
+			return nil
+		})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -39,13 +39,15 @@ func (c *Comm) BcastTree(root int, payload any) any {
 		payload = c.Recv(realRank(parent, root, size), collectiveTag+4)
 	}
 	// Forward to children: v + 2^r for each r above v's lowest set bit
-	// (for v==0: all powers of two).
+	// (for v==0: all powers of two). Each child gets its own copy so the
+	// returned payload is exclusively owned at every rank, matching
+	// Bcast's ownership contract.
 	low := v & (-v)
 	if v == 0 {
 		low = 1 << 30
 	}
 	for bit := 1; bit < low && v+bit < size; bit <<= 1 {
-		c.send(realRank(v+bit, root, size), collectiveTag+4, payload)
+		c.send(realRank(v+bit, root, size), collectiveTag+4, clonePayload(payload))
 	}
 	return payload
 }

@@ -145,6 +145,9 @@ type Server struct {
 	// Pre-registered instruments (hot-path safe: no registry lookups).
 	mSubmitted, mRejected, mEvicted  *metrics.Counter
 	mPairs, mSkipped, mHits, mMisses *metrics.Counter
+	mRankFailures, mRecoveryRuns     *metrics.Counter
+	mRecoveredTiles                  *metrics.Counter
+	mFaultDelayed, mFaultDropped     *metrics.Counter
 	mTerminal                        map[JobState]*metrics.Counter
 	hJobSeconds                      *metrics.Histogram
 }
@@ -193,6 +196,11 @@ func (s *Server) init() {
 		s.mSkipped = r.Counter("tinge_permutations_skipped_total", "Permutation evaluations avoided by early exit.", nil)
 		s.mHits = r.Counter("tinge_permcache_hits_total", "Permuted-row cache hits.", nil)
 		s.mMisses = r.Counter("tinge_permcache_misses_total", "Permuted-row cache misses.", nil)
+		s.mRankFailures = r.Counter("tinge_rank_failures_total", "Cluster ranks lost to faults across jobs.", nil)
+		s.mRecoveryRuns = r.Counter("tinge_recovery_runs_total", "Cluster recovery re-runs after a rank failure.", nil)
+		s.mRecoveredTiles = r.Counter("tinge_recovered_tiles_total", "Pair tiles redistributed to surviving ranks.", nil)
+		s.mFaultDelayed = r.Counter("tinge_fault_delayed_messages_total", "Messages delayed by fault injection.", nil)
+		s.mFaultDropped = r.Counter("tinge_fault_dropped_messages_total", "Messages dropped by fault injection.", nil)
 		s.hJobSeconds = r.Histogram("tinge_job_seconds", "Job wall time from start to terminal state.",
 			nil, []float64{0.1, 0.5, 1, 5, 15, 60, 300, 1800, 7200})
 		for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
@@ -279,14 +287,15 @@ func parseConfig(r *http.Request) (core.Config, error) {
 		return nil
 	}
 	for name, dst := range map[string]*int{
-		"permutations": &cfg.Permutations,
-		"workers":      &cfg.Workers,
-		"order":        &cfg.Order,
-		"bins":         &cfg.Bins,
-		"tile":         &cfg.TileSize,
-		"ranks":        &cfg.Ranks,
-		"nullpairs":    &cfg.NullSamplePairs,
-		"ckptevery":    &cfg.CheckpointEvery,
+		"permutations":  &cfg.Permutations,
+		"workers":       &cfg.Workers,
+		"order":         &cfg.Order,
+		"bins":          &cfg.Bins,
+		"tile":          &cfg.TileSize,
+		"ranks":         &cfg.Ranks,
+		"nullpairs":     &cfg.NullSamplePairs,
+		"ckptevery":     &cfg.CheckpointEvery,
+		"maxrecoveries": &cfg.MaxRecoveries,
 	} {
 		if err := intParam(name, dst); err != nil {
 			return cfg, err
@@ -353,7 +362,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if data.MissingCount() > 0 {
 		data.ImputeRowMean()
 	}
-	if s.CheckpointDir != "" && cfg.Engine != core.Cluster {
+	// Every engine checkpoints now — the cluster engine also uses the
+	// same state for rank recovery.
+	if s.CheckpointDir != "" {
 		cfg.CheckpointPath = filepath.Join(s.CheckpointDir, jobKey(body, cfg)+".ckpt")
 	}
 
@@ -481,6 +492,11 @@ func (s *Server) finish(j *job, st JobState, errMsg string, res *core.Result) {
 		s.mSkipped.Add(float64(res.PermutationsSkipped))
 		s.mHits.Add(float64(res.PermCacheHits))
 		s.mMisses.Add(float64(res.PermCacheMisses))
+		s.mRankFailures.Add(float64(res.RankFailures))
+		s.mRecoveryRuns.Add(float64(res.RecoveryRuns))
+		s.mRecoveredTiles.Add(float64(res.RecoveredTiles))
+		s.mFaultDelayed.Add(float64(res.FaultDelayedMessages))
+		s.mFaultDropped.Add(float64(res.FaultDroppedMessages))
 		for phase, secs := range res.Timer.Seconds() {
 			s.Metrics.Counter("tinge_phase_seconds_total",
 				"Pipeline wall seconds by phase, summed over jobs.",

@@ -461,6 +461,17 @@ func TestMetricsEndpoint(t *testing.T) {
 	metricValue(t, scrape, "tinge_permcache_hits_total")
 	metricValue(t, scrape, "tinge_permcache_misses_total")
 	metricValue(t, scrape, "tinge_permutations_skipped_total")
+	// Fault-tolerance counters are pre-registered (zero on a healthy
+	// run — their absence would hide a recovery from the dashboards).
+	if v := metricValue(t, scrape, "tinge_rank_failures_total"); v != 0 {
+		t.Fatalf("rank failures = %v on a healthy run", v)
+	}
+	if v := metricValue(t, scrape, "tinge_recovery_runs_total"); v != 0 {
+		t.Fatalf("recovery runs = %v on a healthy run", v)
+	}
+	metricValue(t, scrape, "tinge_recovered_tiles_total")
+	metricValue(t, scrape, "tinge_fault_delayed_messages_total")
+	metricValue(t, scrape, "tinge_fault_dropped_messages_total")
 	if v := metricValue(t, scrape, `tinge_http_requests_total{code="202",route="/jobs"}`); v != 1 {
 		t.Fatalf("request counter = %v", v)
 	}

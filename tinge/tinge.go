@@ -34,6 +34,7 @@ import (
 	"repro/internal/grn"
 	"repro/internal/mat"
 	"repro/internal/mi"
+	"repro/internal/mpi"
 	"repro/internal/phi"
 	"repro/internal/soft"
 	"repro/internal/tile"
@@ -52,6 +53,18 @@ type (
 	EngineKind = core.EngineKind
 	// KernelKind selects the MI kernel formulation.
 	KernelKind = core.KernelKind
+)
+
+// Fault-tolerance types (cluster engine). A FaultPlan assigned to
+// Config.Fault injects deterministic rank kills, message delays, and
+// drops for chaos testing; AbortError is what a failed world returns.
+type (
+	// FaultPlan is a deterministic chaos-injection plan.
+	FaultPlan = mpi.FaultPlan
+	// KillSpec picks the rank to kill and the trigger point.
+	KillSpec = mpi.KillSpec
+	// AbortError attributes a world failure to a rank and cause.
+	AbortError = mpi.AbortError
 )
 
 // Network types.
