@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// psDoc is the envelope of a BENCH_permsweep*.json measurement file.
+type psDoc struct {
+	Experiment string  `json:"experiment"`
+	Engine     string  `json:"engine"`
+	Seed       uint64  `json:"seed"`
+	Rows       []psRow `json:"rows"`
+}
+
+// psMaxRegression is the gate tolerance: a fresh run may lose up to
+// this fraction of a baseline row's speedup before the gate trips.
+// Wall-clock speedups on shared CI runners jitter a few percent run to
+// run; 15% is far outside that band but well inside the ~1.6x win the
+// sweep engine carries, so the gate only fires on a real regression.
+const psMaxRegression = 0.15
+
+func loadPSDoc(path string) (*psDoc, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc psDoc
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Rows) == 0 {
+		return nil, fmt.Errorf("%s: no measurement rows", path)
+	}
+	return &doc, nil
+}
+
+// comparePS matches baseline rows to fresh rows by configuration
+// (genes, samples, permutations) and reports every matched row whose
+// speedup dropped by more than maxRegress (fractional). Baseline rows
+// with no fresh counterpart are ignored — a quick pass gates against a
+// quick baseline, so shape mismatches mean someone changed the suite
+// sizes, not that performance moved. Returns the regression
+// descriptions and how many rows matched.
+func comparePS(baseline, fresh []psRow, maxRegress float64) (regressions []string, matched int) {
+	type key struct{ genes, samples, perms int }
+	latest := make(map[key]psRow, len(fresh))
+	for _, r := range fresh {
+		latest[key{r.Genes, r.Samples, r.Permutations}] = r
+	}
+	for _, old := range baseline {
+		now, ok := latest[key{old.Genes, old.Samples, old.Permutations}]
+		if !ok {
+			continue
+		}
+		matched++
+		floor := old.Speedup * (1 - maxRegress)
+		if now.Speedup < floor {
+			regressions = append(regressions, fmt.Sprintf(
+				"n=%d m=%d q=%d: speedup %.2fx < %.2fx (baseline %.2fx - %.0f%%)",
+				old.Genes, old.Samples, old.Permutations,
+				now.Speedup, floor, old.Speedup, 100*maxRegress))
+		}
+	}
+	return regressions, matched
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func row(n, m, q int, speedup float64) psRow {
+	return psRow{Genes: n, Samples: m, Permutations: q, Speedup: speedup}
+}
+
+func TestComparePSPasses(t *testing.T) {
+	baseline := []psRow{row(100, 128, 10, 1.60), row(200, 128, 10, 1.55)}
+	for name, fresh := range map[string][]psRow{
+		"identical":        {row(100, 128, 10, 1.60), row(200, 128, 10, 1.55)},
+		"faster":           {row(100, 128, 10, 1.90), row(200, 128, 10, 2.00)},
+		"inside tolerance": {row(100, 128, 10, 1.37), row(200, 128, 10, 1.40)},
+	} {
+		regs, matched := comparePS(baseline, fresh, psMaxRegression)
+		if len(regs) != 0 {
+			t.Errorf("%s: unexpected regressions %v", name, regs)
+		}
+		if matched != 2 {
+			t.Errorf("%s: matched %d rows, want 2", name, matched)
+		}
+	}
+}
+
+func TestComparePSFlagsRegression(t *testing.T) {
+	baseline := []psRow{row(100, 128, 10, 1.60), row(200, 128, 10, 1.55)}
+	fresh := []psRow{row(100, 128, 10, 1.60), row(200, 128, 10, 1.20)}
+	regs, matched := comparePS(baseline, fresh, psMaxRegression)
+	if matched != 2 {
+		t.Fatalf("matched %d rows, want 2", matched)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions %v, want 1", len(regs), regs)
+	}
+	if !strings.Contains(regs[0], "n=200") {
+		t.Fatalf("regression names wrong row: %s", regs[0])
+	}
+}
+
+func TestComparePSBoundary(t *testing.T) {
+	baseline := []psRow{row(100, 128, 10, 2.00)}
+	// Exactly at the floor (2.00 * 0.85 = 1.70) passes; just below fails.
+	if regs, _ := comparePS(baseline, []psRow{row(100, 128, 10, 1.70)}, psMaxRegression); len(regs) != 0 {
+		t.Fatalf("at-floor speedup flagged: %v", regs)
+	}
+	if regs, _ := comparePS(baseline, []psRow{row(100, 128, 10, 1.69)}, psMaxRegression); len(regs) != 1 {
+		t.Fatalf("below-floor speedup not flagged: %v", regs)
+	}
+}
+
+func TestComparePSIgnoresUnmatchedShapes(t *testing.T) {
+	// A quick run gated against a full-size baseline shares no
+	// configurations; that is a setup problem, not a perf regression,
+	// and must not fail the gate here (CI checks matched>0 separately).
+	baseline := []psRow{row(1000, 337, 30, 1.60)}
+	regs, matched := comparePS(baseline, []psRow{row(100, 128, 10, 0.50)}, psMaxRegression)
+	if len(regs) != 0 || matched != 0 {
+		t.Fatalf("unmatched shapes: regs=%v matched=%d, want none", regs, matched)
+	}
+}
+
+func TestLoadPSDoc(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`{"experiment":"PS","engine":"host","seed":1,
+		"rows":[{"genes":100,"samples":128,"permutations":10,"speedup":1.5}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := loadPSDoc(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Rows) != 1 || doc.Rows[0].Speedup != 1.5 {
+		t.Fatalf("parsed %+v", doc)
+	}
+
+	for name, content := range map[string]string{
+		"empty rows": `{"experiment":"PS","rows":[]}`,
+		"not json":   `speedup: lots`,
+	} {
+		p := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loadPSDoc(p); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := loadPSDoc(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file: accepted")
+	}
+}

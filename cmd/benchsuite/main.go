@@ -17,11 +17,24 @@
 //	    baselines
 //	PS  amortized permutation sweep vs the seed per-permutation loop
 //	    (writes BENCH_permsweep.json)
+//	FS  float32 vs float64 compute precision: mi-phase time, peak tile
+//	    working set, and heap allocation (writes BENCH_f32.json)
 //
 // Usage:
 //
 //	benchsuite -exp all            # everything, moderate sizes
 //	benchsuite -exp F1,F2 -quick   # fast subset
+//	benchsuite -exp PS -quick -compare baseline.json   # regression gate
+//
+// With -quick, the PS and FS measurement files get a _quick suffix
+// (BENCH_permsweep_quick.json, BENCH_f32_quick.json) so a fast CI pass
+// never clobbers the checked-in full-size baselines.
+//
+// -compare FILE reruns the gate after the PS experiment: every row of
+// FILE (a previous BENCH_permsweep*.json) is matched by
+// (genes, samples, permutations) against the fresh rows, and the
+// process exits non-zero if any matched row's sweep speedup regressed
+// by more than 15%.
 //
 // Results are deterministic for a fixed -seed except for wall-clock
 // columns.
@@ -51,22 +64,24 @@ import (
 )
 
 type suite struct {
-	seed  uint64
-	quick bool
+	seed    uint64
+	quick   bool
+	compare string
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchsuite: ")
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiment ids (T1,T2,F1..F8,T3) or 'all'")
+		expFlag = flag.String("exp", "all", "comma-separated experiment ids (T1,T2,F1..F9,T3,A1,A2,PS,FS) or 'all'")
 		seed    = flag.Uint64("seed", 1, "run seed")
 		quick   = flag.Bool("quick", false, "smaller sizes for a fast pass")
+		compare = flag.String("compare", "", "baseline BENCH_permsweep*.json: after PS, fail if any matched row's speedup regressed >15%")
 	)
 	flag.Parse()
 
-	s := &suite{seed: *seed, quick: *quick}
-	all := []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "T3", "A1", "A2", "PS"}
+	s := &suite{seed: *seed, quick: *quick, compare: *compare}
+	all := []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "T3", "A1", "A2", "PS", "FS"}
 	var ids []string
 	if *expFlag == "all" {
 		ids = all
@@ -79,6 +94,7 @@ func main() {
 		"T1": s.t1, "T2": s.t2, "F1": s.f1, "F2": s.f2, "F3": s.f3,
 		"F4": s.f4, "F5": s.f5, "F6": s.f6, "F7": s.f7, "F8": s.f8,
 		"T3": s.t3, "A1": s.a1, "A2": s.a2, "F9": s.f9, "PS": s.ps,
+		"FS": s.fs,
 	}
 	for _, id := range ids {
 		run, ok := runners[id]
@@ -87,6 +103,15 @@ func main() {
 		}
 		run()
 	}
+}
+
+// benchPath names a measurement file. Quick passes get a _quick suffix
+// so CI's fast run never overwrites a checked-in full-size baseline.
+func (s *suite) benchPath(base string) string {
+	if s.quick {
+		return base + "_quick.json"
+	}
+	return base + ".json"
 }
 
 func header(id, title string) {
@@ -583,7 +608,6 @@ func (s *suite) t3() {
 		log.Fatal(err)
 	}
 	report("tinge w/o DPI", resNoDPI.Network)
-	_ = os.Stdout
 }
 
 func toF64(x []float32) []float64 {
@@ -651,6 +675,14 @@ func (s *suite) ps() {
 		sizes = []int{100, 200}
 		m, perms = 128, 10
 	}
+	// Quick rows are short enough that scheduler noise can swing a
+	// single measurement by double-digit percent — enough to trip the
+	// 15% -compare gate spuriously. Best-of-3 stabilizes them; the
+	// full-size rows run long enough that one pass suffices.
+	reps := 1
+	if s.quick {
+		reps = 3
+	}
 	fmt.Printf("%7s %12s %11s %9s %7s %10s %10s %10s\n",
 		"genes", "legacyMi(s)", "sweepMi(s)", "speedup", "edges", "cacheHits", "cacheMiss", "permSkip")
 	var rows []psRow
@@ -659,14 +691,8 @@ func (s *suite) ps() {
 		cfg := tinge.Config{Seed: s.seed, Permutations: perms, DPI: true}
 		legacyCfg := cfg
 		legacyCfg.LegacyPermutation = true
-		lres, err := tinge.InferDataset(d, legacyCfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		sres, err := tinge.InferDataset(d, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
+		lres, lmiBest, _ := s.fsRun(d, legacyCfg, reps)
+		sres, smiBest, _ := s.fsRun(d, cfg, reps)
 		if lres.Network.Len() != sres.Network.Len() ||
 			lres.Threshold != sres.Threshold ||
 			lres.PairsEvaluated != sres.PairsEvaluated {
@@ -675,8 +701,8 @@ func (s *suite) ps() {
 				sres.Threshold, lres.Threshold,
 				sres.PairsEvaluated, lres.PairsEvaluated)
 		}
-		lmi := lres.Timer.Get("mi").Seconds()
-		smi := sres.Timer.Get("mi").Seconds()
+		lmi := lmiBest
+		smi := smiBest
 		r := psRow{
 			Genes: n, Samples: m, Permutations: perms,
 			LegacyMISeconds: lmi, SweepMISeconds: smi, Speedup: lmi / smi,
@@ -688,20 +714,38 @@ func (s *suite) ps() {
 		fmt.Printf("%7d %12.3f %11.3f %8.2fx %7d %10d %10d %10d\n",
 			n, lmi, smi, r.Speedup, r.Edges, r.PermCacheHits, r.PermCacheMisses, r.PermSkipped)
 	}
-	out := struct {
-		Experiment string  `json:"experiment"`
-		Engine     string  `json:"engine"`
-		Seed       uint64  `json:"seed"`
-		Rows       []psRow `json:"rows"`
-	}{Experiment: "PS", Engine: "host", Seed: s.seed, Rows: rows}
+	// Load the baseline before writing the fresh file: a full-size run
+	// gated against the checked-in BENCH_permsweep.json overwrites that
+	// very path.
+	var old *psDoc
+	if s.compare != "" {
+		var err error
+		if old, err = loadPSDoc(s.compare); err != nil {
+			log.Fatal(err)
+		}
+	}
+	out := psDoc{Experiment: "PS", Engine: "host", Seed: s.seed, Rows: rows}
 	buf, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := os.WriteFile("BENCH_permsweep.json", append(buf, '\n'), 0o644); err != nil {
+	path := s.benchPath("BENCH_permsweep")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("wrote BENCH_permsweep.json")
+	fmt.Println("wrote " + path)
+
+	if old != nil {
+		regressions, matched := comparePS(old.Rows, rows, psMaxRegression)
+		fmt.Printf("compare vs %s: %d row(s) matched, %d regression(s)\n",
+			s.compare, matched, len(regressions))
+		for _, r := range regressions {
+			fmt.Println("  REGRESSION: " + r)
+		}
+		if len(regressions) > 0 {
+			log.Fatalf("permutation-sweep speedup regressed vs %s", s.compare)
+		}
+	}
 }
 
 // A1 (ablation): tile size vs simulated Phi makespan. Small tiles give

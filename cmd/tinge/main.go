@@ -41,6 +41,7 @@ func main() {
 		policy   = flag.String("policy", "dynamic", "tile schedule: static-block|static-cyclic|dynamic|stealing")
 		seed     = flag.Uint64("seed", 1, "run seed (permutations, null sample)")
 		kernel   = flag.String("kernel", "bucketed", "MI kernel: bucketed|vec|scalar")
+		prec     = flag.String("precision", "float64", "MI compute precision: float64|float32")
 		ranks    = flag.Int("ranks", 4, "cluster engine world size")
 		tpc      = flag.Int("threads-per-core", 0, "simulated Phi hardware threads per core (0 = device max)")
 		names    = flag.Bool("names", true, "write gene names instead of indices")
@@ -147,6 +148,14 @@ func main() {
 		cfg.Kernel = tinge.KernelScalar
 	default:
 		log.Fatalf("unknown kernel %q", *kernel)
+	}
+	switch *prec {
+	case "float64", "64":
+		cfg.Precision = tinge.Float64
+	case "float32", "32":
+		cfg.Precision = tinge.Float32
+	default:
+		log.Fatalf("unknown precision %q", *prec)
 	}
 	switch *policy {
 	case "static-block":

@@ -36,6 +36,12 @@ type Fingerprint struct {
 	TileSize        int
 	Alpha           float64
 	Seed            uint64
+	// Precision distinguishes float64 and float32 compute paths: their
+	// MI values differ by accumulation roundoff, so mixing their tiles
+	// in one scan would blend two slightly different estimators. Old
+	// checkpoints decode to 0 (float64), matching the path that wrote
+	// them.
+	Precision uint8
 }
 
 // State is the resumable scan state.

@@ -10,7 +10,6 @@ import (
 	"repro/internal/bspline"
 	"repro/internal/checkpoint"
 	"repro/internal/grn"
-	"repro/internal/mi"
 	"repro/internal/mpi"
 	"repro/internal/perm"
 	"repro/internal/tile"
@@ -186,6 +185,7 @@ func runCluster(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *
 		threshold              float64
 		cacheHits, cacheMisses int64
 		busy                   float64
+		tileBytes              int64
 	}
 
 	alive := cfg.Ranks
@@ -198,7 +198,7 @@ func runCluster(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *
 		out = make([]rankOut, alive)
 		err := mpi.RunOpts(ctx, alive, mpi.Options{Fault: cfg.Fault}, func(c *mpi.Comm) error {
 			k := newPairKernel(wm, cfg)
-			ws := mi.NewWorkspace(k.est)
+			ws := k.newWorkspace()
 
 			// Phase 3 (distributed): cyclic partition of the null sample.
 			// Skipped when a prior attempt or a resumed checkpoint already
@@ -282,9 +282,11 @@ func runCluster(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *
 
 			o := &out[c.Rank()]
 			o.threshold = threshold
+			o.tileBytes = int64(ws.Bytes())
 			if pc != nil {
 				o.cacheHits = pc.Hits()
 				o.cacheMisses = pc.Misses()
+				o.tileBytes += int64(pc.Bytes())
 			}
 			o.busy = busy
 			if c.Rank() == 0 {
@@ -343,6 +345,9 @@ func runCluster(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *
 	for r := range out {
 		res.PermCacheHits += out[r].cacheHits
 		res.PermCacheMisses += out[r].cacheMisses
+		if out[r].tileBytes > res.PeakTileBytes {
+			res.PeakTileBytes = out[r].tileBytes
+		}
 		busy[r] = out[r].busy
 	}
 	res.Imbalance = tile.Imbalance(busy)

@@ -37,6 +37,7 @@ import (
 	"repro/internal/bspline"
 	"repro/internal/grn"
 	"repro/internal/mat"
+	"repro/internal/mi"
 	"repro/internal/mpi"
 	"repro/internal/phi"
 	"repro/internal/stats"
@@ -114,6 +115,22 @@ func (k KernelKind) String() string {
 	}
 }
 
+// Precision selects the compute precision of the MI phase — the axis of
+// the paper's native-float build. Float64 (the default) accumulates
+// joint histograms and entropies in double precision; Float32 runs the
+// single-precision kernels: float32 accumulation, single-precision log,
+// and a smaller per-worker joint accumulator. The two paths produce the
+// identical edge set at the default order/bin settings (MI values agree
+// to ~1e-4 bits; see the golden test), so Float32 trades negligible
+// estimator drift for bandwidth and footprint.
+type Precision = mi.Precision
+
+// Precisions.
+const (
+	Float64 = mi.Float64
+	Float32 = mi.Float32
+)
+
 // Config parameterizes a network-inference run. The zero value plus
 // Validate yields the paper's defaults (order-3 splines, 10 bins, 30
 // permutations).
@@ -146,6 +163,8 @@ type Config struct {
 	Seed uint64
 	// Kernel selects the MI kernel formulation (default Bucketed).
 	Kernel KernelKind
+	// Precision selects the MI compute precision (default Float64).
+	Precision Precision
 	// LegacyPermutation disables the amortized permutation-sweep engine
 	// and runs the original per-permutation decide loop (a fresh kernel
 	// setup and permutation gather per evaluation). The two paths emit
@@ -305,6 +324,11 @@ func (c *Config) Validate() error {
 	default:
 		return fmt.Errorf("core: unknown kernel %v", c.Kernel)
 	}
+	switch c.Precision {
+	case Float64, Float32:
+	default:
+		return fmt.Errorf("core: unknown precision %v", c.Precision)
+	}
 	return nil
 }
 
@@ -347,6 +371,11 @@ type Result struct {
 	// early exit during phase 4 (summed over pairs that entered the
 	// permutation test).
 	PermutationsSkipped int64
+	// PeakTileBytes is the largest per-worker tile working set of
+	// phase 4: workspace scratch plus the permuted-row cache arena. It
+	// is the number the per-tile memory budget must bound — the quantity
+	// the float32 path exists to shrink.
+	PeakTileBytes int64
 	// RankFailures counts rank failures the cluster engine observed
 	// (recovered or not) during the run; 0 elsewhere.
 	RankFailures int

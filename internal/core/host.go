@@ -10,7 +10,6 @@ import (
 	"repro/internal/bspline"
 	"repro/internal/checkpoint"
 	"repro/internal/grn"
-	"repro/internal/mi"
 	"repro/internal/perm"
 	"repro/internal/tile"
 )
@@ -66,6 +65,7 @@ func fingerprint(wm *bspline.WeightMatrix, cfg Config) checkpoint.Fingerprint {
 		TileSize:        cfg.TileSize,
 		Alpha:           cfg.Alpha,
 		Seed:            cfg.Seed,
+		Precision:       uint8(cfg.Precision),
 	}
 }
 
@@ -127,7 +127,7 @@ func hostScan(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Re
 				wg.Add(1)
 				go func(w int) {
 					defer wg.Done()
-					ws := mi.NewWorkspace(k.est)
+					ws := k.newWorkspace()
 					lo := w * len(pairs) / workers
 					hi := (w + 1) * len(pairs) / workers
 					for _, pr := range pairs[lo:hi] {
@@ -164,6 +164,7 @@ func hostScan(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Re
 	}
 	evalsPerTile := make([]int64, len(tiles))
 	busy := make([]float64, cfg.Workers)
+	tileBytes := make([]int64, cfg.Workers)
 	edgesPerWorker := make([][]grn.Edge, cfg.Workers)
 	var totalEvals int64
 	var totalSkipped int64
@@ -176,8 +177,12 @@ func hostScan(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Re
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				ws := mi.NewWorkspace(k.est)
+				ws := k.newWorkspace()
 				pc := k.newPermCache(cfg)
+				tileBytes[w] = int64(ws.Bytes())
+				if pc != nil {
+					tileBytes[w] += int64(pc.Bytes())
+				}
 				start := time.Now()
 				var local []grn.Edge
 				var evals, skipped int64
@@ -250,6 +255,11 @@ func hostScan(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Re
 	res.PermCacheHits = cacheHits
 	res.PermCacheMisses = cacheMisses
 	res.Imbalance = tile.Imbalance(busy)
+	for _, b := range tileBytes {
+		if b > res.PeakTileBytes {
+			res.PeakTileBytes = b
+		}
+	}
 
 	net := grn.New(n)
 	if ck != nil {

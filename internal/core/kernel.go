@@ -14,6 +14,7 @@ type pairKernel struct {
 	est    *mi.Estimator
 	pool   *perm.Pool
 	kind   KernelKind
+	prec   Precision
 	legacy bool    // per-permutation seed path instead of the batched sweep
 	thresh float64 // I_alpha; 0 during the threshold-estimation phase
 }
@@ -23,8 +24,16 @@ func newPairKernel(wm *bspline.WeightMatrix, cfg Config) *pairKernel {
 		est:    mi.NewEstimatorParallel(wm, cfg.Workers),
 		pool:   perm.MustNewPool(cfg.Seed, wm.Samples, cfg.Permutations),
 		kind:   cfg.Kernel,
+		prec:   cfg.Precision,
 		legacy: cfg.LegacyPermutation,
 	}
+}
+
+// newWorkspace allocates per-goroutine scratch for the configured
+// precision — the float32 path's workspace carries a float32 joint
+// accumulator (half the bytes), the float64 path a float64 one.
+func (k *pairKernel) newWorkspace() *mi.Workspace {
+	return mi.NewWorkspacePrec(k.est, k.prec)
 }
 
 // newPermCache builds the worker-local permuted-row cache for the sweep
@@ -42,6 +51,18 @@ func (k *pairKernel) newPermCache(cfg Config) *mi.PermCache {
 
 // miPair computes the unpermuted MI of pair (i, j).
 func (k *pairKernel) miPair(i, j int, ws *mi.Workspace) float64 {
+	if k.prec == Float32 {
+		switch k.kind {
+		case KernelScalar:
+			return k.est.PairScalar32(i, j, ws)
+		case KernelVec:
+			return k.est.PairVec32(i, j, ws)
+		default:
+			// The blocked formulation subsumes the counting-sort one on
+			// the float32 path (no legacy bit-identity to preserve).
+			return k.est.PairBlocked32(i, j, ws)
+		}
+	}
 	switch k.kind {
 	case KernelScalar:
 		return k.est.PairScalar(i, j, ws)
@@ -57,6 +78,16 @@ func (k *pairKernel) miPair(i, j int, ws *mi.Workspace) float64 {
 
 // miPermuted computes MI of (i, j) under pool permutation p.
 func (k *pairKernel) miPermuted(i, j, p int, ws *mi.Workspace) float64 {
+	if k.prec == Float32 {
+		switch k.kind {
+		case KernelScalar:
+			return k.est.PairPermutedScalar32(i, j, k.pool.Perm(p), ws)
+		case KernelVec:
+			return k.est.PairPermutedVec32(i, j, k.pool.Perm(p), ws)
+		default:
+			return k.est.PairPermutedBlocked32(i, j, k.pool.Perm(p), ws)
+		}
+	}
 	switch k.kind {
 	case KernelScalar:
 		return k.est.PairPermutedScalar(i, j, k.pool.Perm(p), ws)
@@ -109,13 +140,24 @@ func (k *pairKernel) decide(i, j int, ws *mi.Workspace, pc *mi.PermCache) (obs f
 		poffs, pw = pc.Gene(j)
 	}
 	var done int
-	switch k.kind {
-	case KernelScalar:
-		done, significant = k.est.SweepScalar(i, j, obs, perms, poffs, pw, ws)
-	case KernelVec:
-		done, significant = k.est.SweepVec(i, j, obs, perms, ws)
-	default:
-		done, significant = k.est.SweepBucketed(i, j, obs, perms, poffs, pw, ws)
+	if k.prec == Float32 {
+		switch k.kind {
+		case KernelScalar:
+			done, significant = k.est.SweepScalar32(i, j, obs, perms, poffs, pw, ws)
+		case KernelVec:
+			done, significant = k.est.SweepVec32(i, j, obs, perms, ws)
+		default:
+			done, significant = k.est.SweepBucketed32(i, j, obs, perms, poffs, pw, ws)
+		}
+	} else {
+		switch k.kind {
+		case KernelScalar:
+			done, significant = k.est.SweepScalar(i, j, obs, perms, poffs, pw, ws)
+		case KernelVec:
+			done, significant = k.est.SweepVec(i, j, obs, perms, ws)
+		default:
+			done, significant = k.est.SweepBucketed(i, j, obs, perms, poffs, pw, ws)
+		}
 	}
 	return obs, significant, evals + int64(done), int64(q - done)
 }

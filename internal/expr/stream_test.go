@@ -1,0 +1,77 @@
+package expr
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestStreamTSVMatchesReadTSV round-trips a generated dataset through
+// WriteTSV and checks the streaming loader reproduces exactly what the
+// staged loader parses.
+func TestStreamTSVMatchesReadTSV(t *testing.T) {
+	d := MustGenerate(GenConfig{Genes: 40, Experiments: 23, Seed: 7})
+	var buf bytes.Buffer
+	if err := d.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	want, err := ReadTSV(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := StreamTSV(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != want.N() || got.M() != want.M() {
+		t.Fatalf("shape %dx%d, want %dx%d", got.N(), got.M(), want.N(), want.M())
+	}
+	for i, g := range want.Genes {
+		if got.Genes[i] != g {
+			t.Fatalf("gene %d: %q != %q", i, got.Genes[i], g)
+		}
+	}
+	if !got.Expr.Equal(want.Expr, 0) {
+		t.Fatal("streamed matrix differs from staged matrix")
+	}
+}
+
+func TestStreamTSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty input":      "",
+		"header too short": "gene\n",
+		"truncated row":    "gene\tE0\tE1\nG0\t1\n",
+		"extra field":      "gene\tE0\nG0\t1\t2\n",
+		"bad number":       "gene\tE0\nG0\tnot-a-number\n",
+		"no gene rows":     "gene\tE0\n",
+	}
+	for name, input := range cases {
+		if _, err := StreamTSV(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted %q", name, input)
+		}
+	}
+}
+
+func TestStreamTSVMissingValues(t *testing.T) {
+	d, err := StreamTSV(strings.NewReader("gene\tE0\tE1\tE2\tE3\nG0\tNA\t\tna\tN/A\nG1\t1\t2\t3\t4\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 2 || d.M() != 4 {
+		t.Fatalf("shape %dx%d, want 2x4", d.N(), d.M())
+	}
+	for j := 0; j < 4; j++ {
+		if !math.IsNaN(float64(d.Expr.At(0, j))) {
+			t.Fatalf("missing value (0,%d) parsed as %v, want NaN", j, d.Expr.At(0, j))
+		}
+	}
+	if d.Expr.At(1, 3) != 4 {
+		t.Fatalf("value (1,3) = %v, want 4", d.Expr.At(1, 3))
+	}
+	if len(d.Truth) != 2 {
+		t.Fatalf("Truth len %d, want 2", len(d.Truth))
+	}
+}

@@ -1,0 +1,101 @@
+package mat
+
+import "fmt"
+
+// Matrix32 is a growable dense row-major float32 matrix for streaming
+// ingest: rows are appended one at a time into a single contiguous
+// backing array that grows geometrically, so a loader can feed it
+// row-by-row from a parser without staging the whole file — and without
+// paying one allocation per row. When ingest finishes, AsDense exposes
+// the rows as a zero-copy *Dense view for the pipeline.
+//
+// The column count is fixed by the first appended row (or the
+// constructor hint); appending a row of any other length is an error —
+// the streaming loader's ragged-row check.
+type Matrix32 struct {
+	rows, cols int
+	data       []float32
+}
+
+// NewMatrix32 returns an empty matrix whose column count is fixed by
+// the first AppendRow.
+func NewMatrix32() *Matrix32 { return &Matrix32{cols: -1} }
+
+// NewMatrix32Hint returns an empty matrix with cols columns and backing
+// capacity pre-sized for rowsHint rows, so a loader that knows the
+// header width (and perhaps an estimated row count) avoids regrowth
+// entirely.
+func NewMatrix32Hint(cols, rowsHint int) *Matrix32 {
+	if cols < 0 {
+		panic(fmt.Sprintf("mat: negative cols %d", cols))
+	}
+	if rowsHint < 0 {
+		rowsHint = 0
+	}
+	return &Matrix32{cols: cols, data: make([]float32, 0, cols*rowsHint)}
+}
+
+// Rows returns the number of appended rows.
+func (m *Matrix32) Rows() int { return m.rows }
+
+// Cols returns the column count, or 0 before the first row fixes it.
+func (m *Matrix32) Cols() int {
+	if m.cols < 0 {
+		return 0
+	}
+	return m.cols
+}
+
+// AppendRow copies row into the matrix as the next row. The first row
+// fixes the column count when it was not hinted; later rows of a
+// different length return an error.
+func (m *Matrix32) AppendRow(row []float32) error {
+	if m.cols < 0 {
+		m.cols = len(row)
+	} else if len(row) != m.cols {
+		return fmt.Errorf("mat: row %d has %d values, want %d", m.rows, len(row), m.cols)
+	}
+	m.data = append(m.data, row...)
+	m.rows++
+	return nil
+}
+
+// Row returns the i-th appended row sharing the backing storage.
+func (m *Matrix32) Row(i int) []float32 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: row %d out of range %d", i, m.rows))
+	}
+	start := i * m.cols
+	return m.data[start : start+m.cols : start+m.cols]
+}
+
+// AsDense returns the accumulated rows as a *Dense view sharing the
+// backing storage — zero copy; mutating one mutates the other. Appending
+// more rows afterwards may reallocate the backing array and detach the
+// view, so call it when ingest is complete.
+func (m *Matrix32) AsDense() *Dense {
+	cols := m.Cols()
+	return &Dense{rows: m.rows, cols: cols, stride: cols, data: m.data[:m.rows*cols]}
+}
+
+// TransposeTileInto writes the transpose of the nr×nc tile whose
+// top-left corner is (r0, c0) into dst in column-major-of-the-source
+// order: dst[c*nr+r] = m[r0+r][c0+c]. dst must have length >= nr*nc.
+// This is the tile-transposed view an out-of-core scan streams — each
+// pair tile's j-side samples become contiguous — without ever
+// materializing the full transpose.
+func (m *Matrix32) TransposeTileInto(dst []float32, r0, nr, c0, nc int) {
+	if r0 < 0 || nr < 0 || r0+nr > m.rows || c0 < 0 || nc < 0 || c0+nc > m.Cols() {
+		panic(fmt.Sprintf("mat: tile (%d+%d, %d+%d) out of range %dx%d",
+			r0, nr, c0, nc, m.rows, m.cols))
+	}
+	if len(dst) < nr*nc {
+		panic(fmt.Sprintf("mat: dst len %d < tile %dx%d", len(dst), nr, nc))
+	}
+	for r := 0; r < nr; r++ {
+		src := m.data[(r0+r)*m.cols+c0:]
+		for c := 0; c < nc; c++ {
+			dst[c*nr+r] = src[c]
+		}
+	}
+}

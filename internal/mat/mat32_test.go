@@ -1,0 +1,130 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMatrix32AppendRow(t *testing.T) {
+	m := NewMatrix32()
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Fatalf("empty matrix reports %dx%d", m.Rows(), m.Cols())
+	}
+	rows := [][]float32{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}, {10, 11, 12}}
+	for _, r := range rows {
+		if err := m.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Rows() != 4 || m.Cols() != 3 {
+		t.Fatalf("got %dx%d, want 4x3", m.Rows(), m.Cols())
+	}
+	for i, want := range rows {
+		got := m.Row(i)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("row %d col %d: %v != %v", i, j, got[j], want[j])
+			}
+		}
+	}
+	if err := m.AppendRow([]float32{1, 2}); err == nil {
+		t.Fatal("ragged row accepted")
+	}
+	if m.Rows() != 4 {
+		t.Fatalf("ragged row mutated row count to %d", m.Rows())
+	}
+}
+
+func TestMatrix32AppendRowCopies(t *testing.T) {
+	m := NewMatrix32()
+	buf := []float32{1, 2}
+	if err := m.AppendRow(buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0], buf[1] = 3, 4 // reused scratch, as the streaming loader does
+	if err := m.AppendRow(buf); err != nil {
+		t.Fatal(err)
+	}
+	if r0 := m.Row(0); r0[0] != 1 || r0[1] != 2 {
+		t.Fatalf("row 0 aliased the scratch buffer: %v", r0)
+	}
+	if r1 := m.Row(1); r1[0] != 3 || r1[1] != 4 {
+		t.Fatalf("row 1 wrong: %v", r1)
+	}
+}
+
+func TestMatrix32Hint(t *testing.T) {
+	m := NewMatrix32Hint(5, 100)
+	if m.Cols() != 5 {
+		t.Fatalf("hinted cols = %d, want 5", m.Cols())
+	}
+	if err := m.AppendRow(make([]float32, 4)); err == nil {
+		t.Fatal("row narrower than hint accepted")
+	}
+	if err := m.AppendRow(make([]float32, 5)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrix32AsDenseSharesStorage(t *testing.T) {
+	m := NewMatrix32Hint(2, 2)
+	_ = m.AppendRow([]float32{1, 2})
+	_ = m.AppendRow([]float32{3, 4})
+	d := m.AsDense()
+	if d.Rows() != 2 || d.Cols() != 2 {
+		t.Fatalf("dense view %dx%d, want 2x2", d.Rows(), d.Cols())
+	}
+	d.Set(1, 0, 42)
+	if m.Row(1)[0] != 42 {
+		t.Fatal("AsDense copied instead of sharing storage")
+	}
+}
+
+func TestMatrix32TransposeTileInto(t *testing.T) {
+	const rows, cols = 7, 11
+	rng := rand.New(rand.NewSource(5))
+	m := NewMatrix32Hint(cols, rows)
+	for i := 0; i < rows; i++ {
+		row := make([]float32, cols)
+		for j := range row {
+			row[j] = rng.Float32()
+		}
+		_ = m.AppendRow(row)
+	}
+	want := m.AsDense().Transpose()
+	for _, tile := range []struct{ r0, nr, c0, nc int }{
+		{0, rows, 0, cols}, // whole matrix
+		{2, 3, 4, 5},       // interior tile
+		{rows - 1, 1, cols - 1, 1},
+		{0, 0, 0, 0}, // empty tile is a no-op
+	} {
+		dst := make([]float32, tile.nr*tile.nc)
+		m.TransposeTileInto(dst, tile.r0, tile.nr, tile.c0, tile.nc)
+		for c := 0; c < tile.nc; c++ {
+			for r := 0; r < tile.nr; r++ {
+				if got, w := dst[c*tile.nr+r], want.At(tile.c0+c, tile.r0+r); got != w {
+					t.Fatalf("tile %+v at (r=%d,c=%d): %v != %v", tile, r, c, got, w)
+				}
+			}
+		}
+	}
+}
+
+func TestMatrix32TransposeTilePanics(t *testing.T) {
+	m := NewMatrix32Hint(3, 2)
+	_ = m.AppendRow([]float32{1, 2, 3})
+	for name, f := range map[string]func(){
+		"row overflow": func() { m.TransposeTileInto(make([]float32, 9), 0, 2, 0, 3) },
+		"col overflow": func() { m.TransposeTileInto(make([]float32, 9), 0, 1, 1, 3) },
+		"short dst":    func() { m.TransposeTileInto(make([]float32, 2), 0, 1, 0, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -63,6 +63,9 @@ type Estimator struct {
 	wm *bspline.WeightMatrix
 	// hMarginal[g] is H(X_g) in bits.
 	hMarginal []float64
+	// hMarginal32[g] is the same entropy accumulated in float32 with the
+	// single-precision log — the marginal term of the float32 path.
+	hMarginal32 []float32
 }
 
 // NewEstimator precomputes marginal entropies for every gene.
@@ -75,15 +78,23 @@ func NewEstimator(wm *bspline.WeightMatrix) *Estimator {
 // independent computation into a private slot, so the result is
 // identical to the serial construction for any worker count.
 func NewEstimatorParallel(wm *bspline.WeightMatrix, workers int) *Estimator {
-	e := &Estimator{wm: wm, hMarginal: make([]float64, wm.Genes)}
+	e := &Estimator{
+		wm:          wm,
+		hMarginal:   make([]float64, wm.Genes),
+		hMarginal32: make([]float32, wm.Genes),
+	}
 	n := wm.Genes
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
-		for g := 0; g < n; g++ {
+	marginalRange := func(lo, hi int) {
+		for g := lo; g < hi; g++ {
 			e.hMarginal[g] = Entropy(wm.Marginal(g))
+			e.hMarginal32[g] = Entropy32(wm.Marginal32(g))
 		}
+	}
+	if workers <= 1 {
+		marginalRange(0, n)
 		return e
 	}
 	var wg sync.WaitGroup
@@ -93,9 +104,7 @@ func NewEstimatorParallel(wm *bspline.WeightMatrix, workers int) *Estimator {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for g := lo; g < hi; g++ {
-				e.hMarginal[g] = Entropy(wm.Marginal(g))
-			}
+			marginalRange(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
@@ -112,7 +121,11 @@ func (e *Estimator) MarginalEntropy(g int) float64 { return e.hMarginal[g] }
 // allocates nothing. A Workspace must not be shared between goroutines.
 type Workspace struct {
 	bins  int
-	joint []float64 // bins×bins joint distribution accumulator
+	joint []float64 // bins×bins joint distribution accumulator (float64 path)
+	// joint32 is the float32 path's joint accumulator. Exactly one of
+	// joint/joint32 is allocated (NewWorkspacePrec), so Bytes reflects
+	// the precision actually in use.
+	joint32 []float32
 	// permuted holds gene rows gathered through a permutation for the
 	// vectorized permuted kernel: bins rows × samples, lane-padded.
 	permuted [][]float32
@@ -136,8 +149,16 @@ type Workspace struct {
 }
 
 // NewWorkspace allocates scratch sized for the estimator's basis and
-// sample count.
+// sample count, for the default float64 path.
 func NewWorkspace(e *Estimator) *Workspace {
+	return NewWorkspacePrec(e, Float64)
+}
+
+// NewWorkspacePrec allocates scratch for the given compute precision.
+// Only the selected precision's joint accumulator is allocated — the
+// float32 workspace is genuinely smaller (b²·4 bytes of joint instead of
+// b²·8), which is what Result.PeakTileBytes measures.
+func NewWorkspacePrec(e *Estimator, prec Precision) *Workspace {
 	bins := e.wm.Basis.Bins()
 	k := e.wm.Basis.Order()
 	m := e.wm.Samples
@@ -148,9 +169,8 @@ func NewWorkspace(e *Estimator) *Workspace {
 		rows[u] = backing[u*padded : u*padded+m : u*padded+padded]
 	}
 	nOff := bins - k + 1
-	return &Workspace{
+	ws := &Workspace{
 		bins:       bins,
-		joint:      make([]float64, bins*bins),
 		permuted:   rows,
 		counts:     make([]int32, nOff*nOff),
 		starts:     make([]int32, nOff*nOff+1),
@@ -160,11 +180,37 @@ func NewWorkspace(e *Estimator) *Workspace {
 		keyIGene:   -1,
 		blockAcc:   make([]float32, nOff*nOff*k*k),
 	}
+	if prec == Float32 {
+		ws.joint32 = make([]float32, bins*bins)
+	} else {
+		ws.joint = make([]float64, bins*bins)
+	}
+	return ws
+}
+
+// Bytes reports the workspace's scratch footprint: the joint accumulator
+// of whichever precision is allocated plus the shared float32/int32
+// buffers. It is the per-worker term of the engines' peak-tile-bytes
+// gauge.
+func (ws *Workspace) Bytes() int {
+	b := len(ws.joint)*8 + len(ws.joint32)*4
+	for _, row := range ws.permuted {
+		b += cap(row) * 4
+	}
+	b += (len(ws.counts) + len(ws.starts) + len(ws.order) + len(ws.keyI)) * 4
+	b += len(ws.blockAcc) * 4
+	return b
 }
 
 func (ws *Workspace) resetJoint() {
 	for i := range ws.joint {
 		ws.joint[i] = 0
+	}
+}
+
+func (ws *Workspace) resetJoint32() {
+	for i := range ws.joint32 {
+		ws.joint32[i] = 0
 	}
 }
 

@@ -85,15 +85,72 @@ func (e *Estimator) pairBlocked(i, j int, perm, poffs []int32, pw []float32, ws 
 	bins := ws.bins
 	m := e.wm.Samples
 	nOff := bins - k + 1
+	acc := ws.blockAcc
+
+	e.scatterBlocked(i, j, perm, poffs, pw, ws)
+
+	// Merge pass: fold every bucket block into the float64 joint
+	// histogram in ascending bucket order (identical to the counting
+	// sort's bucket loop; untouched blocks add exact zeros), then wipe
+	// the accumulator in one memclr.
+	if !ws.jointClean {
+		ws.resetJoint()
+	}
+	if k == 3 {
+		for b := 0; b < nOff*nOff; b++ {
+			oa := b / nOff
+			ob := b % nOff
+			blk := acc[b*9 : b*9+9 : b*9+9]
+			row0 := ws.joint[oa*bins+ob:]
+			row1 := ws.joint[(oa+1)*bins+ob:]
+			row2 := ws.joint[(oa+2)*bins+ob:]
+			row0[0] += float64(blk[0])
+			row0[1] += float64(blk[1])
+			row0[2] += float64(blk[2])
+			row1[0] += float64(blk[3])
+			row1[1] += float64(blk[4])
+			row1[2] += float64(blk[5])
+			row2[0] += float64(blk[6])
+			row2[1] += float64(blk[7])
+			row2[2] += float64(blk[8])
+		}
+	} else {
+		kk := k * k
+		for b := 0; b < nOff*nOff; b++ {
+			oa := b / nOff
+			ob := b % nOff
+			blk := acc[b*kk:]
+			for u := 0; u < k; u++ {
+				row := ws.joint[(oa+u)*bins+ob:]
+				for v := 0; v < k; v++ {
+					row[v] += float64(blk[u*k+v])
+				}
+			}
+		}
+	}
+	clear(acc)
+
+	v := e.miFromJoint(i, j, ws.joint, float64(m))
+	ws.resetJoint()
+	ws.jointClean = true
+	return v
+}
+
+// scatterBlocked is the scatter pass shared by the float64 and float32
+// block-scatter kernels: every sample accumulates its k×k outer product
+// into ws.blockAcc at the block of its (offI, offJ) bucket. The
+// accumulator is float32 in both precisions, so the partial sums — and
+// the float64 path's bit-identity to PairBucketed — are unaffected by
+// which merge follows.
+func (e *Estimator) scatterBlocked(i, j int, perm, poffs []int32, pw []float32, ws *Workspace) {
+	k := e.wm.Basis.Order()
+	m := e.wm.Samples
 	offs := e.wm.Offsets
 	sp := e.wm.Sparse
 	baseI := i * m
 	baseJ := j * m
 	keyI := ws.keyI[:m]
 	acc := ws.blockAcc
-
-	// Scatter pass: every sample accumulates its k×k outer product into
-	// the block of its (offI, offJ) bucket.
 	if k == 3 {
 		switch {
 		case pw != nil:
@@ -186,52 +243,6 @@ func (e *Estimator) pairBlocked(i, j int, perm, poffs []int32, pw []float32, ws 
 			}
 		}
 	}
-
-	// Merge pass: fold every bucket block into the float64 joint
-	// histogram in ascending bucket order (identical to the counting
-	// sort's bucket loop; untouched blocks add exact zeros), then wipe
-	// the accumulator in one memclr.
-	if !ws.jointClean {
-		ws.resetJoint()
-	}
-	if k == 3 {
-		for b := 0; b < nOff*nOff; b++ {
-			oa := b / nOff
-			ob := b % nOff
-			blk := acc[b*9 : b*9+9 : b*9+9]
-			row0 := ws.joint[oa*bins+ob:]
-			row1 := ws.joint[(oa+1)*bins+ob:]
-			row2 := ws.joint[(oa+2)*bins+ob:]
-			row0[0] += float64(blk[0])
-			row0[1] += float64(blk[1])
-			row0[2] += float64(blk[2])
-			row1[0] += float64(blk[3])
-			row1[1] += float64(blk[4])
-			row1[2] += float64(blk[5])
-			row2[0] += float64(blk[6])
-			row2[1] += float64(blk[7])
-			row2[2] += float64(blk[8])
-		}
-	} else {
-		kk := k * k
-		for b := 0; b < nOff*nOff; b++ {
-			oa := b / nOff
-			ob := b % nOff
-			blk := acc[b*kk:]
-			for u := 0; u < k; u++ {
-				row := ws.joint[(oa+u)*bins+ob:]
-				for v := 0; v < k; v++ {
-					row[v] += float64(blk[u*k+v])
-				}
-			}
-		}
-	}
-	clear(acc)
-
-	v := e.miFromJoint(i, j, ws.joint, float64(m))
-	ws.resetJoint()
-	ws.jointClean = true
-	return v
 }
 
 // SweepBucketed runs the permutation test for pair (i, j) with the

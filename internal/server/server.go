@@ -328,6 +328,14 @@ func parseConfig(r *http.Request) (core.Config, error) {
 	default:
 		return cfg, fmt.Errorf("unknown engine %q", v)
 	}
+	switch v := q.Get("precision"); v {
+	case "", "float64", "64":
+		cfg.Precision = core.Float64
+	case "float32", "32":
+		cfg.Precision = core.Float32
+	default:
+		return cfg, fmt.Errorf("unknown precision %q", v)
+	}
 	return cfg, nil
 }
 
@@ -337,9 +345,10 @@ func parseConfig(r *http.Request) (core.Config, error) {
 func jobKey(body []byte, cfg core.Config) string {
 	h := sha256.New()
 	h.Write(body)
-	fmt.Fprintf(h, "|%d|%d|%d|%d|%d|%v|%d|%v|%v|%v",
+	fmt.Fprintf(h, "|%d|%d|%d|%d|%d|%v|%d|%v|%v|%v|%v",
 		cfg.Order, cfg.Bins, cfg.Permutations, cfg.NullSamplePairs,
-		cfg.TileSize, cfg.Alpha, cfg.Seed, cfg.Engine, cfg.DPI, cfg.Kernel)
+		cfg.TileSize, cfg.Alpha, cfg.Seed, cfg.Engine, cfg.DPI, cfg.Kernel,
+		cfg.Precision)
 	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
@@ -354,7 +363,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("read body: %v", err), http.StatusBadRequest)
 		return
 	}
-	data, err := expr.ReadTSV(bytes.NewReader(body))
+	data, err := expr.StreamTSV(bytes.NewReader(body))
 	if err != nil {
 		http.Error(w, fmt.Sprintf("parse expression matrix: %v", err), http.StatusBadRequest)
 		return

@@ -1,0 +1,149 @@
+package simd
+
+import "math"
+
+// Batched single-precision entropy accumulation.
+//
+// An entropy pass over a joint histogram calls log2 once per nonzero
+// bin. Evaluated one bin at a time (simd.Log2 per cell), each call pays
+// function-call overhead and the polynomial's nine-multiply dependent
+// chain stalls the FPU — the profile shows the log at ~27% of a
+// permutation sweep. EntropyDot processes four bins per iteration with
+// the polynomial chains interleaved, so the four evaluations are
+// independent instruction streams the CPU can overlap; the call
+// overhead amortizes over the whole histogram.
+
+const (
+	mantMask = 0x007fffff // float32 mantissa bits
+	oneBits  = 0x3f800000 // bits of float32(1.0)
+	expMask  = 0x7f800000 // float32 exponent bits
+)
+
+// posNormal reports whether bits encodes a strictly positive, finite,
+// normal float32 — the precondition of the four-lane fast path.
+func posNormal(bits uint32) bool {
+	e := bits & expMask
+	return int32(bits) > 0 && e != expMask && e != 0
+}
+
+// log2x4 evaluates the Log2 polynomial on four positive normal floats
+// given by their bit patterns. Same reduction and Cephes coefficients
+// as Log2, four independent dependency chains.
+func log2x4(ba, bb, bc, bd uint32) (la, lb, lc, ld float32) {
+	ea := int32(ba>>23) - 127
+	eb := int32(bb>>23) - 127
+	ec := int32(bc>>23) - 127
+	ed := int32(bd>>23) - 127
+	ma := math.Float32frombits(ba&mantMask | oneBits)
+	mb := math.Float32frombits(bb&mantMask | oneBits)
+	mc := math.Float32frombits(bc&mantMask | oneBits)
+	md := math.Float32frombits(bd&mantMask | oneBits)
+	if ma > sqrt2f {
+		ma *= 0.5
+		ea++
+	}
+	if mb > sqrt2f {
+		mb *= 0.5
+		eb++
+	}
+	if mc > sqrt2f {
+		mc *= 0.5
+		ec++
+	}
+	if md > sqrt2f {
+		md *= 0.5
+		ed++
+	}
+	fa, fb, fc, fd := ma-1, mb-1, mc-1, md-1
+	za, zb, zc, zd := fa*fa, fb*fb, fc*fc, fd*fd
+	pa := float32(7.0376836292e-2)
+	pb := float32(7.0376836292e-2)
+	pc := float32(7.0376836292e-2)
+	pd := float32(7.0376836292e-2)
+	pa = pa*fa - 1.1514610310e-1
+	pb = pb*fb - 1.1514610310e-1
+	pc = pc*fc - 1.1514610310e-1
+	pd = pd*fd - 1.1514610310e-1
+	pa = pa*fa + 1.1676998740e-1
+	pb = pb*fb + 1.1676998740e-1
+	pc = pc*fc + 1.1676998740e-1
+	pd = pd*fd + 1.1676998740e-1
+	pa = pa*fa - 1.2420140846e-1
+	pb = pb*fb - 1.2420140846e-1
+	pc = pc*fc - 1.2420140846e-1
+	pd = pd*fd - 1.2420140846e-1
+	pa = pa*fa + 1.4249322787e-1
+	pb = pb*fb + 1.4249322787e-1
+	pc = pc*fc + 1.4249322787e-1
+	pd = pd*fd + 1.4249322787e-1
+	pa = pa*fa - 1.6668057665e-1
+	pb = pb*fb - 1.6668057665e-1
+	pc = pc*fc - 1.6668057665e-1
+	pd = pd*fd - 1.6668057665e-1
+	pa = pa*fa + 2.0000714765e-1
+	pb = pb*fb + 2.0000714765e-1
+	pc = pc*fc + 2.0000714765e-1
+	pd = pd*fd + 2.0000714765e-1
+	pa = pa*fa - 2.4999993993e-1
+	pb = pb*fb - 2.4999993993e-1
+	pc = pc*fc - 2.4999993993e-1
+	pd = pd*fd - 2.4999993993e-1
+	pa = pa*fa + 3.3333331174e-1
+	pb = pb*fb + 3.3333331174e-1
+	pc = pc*fc + 3.3333331174e-1
+	pd = pd*fd + 3.3333331174e-1
+	lna := fa + (fa*za*pa - 0.5*za)
+	lnb := fb + (fb*zb*pb - 0.5*zb)
+	lnc := fc + (fc*zc*pc - 0.5*zc)
+	lnd := fd + (fd*zd*pd - 0.5*zd)
+	la = float32(ea) + lna*float32(log2e)
+	lb = float32(eb) + lnb*float32(log2e)
+	lc = float32(ec) + lnc*float32(log2e)
+	ld = float32(ed) + lnd*float32(log2e)
+	return la, lb, lc, ld
+}
+
+// EntropyDot returns Σ v·log2(v) over v = x[i]·inv for entries with
+// v > 0, accumulated in float64 (entropy in bits is the negation). Each
+// v·log2(v) term is the same float32 value Log2 produces — lanes whose
+// scaled value is zero, subnormal, or non-finite drop to the scalar
+// path — so the result differs from a per-cell simd.Log2 loop only in
+// float64 summation order.
+func EntropyDot(x []float32, inv float32) float64 {
+	var h0, h1 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		a := x[i] * inv
+		b := x[i+1] * inv
+		c := x[i+2] * inv
+		d := x[i+3] * inv
+		ba := math.Float32bits(a)
+		bb := math.Float32bits(b)
+		bc := math.Float32bits(c)
+		bd := math.Float32bits(d)
+		if posNormal(ba) && posNormal(bb) && posNormal(bc) && posNormal(bd) {
+			la, lb, lc, ld := log2x4(ba, bb, bc, bd)
+			h0 += float64(a*la) + float64(c*lc)
+			h1 += float64(b*lb) + float64(d*ld)
+			continue
+		}
+		if a > 0 {
+			h0 += float64(a * Log2(a))
+		}
+		if b > 0 {
+			h1 += float64(b * Log2(b))
+		}
+		if c > 0 {
+			h0 += float64(c * Log2(c))
+		}
+		if d > 0 {
+			h1 += float64(d * Log2(d))
+		}
+	}
+	for ; i < len(x); i++ {
+		if v := x[i] * inv; v > 0 {
+			h0 += float64(v * Log2(v))
+		}
+	}
+	return h0 + h1
+}

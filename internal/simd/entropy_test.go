@@ -1,0 +1,146 @@
+package simd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refEntropyDot mirrors the scalar per-cell loop EntropyDot replaces.
+func refEntropyDot(x []float32, inv float32) float64 {
+	var h float64
+	for _, c := range x {
+		if v := c * inv; v > 0 {
+			h += float64(v * Log2(v))
+		}
+	}
+	return h
+}
+
+func TestEntropyDotMatchesScalarLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		x := make([]float32, n)
+		var total float32
+		for i := range x {
+			if rng.Float64() < 0.3 {
+				continue // zero cells, as in a sparse joint histogram
+			}
+			x[i] = rng.Float32() * 10
+			total += x[i]
+		}
+		if total == 0 {
+			total = 1
+		}
+		inv := 1 / total
+		got := EntropyDot(x, inv)
+		want := refEntropyDot(x, inv)
+		if d := math.Abs(got - want); d > 1e-10 {
+			t.Fatalf("trial %d (n=%d): EntropyDot %v, scalar loop %v (|d|=%g)",
+				trial, n, got, want, d)
+		}
+	}
+}
+
+func TestEntropyDotAccuracy(t *testing.T) {
+	// Against the float64 reference on a normalized distribution.
+	x := make([]float32, 100)
+	var total float32
+	rng := rand.New(rand.NewSource(7))
+	for i := range x {
+		x[i] = rng.Float32()
+		total += x[i]
+	}
+	inv := 1 / total
+	got := -EntropyDot(x, inv)
+	var want float64
+	for _, c := range x {
+		p := float64(c) / float64(total)
+		want -= p * math.Log2(p)
+	}
+	if d := math.Abs(got - want); d > 1e-5 {
+		t.Fatalf("entropy %v, float64 reference %v (|d|=%g)", got, want, d)
+	}
+}
+
+func TestEntropyDotOddLanes(t *testing.T) {
+	// Tail handling: lengths that are not multiples of four.
+	for n := 0; n < 9; n++ {
+		x := make([]float32, n)
+		for i := range x {
+			x[i] = float32(i + 1)
+		}
+		got := EntropyDot(x, 0.1)
+		want := refEntropyDot(x, 0.1)
+		if math.Abs(got-want) > 1e-10 {
+			t.Fatalf("n=%d: %v != %v", n, got, want)
+		}
+	}
+}
+
+func TestEntropyDotNonFiniteLanes(t *testing.T) {
+	// A NaN or Inf cell must drop its 4-group to the scalar path and
+	// contribute whatever v*Log2(v) does there — not corrupt neighbors.
+	x := []float32{0.25, float32(math.NaN()), 0.25, 0.5, 0.25, 0.25, 0.25, 0.25}
+	got := EntropyDot(x, 1)
+	want := refEntropyDot(x, 1)
+	if math.IsNaN(got) != math.IsNaN(want) {
+		t.Fatalf("NaN propagation differs: %v vs %v", got, want)
+	}
+	clean := []float32{0.25, 0.25, 0.5, 0.5}
+	if d := math.Abs(EntropyDot(clean, 1) - refEntropyDot(clean, 1)); d > 1e-12 {
+		t.Fatalf("clean lanes differ by %g", d)
+	}
+}
+
+func TestLog2x4MatchesLog2(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 1000; trial++ {
+		vals := [4]float32{
+			rng.Float32() + 1e-8,
+			rng.Float32()*1e6 + 1e-3,
+			float32(math.Exp(rng.NormFloat64() * 20)),
+			rng.Float32() * 1e-3,
+		}
+		for _, v := range vals {
+			if !posNormal(math.Float32bits(v)) {
+				return // subnormal draw; fast path not required
+			}
+		}
+		la, lb, lc, ld := log2x4(
+			math.Float32bits(vals[0]), math.Float32bits(vals[1]),
+			math.Float32bits(vals[2]), math.Float32bits(vals[3]))
+		for i, got := range [4]float32{la, lb, lc, ld} {
+			if want := Log2(vals[i]); got != want {
+				t.Fatalf("lane %d (x=%v): log2x4 %v != Log2 %v", i, vals[i], got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkEntropyDot100(b *testing.B) {
+	x := make([]float32, 100)
+	rng := rand.New(rand.NewSource(1))
+	for i := range x {
+		x[i] = rng.Float32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkF64 = EntropyDot(x, 0.01)
+	}
+}
+
+func BenchmarkEntropyScalarLoop100(b *testing.B) {
+	x := make([]float32, 100)
+	rng := rand.New(rand.NewSource(1))
+	for i := range x {
+		x[i] = rng.Float32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkF64 = refEntropyDot(x, 0.01)
+	}
+}
+
+var sinkF64 float64

@@ -1,0 +1,57 @@
+package simd
+
+import "math"
+
+// Single-precision log2.
+//
+// The float32 compute path evaluates entropies over float32 histograms;
+// routing every term through math.Log2 would widen to float64 and pay
+// the double-precision polynomial. Native-float builds (the paper's MKL
+// path on the Phi) instead use a vectorized single-precision log, which
+// is a short minimax polynomial. Log2 reproduces that: extract the
+// exponent, reduce the mantissa to [√2/2, √2), and evaluate the Cephes
+// logf polynomial — about 1 ulp of float32 accuracy at a fraction of
+// math.Log2's cost.
+
+const (
+	log2e  = 1.4426950408889634 // 1/ln(2)
+	sqrt2f = 1.4142135          // mantissa reduction pivot
+)
+
+// Log2 returns log2(x) for float32 x. Positive finite inputs (the only
+// values an entropy term sees) take the fast polynomial path; zero,
+// negative, and non-finite inputs fall back to math.Log2 so the function
+// is total.
+func Log2(x float32) float32 {
+	bits := math.Float32bits(x)
+	if int32(bits) <= 0 || bits&0x7f800000 == 0x7f800000 {
+		// x <= +0, negative (sign bit as int32 < 0), Inf, or NaN.
+		return float32(math.Log2(float64(x)))
+	}
+	var bias int32
+	if bits&0x7f800000 == 0 {
+		// Subnormal: rescale by 2^23 (exact) into the normal range.
+		bits = math.Float32bits(x * (1 << 23))
+		bias = -23
+	}
+	e := int32(bits>>23) - 127
+	m := math.Float32frombits(bits&0x007fffff | 0x3f800000) // [1, 2)
+	if m > sqrt2f {
+		m *= 0.5
+		e++
+	}
+	f := m - 1 // [√2/2 - 1, √2 - 1]
+	z := f * f
+	// Cephes logf minimax polynomial for ln(1+f) on the reduced range.
+	p := float32(7.0376836292e-2)
+	p = p*f - 1.1514610310e-1
+	p = p*f + 1.1676998740e-1
+	p = p*f - 1.2420140846e-1
+	p = p*f + 1.4249322787e-1
+	p = p*f - 1.6668057665e-1
+	p = p*f + 2.0000714765e-1
+	p = p*f - 2.4999993993e-1
+	p = p*f + 3.3333331174e-1
+	ln := f + (f*z*p - 0.5*z)
+	return float32(e+bias) + ln*float32(log2e)
+}

@@ -1,0 +1,87 @@
+package simd
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLog2MatchesMathLog2(t *testing.T) {
+	// Deterministic multiplicative sweep across the positive range,
+	// including values far outside (0,1] for totality.
+	x := float32(1e-40)
+	for x < 3e38 {
+		got := float64(Log2(x))
+		want := math.Log2(float64(x))
+		rel := math.Abs(got - want)
+		if want != 0 {
+			rel /= math.Abs(want)
+		}
+		if rel > 2e-6 {
+			t.Fatalf("Log2(%g) = %v, want %v (rel err %g)", x, got, want, rel)
+		}
+		x *= 1.37
+	}
+}
+
+func TestLog2ProbabilityRange(t *testing.T) {
+	// The entropy kernels only ever pass probabilities in (0, 1]; the
+	// absolute error there bounds the entropy drift directly.
+	for i := 1; i <= 100000; i++ {
+		p := float32(i) / 100000
+		got := float64(Log2(p))
+		want := math.Log2(float64(p))
+		if math.Abs(got-want) > 3e-6*math.Abs(want)+1e-6 {
+			t.Fatalf("Log2(%v) = %v, want %v", p, got, want)
+		}
+	}
+	if Log2(1) != 0 {
+		t.Fatalf("Log2(1) = %v, want 0", Log2(1))
+	}
+}
+
+func TestLog2ExactPowersOfTwo(t *testing.T) {
+	for e := -40; e <= 40; e++ {
+		x := float32(math.Ldexp(1, e))
+		if got := Log2(x); got != float32(e) {
+			t.Fatalf("Log2(2^%d) = %v, want %d", e, got, e)
+		}
+	}
+}
+
+func TestLog2Totality(t *testing.T) {
+	if !math.IsNaN(float64(Log2(float32(math.NaN())))) {
+		t.Error("Log2(NaN) should be NaN")
+	}
+	if !math.IsNaN(float64(Log2(-1))) {
+		t.Error("Log2(-1) should be NaN")
+	}
+	if !math.IsInf(float64(Log2(0)), -1) {
+		t.Error("Log2(0) should be -Inf")
+	}
+	if !math.IsInf(float64(Log2(float32(math.Inf(1)))), 1) {
+		t.Error("Log2(+Inf) should be +Inf")
+	}
+	// Subnormals hit the rescale path.
+	sub := math.Float32frombits(1) // smallest positive subnormal
+	got := float64(Log2(sub))
+	want := math.Log2(float64(sub))
+	if math.Abs(got-want) > 1e-5 {
+		t.Errorf("Log2(min subnormal) = %v, want %v", got, want)
+	}
+}
+
+func BenchmarkLog2(b *testing.B) {
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink += Log2(float32(i%1000+1) / 1001)
+	}
+	_ = sink
+}
+
+func BenchmarkMathLog2(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += math.Log2(float64(i%1000+1) / 1001)
+	}
+	_ = sink
+}

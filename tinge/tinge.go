@@ -53,6 +53,8 @@ type (
 	EngineKind = core.EngineKind
 	// KernelKind selects the MI kernel formulation.
 	KernelKind = core.KernelKind
+	// Precision selects the MI compute precision.
+	Precision = core.Precision
 )
 
 // Fault-tolerance types (cluster engine). A FaultPlan assigned to
@@ -128,6 +130,17 @@ const (
 	KernelVec = core.KernelVec
 	// KernelScalar is the naive scatter-histogram baseline.
 	KernelScalar = core.KernelScalar
+)
+
+// Compute precisions.
+const (
+	// Float64 (default) accumulates histograms and entropies in double
+	// precision.
+	Float64 = core.Float64
+	// Float32 runs the single-precision kernels — the paper's
+	// native-float build: same edge set at default settings, half the
+	// joint-accumulator footprint.
+	Float32 = core.Float32
 )
 
 // Scheduling policies.
@@ -215,8 +228,10 @@ func MustGenerate(cfg GenConfig) *Dataset { return expr.MustGenerate(cfg) }
 func MatrixFromRows(rows [][]float32) *Matrix { return mat.FromRows(rows) }
 
 // ReadExpressionTSV parses a header+rows expression TSV (as written by
-// Dataset.WriteTSV or cmd/genexpr).
-func ReadExpressionTSV(r io.Reader) (*Dataset, error) { return expr.ReadTSV(r) }
+// Dataset.WriteTSV or cmd/genexpr). It streams rows into one contiguous
+// buffer (expr.StreamTSV), so peak ingest memory is the matrix itself
+// rather than matrix plus a staged per-row copy.
+func ReadExpressionTSV(r io.Reader) (*Dataset, error) { return expr.StreamTSV(r) }
 
 // ReadSOFT parses an NCBI GEO SOFT family file (series with per-sample
 // tables, or a dataset with a combined table) and assembles the
