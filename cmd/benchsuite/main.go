@@ -19,6 +19,9 @@
 //	    (writes BENCH_permsweep.json)
 //	FS  float32 vs float64 compute precision: mi-phase time, peak tile
 //	    working set, and heap allocation (writes BENCH_f32.json)
+//	OOC out-of-core panel-store engine at its minimum memory budget vs
+//	    the resident host engine: end-to-end overhead, honored memory
+//	    ceiling, spill traffic (writes BENCH_ooc.json)
 //
 // Usage:
 //
@@ -26,15 +29,18 @@
 //	benchsuite -exp F1,F2 -quick   # fast subset
 //	benchsuite -exp PS -quick -compare baseline.json   # regression gate
 //
-// With -quick, the PS and FS measurement files get a _quick suffix
-// (BENCH_permsweep_quick.json, BENCH_f32_quick.json) so a fast CI pass
-// never clobbers the checked-in full-size baselines.
+// With -quick, the PS, FS and OOC measurement files get a _quick
+// suffix (BENCH_permsweep_quick.json, BENCH_f32_quick.json,
+// BENCH_ooc_quick.json) so a fast CI pass never clobbers the
+// checked-in full-size baselines.
 //
 // -compare FILE reruns the gate after the PS experiment: every row of
 // FILE (a previous BENCH_permsweep*.json) is matched by
 // (genes, samples, permutations) against the fresh rows, and the
 // process exits non-zero if any matched row's sweep speedup regressed
-// by more than 15%.
+// by more than 15%. -compare-ooc FILE is the same gate for the OOC
+// experiment: a matched row fails if its out-of-core overhead ratio
+// grew by more than 25% over the baseline's.
 //
 // Results are deterministic for a fixed -seed except for wall-clock
 // columns.
@@ -64,24 +70,26 @@ import (
 )
 
 type suite struct {
-	seed    uint64
-	quick   bool
-	compare string
+	seed       uint64
+	quick      bool
+	compare    string
+	compareOOC string
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchsuite: ")
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiment ids (T1,T2,F1..F9,T3,A1,A2,PS,FS) or 'all'")
-		seed    = flag.Uint64("seed", 1, "run seed")
-		quick   = flag.Bool("quick", false, "smaller sizes for a fast pass")
-		compare = flag.String("compare", "", "baseline BENCH_permsweep*.json: after PS, fail if any matched row's speedup regressed >15%")
+		expFlag    = flag.String("exp", "all", "comma-separated experiment ids (T1,T2,F1..F9,T3,A1,A2,PS,FS,OOC) or 'all'")
+		seed       = flag.Uint64("seed", 1, "run seed")
+		quick      = flag.Bool("quick", false, "smaller sizes for a fast pass")
+		compare    = flag.String("compare", "", "baseline BENCH_permsweep*.json: after PS, fail if any matched row's speedup regressed >15%")
+		compareOOC = flag.String("compare-ooc", "", "baseline BENCH_ooc*.json: after OOC, fail if any matched row's overhead grew >25%")
 	)
 	flag.Parse()
 
-	s := &suite{seed: *seed, quick: *quick, compare: *compare}
-	all := []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "T3", "A1", "A2", "PS", "FS"}
+	s := &suite{seed: *seed, quick: *quick, compare: *compare, compareOOC: *compareOOC}
+	all := []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "T3", "A1", "A2", "PS", "FS", "OOC"}
 	var ids []string
 	if *expFlag == "all" {
 		ids = all
@@ -94,7 +102,7 @@ func main() {
 		"T1": s.t1, "T2": s.t2, "F1": s.f1, "F2": s.f2, "F3": s.f3,
 		"F4": s.f4, "F5": s.f5, "F6": s.f6, "F7": s.f7, "F8": s.f8,
 		"T3": s.t3, "A1": s.a1, "A2": s.a2, "F9": s.f9, "PS": s.ps,
-		"FS": s.fs,
+		"FS": s.fs, "OOC": s.ooc,
 	}
 	for _, id := range ids {
 		run, ok := runners[id]

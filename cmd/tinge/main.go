@@ -52,6 +52,11 @@ func main() {
 		ckptIvl  = flag.Int("checkpoint-every", 64, "tiles between checkpoint saves")
 		maxGenes = flag.Int("max-genes", 0, "keep only the first N genes (0 = all)")
 
+		// Out-of-core scan (engine ooc, or host with a budget).
+		memBudget = flag.Int64("memory-budget", 0, "out-of-core memory budget in bytes: resident panels + all worker scratch (0 = resident scan; ooc engine defaults to 64 MiB)")
+		panelRows = flag.Int("panel-rows", 0, "spill-store panel height in gene rows (0 = tile size; must be a multiple of it)")
+		spillDir  = flag.String("spill-dir", "", "directory for the out-of-core spill file (default OS temp dir)")
+
 		maxRecov = flag.Int("max-recoveries", 0, "cluster rank-failure recoveries allowed (0 = ranks-1, -1 = disabled)")
 
 		// Chaos fault injection (cluster engine; for testing the
@@ -69,30 +74,55 @@ func main() {
 		flag.Usage()
 		log.Fatal("missing -in")
 	}
+	// The ooc engine on a plain TSV streams rows straight into the spill
+	// store — the expression matrix is never resident. Other formats (or
+	// -max-genes subsetting) load the dataset first; the engine then
+	// spills it internally.
+	streaming := *engine == "ooc" && *format == "tsv" && *maxGenes == 0
 	f, err := os.Open(*in)
 	if err != nil {
 		log.Fatal(err)
 	}
 	var data *tinge.Dataset
-	switch *format {
-	case "tsv":
-		data, err = tinge.ReadExpressionTSV(f)
-	case "soft":
-		data, err = tinge.ReadSOFT(f)
-	default:
-		log.Fatalf("unknown format %q", *format)
+	var store *tinge.PanelStore
+	var geneNames []string
+	if streaming {
+		pr := *panelRows
+		if pr == 0 {
+			pr = *tileSize
+		}
+		budget := *memBudget
+		if budget == 0 {
+			budget = 64 << 20
+		}
+		store, geneNames, err = tinge.IngestExpressionTSV(f, *spillDir, pr, budget)
+		if err == nil {
+			defer store.Close()
+		}
+	} else {
+		switch *format {
+		case "tsv":
+			data, err = tinge.ReadExpressionTSV(f)
+		case "soft":
+			data, err = tinge.ReadSOFT(f)
+		default:
+			log.Fatalf("unknown format %q", *format)
+		}
 	}
 	f.Close()
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *maxGenes > 0 && *maxGenes < data.N() {
-		data = data.Subset(*maxGenes)
-		fmt.Fprintf(os.Stderr, "tinge: subset to first %d genes\n", data.N())
-	}
-	if missing := data.MissingCount(); missing > 0 {
-		data.ImputeRowMean()
-		fmt.Fprintf(os.Stderr, "tinge: imputed %d missing values (row means)\n", missing)
+	if data != nil {
+		if *maxGenes > 0 && *maxGenes < data.N() {
+			data = data.Subset(*maxGenes)
+			fmt.Fprintf(os.Stderr, "tinge: subset to first %d genes\n", data.N())
+		}
+		if missing := data.MissingCount(); missing > 0 {
+			data.ImputeRowMean()
+			fmt.Fprintf(os.Stderr, "tinge: imputed %d missing values (row means)\n", missing)
+		}
+		geneNames = data.Genes
 	}
 
 	cfg := tinge.Config{
@@ -111,6 +141,9 @@ func main() {
 		CheckpointPath:  *ckpt,
 		CheckpointEvery: *ckptIvl,
 		MaxRecoveries:   *maxRecov,
+		MemoryBudget:    *memBudget,
+		PanelRows:       *panelRows,
+		SpillDir:        *spillDir,
 	}
 	if *faultKillRank >= 0 || *faultDelayProb > 0 {
 		plan := &tinge.FaultPlan{
@@ -136,6 +169,8 @@ func main() {
 		cfg.Engine = tinge.Cluster
 	case "hybrid":
 		cfg.Engine = tinge.Hybrid
+	case "ooc":
+		cfg.Engine = tinge.OutOfCore
 	default:
 		log.Fatalf("unknown engine %q", *engine)
 	}
@@ -185,7 +220,12 @@ func main() {
 		}
 	}
 
-	res, err := tinge.InferDataset(data, cfg)
+	var res *tinge.Result
+	if store != nil {
+		res, err = tinge.InferStore(store, cfg)
+	} else {
+		res, err = tinge.InferDataset(data, cfg)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -212,13 +252,19 @@ func main() {
 	}
 	var nameList []string
 	if *names {
-		nameList = data.Genes
+		nameList = geneNames
 	}
 	if err := res.Network.WriteTSV(w, nameList); err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Fprintf(os.Stderr, "tinge: %d genes x %d experiments, engine=%s\n", data.N(), data.M(), *engine)
+	nGenes, mExps := len(geneNames), 0
+	if store != nil {
+		mExps = store.Cols()
+	} else {
+		mExps = data.M()
+	}
+	fmt.Fprintf(os.Stderr, "tinge: %d genes x %d experiments, engine=%s\n", nGenes, mExps, *engine)
 	fmt.Fprintf(os.Stderr, "tinge: threshold I_alpha=%.4f (null size %d), edges=%d (raw %d)\n",
 		res.Threshold, res.NullSize, res.Network.Len(), res.RawEdges)
 	fmt.Fprintf(os.Stderr, "tinge: MI evaluations=%d, imbalance=%.3f\n", res.PairsEvaluated, res.Imbalance)
@@ -230,6 +276,10 @@ func main() {
 	if res.HybridPhiShare > 0 {
 		fmt.Fprintf(os.Stderr, "tinge: hybrid split: %.1f%% of evaluations on the coprocessor\n",
 			100*res.HybridPhiShare)
+	}
+	if res.StorePeakBytes > 0 {
+		fmt.Fprintf(os.Stderr, "tinge: out-of-core: peak %d bytes of %d budget (%d panel loads, %d hits, %d evictions)\n",
+			res.PeakTileBytes, cfg.MemoryBudget, res.PanelLoads, res.PanelHits, res.PanelEvictions)
 	}
 	if res.Messages > 0 {
 		fmt.Fprintf(os.Stderr, "tinge: cluster traffic %d messages, %d bytes\n",
@@ -248,14 +298,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		tnet, err := tinge.ReadNetworkTSV(tf, data.N())
+		tnet, err := tinge.ReadNetworkTSV(tf, nGenes)
 		tf.Close()
 		if err != nil {
 			log.Fatal(err)
 		}
 		tset := make(map[int64]bool)
 		for _, e := range tnet.Edges() {
-			tset[int64(e.I)*int64(data.N())+int64(e.J)] = true
+			tset[int64(e.I)*int64(nGenes)+int64(e.J)] = true
 		}
 		sc := res.Network.ScoreAgainst(tset)
 		fmt.Fprintf(os.Stderr, "tinge: vs truth: precision %.3f, recall %.3f, F1 %.3f\n",

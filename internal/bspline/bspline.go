@@ -251,6 +251,69 @@ func PrecomputeParallel(basis *Basis, expr *mat.Dense, workers int) *WeightMatri
 	return wm
 }
 
+// NewPanelWeights allocates a WeightMatrix sized for up to maxGenes
+// genes of samples samples each, for repeated reuse by FillPanel. The
+// out-of-core scan keeps one per worker: every tile re-fills it with
+// the tile's gene rows instead of allocating a whole-genome weight
+// matrix, so the precompute footprint is O(tile), not O(n).
+func NewPanelWeights(basis *Basis, maxGenes, samples int) *WeightMatrix {
+	k, bins := basis.Order(), basis.Bins()
+	return &WeightMatrix{
+		Basis:   basis,
+		Genes:   0,
+		Samples: samples,
+		Offsets: make([]int32, maxGenes*samples),
+		Sparse:  make([]float32, maxGenes*samples*k),
+		Dense:   mat.NewDensePadded(maxGenes*bins, samples, 16),
+	}
+}
+
+// FillPanel recomputes the weight matrix in place for the given
+// normalized gene rows (local gene g is rows[g]). The arithmetic is
+// exactly Precompute's — same basis.Weights stencils written to the
+// same layouts — so a kernel running against a filled panel with local
+// indices produces bit-identical values to the resident path with
+// global indices. rows must fit the capacity NewPanelWeights reserved.
+func (wm *WeightMatrix) FillPanel(rows [][]float32) {
+	n, m := len(rows), wm.Samples
+	k, bins := wm.Basis.Order(), wm.Basis.Bins()
+	if n*m > len(wm.Offsets) {
+		panic(fmt.Sprintf("bspline: panel of %d genes exceeds capacity %d", n, len(wm.Offsets)/m))
+	}
+	wm.Genes = n
+	var stencil [8]float32
+	for g := 0; g < n; g++ {
+		row := rows[g]
+		if len(row) != m {
+			panic(fmt.Sprintf("bspline: panel row %d has %d samples, want %d", g, len(row), m))
+		}
+		// A reused Dense carries the previous tile's scatter; restore the
+		// all-zero background Precompute starts from.
+		for u := 0; u < bins; u++ {
+			clear(wm.Dense.Row(g*bins + u))
+		}
+		for s := 0; s < m; s++ {
+			first := wm.Basis.Weights(float64(row[s]), stencil[:k])
+			wm.Offsets[g*m+s] = int32(first)
+			copy(wm.Sparse[(g*m+s)*k:], stencil[:k])
+			for u := 0; u < k; u++ {
+				wm.Dense.Row(g*bins + first + u)[s] = stencil[u]
+			}
+		}
+	}
+}
+
+// PanelBytes returns the weight-matrix footprint NewPanelWeights
+// allocates for maxGenes genes — the per-worker precompute term of the
+// out-of-core memory budget.
+func PanelBytes(basis *Basis, maxGenes, samples int) int64 {
+	k, bins := basis.Order(), basis.Bins()
+	stride := int64((samples + 15) / 16 * 16)
+	return int64(maxGenes*samples)*4 + // Offsets
+		int64(maxGenes*samples*k)*4 + // Sparse
+		int64(maxGenes*bins)*stride*4 // Dense (lane-padded)
+}
+
 // GeneDenseRows returns the bins dense weight rows for gene g; row u is
 // the per-sample weight of basis function u.
 func (wm *WeightMatrix) GeneDenseRows(g int) []([]float32) {

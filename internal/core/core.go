@@ -39,6 +39,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/mi"
 	"repro/internal/mpi"
+	"repro/internal/panelstore"
 	"repro/internal/phi"
 	"repro/internal/stats"
 	"repro/internal/tile"
@@ -62,6 +63,11 @@ const (
 	// split by device throughput, results computed exactly on the host,
 	// simulated time is the slower share.
 	Hybrid
+	// OutOfCore runs the host tile scan against a disk-backed panel
+	// store under a configurable memory budget instead of a resident
+	// weight matrix — the whole-genome-scale path. Results are
+	// bit-identical to Host for equal seeds.
+	OutOfCore
 )
 
 // String names the engine.
@@ -75,6 +81,8 @@ func (e EngineKind) String() string {
 		return "cluster"
 	case Hybrid:
 		return "hybrid"
+	case OutOfCore:
+		return "ooc"
 	default:
 		return fmt.Sprintf("engine(%d)", int(e))
 	}
@@ -190,6 +198,22 @@ type Config struct {
 	// CheckpointEvery is the save interval in completed tiles
 	// (default 64).
 	CheckpointEvery int
+
+	// MemoryBudget caps the out-of-core scan's total in-memory working
+	// set in bytes: resident store panels plus every worker's scratch
+	// (workspace, permuted-row cache arena, panel weight matrix, and
+	// the store's fixed ingest buffers). Result.PeakTileBytes reports
+	// the realized ceiling, which stays <= the budget. Used by the
+	// OutOfCore engine (default 64 MiB there); setting it > 0 on the
+	// Host engine routes the run through the same disk-backed scan.
+	MemoryBudget int64
+	// PanelRows is the spill-store panel height in gene rows (default
+	// TileSize; must be a positive multiple of TileSize so every tile's
+	// row and column ranges live inside single panels).
+	PanelRows int
+	// SpillDir is where the panel store places its spill file (default
+	// the OS temp dir).
+	SpillDir string
 
 	// Device is the simulated chip for the Phi engine (default
 	// phi.XeonPhi5110P()).
@@ -315,9 +339,26 @@ func (c *Config) Validate() error {
 		}
 	}
 	switch c.Engine {
-	case Host, Phi, Cluster, Hybrid:
+	case Host, Phi, Cluster, Hybrid, OutOfCore:
 	default:
 		return fmt.Errorf("core: unknown engine %v", c.Engine)
+	}
+	if c.MemoryBudget < 0 {
+		return fmt.Errorf("core: negative memory budget %d", c.MemoryBudget)
+	}
+	if c.Engine == OutOfCore || c.MemoryBudget > 0 {
+		if c.Engine != OutOfCore && c.Engine != Host {
+			return fmt.Errorf("core: memory budget requires the host or ooc engine, have %v", c.Engine)
+		}
+		if c.MemoryBudget == 0 {
+			c.MemoryBudget = 64 << 20
+		}
+		if c.PanelRows == 0 {
+			c.PanelRows = c.TileSize
+		}
+		if c.PanelRows < c.TileSize || c.PanelRows%c.TileSize != 0 {
+			return fmt.Errorf("core: panel rows %d must be a positive multiple of tile size %d", c.PanelRows, c.TileSize)
+		}
 	}
 	switch c.Kernel {
 	case KernelBucketed, KernelVec, KernelScalar:
@@ -376,6 +417,19 @@ type Result struct {
 	// is the number the per-tile memory budget must bound — the quantity
 	// the float32 path exists to shrink.
 	PeakTileBytes int64
+	// PanelHits and PanelLoads count pins of spill-store panels during
+	// the out-of-core scan that were served resident vs. re-read from
+	// disk; PanelEvictions counts panels dropped to stay under budget
+	// (all 0 for resident engines). A resumed run whose tiles are all
+	// committed performs no pins at all — committed work is never
+	// re-read from the store.
+	PanelHits, PanelLoads, PanelEvictions int64
+	// PanelBytesSpilled and PanelBytesLoaded are the out-of-core scan's
+	// cumulative spill-file traffic.
+	PanelBytesSpilled, PanelBytesLoaded int64
+	// StorePeakBytes is the resident-panel high-water mark of the
+	// out-of-core store (one component of PeakTileBytes).
+	StorePeakBytes int64
 	// RankFailures counts rank failures the cluster engine observed
 	// (recovered or not) during the run; 0 elsewhere.
 	RankFailures int
@@ -416,6 +470,44 @@ func InferContext(ctx context.Context, exprMat *mat.Dense, cfg Config) (*Result,
 	if exprMat.Cols() < 4 {
 		return nil, fmt.Errorf("core: need at least 4 experiments, have %d", exprMat.Cols())
 	}
+	if cfg.Engine == OutOfCore || (cfg.Engine == Host && cfg.MemoryBudget > 0) {
+		// Disk-backed path: spill the raw rows into a panel store and run
+		// the out-of-core scan — normalization and weight precompute
+		// happen per tile inside the scan, never whole-genome.
+		timer := stats.NewTimer()
+		var store *panelstore.Store
+		var err error
+		timer.Time("ingest", func() {
+			// The store's three fixed buffers (staging, transpose, io) ride
+			// along for the store's whole life; reserving them here keeps
+			// the ingest-phase footprint under the same ceiling the scan
+			// phase honors.
+			ingestBudget := cfg.MemoryBudget - 3*int64(cfg.PanelRows)*int64(exprMat.Cols())*4
+			if ingestBudget < 0 {
+				// Hopelessly small; spill everything and let the scan's
+				// budget floor produce the explanatory sizing error.
+				ingestBudget = 0
+			}
+			store, err = panelstore.New(cfg.SpillDir, exprMat.Cols(), cfg.PanelRows, ingestBudget)
+			if err != nil {
+				return
+			}
+			for i := 0; i < exprMat.Rows(); i++ {
+				if err = store.Append(exprMat.Row(i)); err != nil {
+					return
+				}
+			}
+			err = store.Seal()
+		})
+		if err != nil {
+			if store != nil {
+				store.Close()
+			}
+			return nil, err
+		}
+		defer store.Close()
+		return inferStore(ctx, store, cfg, timer)
+	}
 	timer := stats.NewTimer()
 
 	// Phase 1: rank normalization on a private copy.
@@ -451,6 +543,58 @@ func InferContext(ctx context.Context, exprMat *mat.Dense, cfg Config) (*Result,
 	}
 
 	// Phase 5: DPI.
+	res.RawEdges = res.Network.Len()
+	if cfg.DPI {
+		timer.Time("dpi", func() {
+			res.Network = res.Network.DPI(cfg.DPITolerance)
+		})
+	}
+	return res, nil
+}
+
+// InferStore runs the out-of-core pipeline directly against a panel
+// store — the true streaming path: a loader feeds expr.StreamTSVRows
+// into store.Append so the full expression matrix is never resident.
+// The store is sealed if it is not already; the caller retains
+// ownership (and must Close it). cfg.Engine must be OutOfCore, or Host
+// with a memory budget.
+func InferStore(store *panelstore.Store, cfg Config) (*Result, error) {
+	return InferStoreContext(context.Background(), store, cfg)
+}
+
+// InferStoreContext is InferStore with cancellation.
+func InferStoreContext(ctx context.Context, store *panelstore.Store, cfg Config) (*Result, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("core: nil context")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Engine != OutOfCore && !(cfg.Engine == Host && cfg.MemoryBudget > 0) {
+		return nil, fmt.Errorf("core: InferStore requires the ooc engine (or host with a memory budget), have %v", cfg.Engine)
+	}
+	if store.PanelHeight() != cfg.PanelRows {
+		return nil, fmt.Errorf("core: store panel height %d != configured %d", store.PanelHeight(), cfg.PanelRows)
+	}
+	if err := store.Seal(); err != nil {
+		return nil, err
+	}
+	if store.Rows() < 2 {
+		return nil, fmt.Errorf("core: need at least 2 genes, have %d", store.Rows())
+	}
+	if store.Cols() < 4 {
+		return nil, fmt.Errorf("core: need at least 4 experiments, have %d", store.Cols())
+	}
+	return inferStore(ctx, store, cfg, stats.NewTimer())
+}
+
+// inferStore is the shared tail of the out-of-core entry points: the
+// disk-backed scan plus the DPI phase.
+func inferStore(ctx context.Context, store *panelstore.Store, cfg Config, timer *stats.Timer) (*Result, error) {
+	res := &Result{Timer: timer}
+	if err := oocScan(ctx, store, cfg, res); err != nil {
+		return nil, err
+	}
 	res.RawEdges = res.Network.Len()
 	if cfg.DPI {
 		timer.Time("dpi", func() {

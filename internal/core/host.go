@@ -55,9 +55,17 @@ func (m *ckptManager) flush() error {
 }
 
 func fingerprint(wm *bspline.WeightMatrix, cfg Config) checkpoint.Fingerprint {
+	return fingerprintDims(wm.Genes, wm.Samples, cfg)
+}
+
+// fingerprintDims is the checkpoint fingerprint from bare dimensions.
+// The out-of-core scan shares it so its checkpoints are byte-compatible
+// with the resident engines': a killed OutOfCore run can resume from a
+// Host checkpoint and vice versa.
+func fingerprintDims(genes, samples int, cfg Config) checkpoint.Fingerprint {
 	return checkpoint.Fingerprint{
-		Genes:           wm.Genes,
-		Samples:         wm.Samples,
+		Genes:           genes,
+		Samples:         samples,
 		Order:           cfg.Order,
 		Bins:            cfg.Bins,
 		Permutations:    cfg.Permutations,

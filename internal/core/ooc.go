@@ -1,0 +1,458 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bspline"
+	"repro/internal/checkpoint"
+	"repro/internal/grn"
+	"repro/internal/mat"
+	"repro/internal/mi"
+	"repro/internal/panelstore"
+	"repro/internal/perm"
+	"repro/internal/tile"
+)
+
+// MinMemoryBudget reports the smallest admissible Config.MemoryBudget
+// for an out-of-core run over a genes×samples expression matrix under
+// cfg: every worker's fixed scratch, the panel store's three fixed
+// buffers, and the pinned-panel floor (each of the Workers workers pins
+// at most two panels at once). It uses the exact accounting oocScan
+// enforces, so a run configured with this budget is guaranteed to be
+// accepted — and to round-trip panels through the spill file, since the
+// store keeps nothing resident beyond its pins.
+func MinMemoryBudget(genes, samples int, cfg Config) (int64, error) {
+	cfg.Engine = OutOfCore
+	if cfg.MemoryBudget == 0 {
+		cfg.MemoryBudget = 1 // placeholder; only the derived sizes matter
+	}
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	basis, err := bspline.New(cfg.Order, cfg.Bins)
+	if err != nil {
+		return 0, err
+	}
+	pool := perm.MustNewPool(cfg.Seed, samples, cfg.Permutations)
+	wk := newOOCWorker(basis, pool, cfg, samples)
+	panelBytes := int64(cfg.PanelRows) * int64(samples) * 4
+	scratch := wk.bytes(basis, cfg)*int64(cfg.Workers) + 3*panelBytes
+	maxPins := int64(2 * cfg.Workers)
+	if np := int64((genes + cfg.PanelRows - 1) / cfg.PanelRows); np < maxPins {
+		maxPins = np
+	}
+	return scratch + maxPins*panelBytes, nil
+}
+
+// oocWorker is one worker's fixed-size apparatus for the out-of-core
+// scan. Nothing in it scales with the gene count: the weight matrix,
+// estimator, workspace, and permuted-row cache are all sized to one
+// tile (at most 2·TileSize genes), and every tile re-fills them in
+// place. Bit-identity with the resident engines follows from the
+// shared building blocks: the same rank transform per row, the same
+// stencil precompute per gene, the same kernels — only the gene
+// indices are tile-local.
+type oocWorker struct {
+	pk      *pairKernel
+	tileWM  *bspline.WeightMatrix
+	ws      *mi.Workspace
+	pc      *mi.PermCache
+	normBuf []float32   // 2·TileSize rank-normalized row copies
+	rows    [][]float32 // row views into normBuf for FillPanel
+	samples int
+}
+
+func newOOCWorker(basis *bspline.Basis, pool *perm.Pool, cfg Config, samples int) *oocWorker {
+	tileWM := bspline.NewPanelWeights(basis, 2*cfg.TileSize, samples)
+	est := mi.NewEstimator(tileWM)
+	w := &oocWorker{
+		pk: &pairKernel{
+			est:    est,
+			pool:   pool,
+			kind:   cfg.Kernel,
+			prec:   cfg.Precision,
+			legacy: cfg.LegacyPermutation,
+		},
+		tileWM:  tileWM,
+		ws:      mi.NewWorkspacePrec(est, cfg.Precision),
+		normBuf: make([]float32, 2*cfg.TileSize*samples),
+		rows:    make([][]float32, 0, 2*cfg.TileSize),
+		samples: samples,
+	}
+	w.pc = w.pk.newPermCache(cfg)
+	return w
+}
+
+// bytes is the worker's whole scratch footprint — the per-worker term
+// of the memory-budget accounting.
+func (w *oocWorker) bytes(basis *bspline.Basis, cfg Config) int64 {
+	b := bspline.PanelBytes(basis, 2*cfg.TileSize, w.samples)
+	b += int64(w.ws.Bytes())
+	if w.pc != nil {
+		b += int64(w.pc.Bytes())
+	}
+	b += int64(len(w.normBuf)) * 4
+	b += int64(2*cfg.TileSize) * 12 // estimator marginal-entropy slices
+	return b
+}
+
+// stage copies global row g out of the pinned panel into local slot r,
+// rank-normalizes the copy, and registers it as local gene r. Pinned
+// panel rows are shared with other workers and must stay raw.
+func (w *oocWorker) stage(p *panelstore.Panel, g, r int) {
+	dst := w.normBuf[r*w.samples : (r+1)*w.samples]
+	copy(dst, p.Row(g))
+	mat.RankNormalizeValues(dst)
+	w.rows = append(w.rows, dst)
+}
+
+// rebind re-derives weights, marginal entropies, and cache bindings for
+// the currently staged rows. Every index-dependent cache is
+// invalidated: local indices mean a stale row key or permuted-row entry
+// would alias a different gene.
+func (w *oocWorker) rebind() {
+	w.tileWM.FillPanel(w.rows)
+	w.pk.est.Reset(w.tileWM)
+	w.ws.InvalidateRowKeys()
+	if w.pc != nil {
+		w.pc.Rebind(w.pk.est)
+	}
+}
+
+// loadTile pins the tile's panels, stages its i-rows (and, off the
+// diagonal, its j-rows after them), and rebinds. It returns the local
+// index base of the j range: on a diagonal tile both ranges are the
+// same staged rows.
+func (w *oocWorker) loadTile(store *panelstore.Store, t tile.Tile) (jBase int, err error) {
+	w.rows = w.rows[:0]
+	pinI, err := store.Panel(store.PanelOf(t.I0))
+	if err != nil {
+		return 0, err
+	}
+	pinJ := pinI
+	if pj := store.PanelOf(t.J0); pj != pinI.Index() {
+		pinJ, err = store.Panel(pj)
+		if err != nil {
+			pinI.Release()
+			return 0, err
+		}
+	}
+	nI := t.I1 - t.I0
+	for r := 0; r < nI; r++ {
+		w.stage(pinI, t.I0+r, r)
+	}
+	if t.I0 == t.J0 {
+		jBase = 0 // diagonal tile: the j range is the i range
+	} else {
+		jBase = nI
+		for r := 0; r < t.J1-t.J0; r++ {
+			w.stage(pinJ, t.J0+r, nI+r)
+		}
+	}
+	if pinJ != pinI {
+		pinJ.Release()
+	}
+	pinI.Release()
+	w.rebind()
+	return jBase, nil
+}
+
+// loadPair stages one null-sample pair (a, b) as local genes (0, 1).
+func (w *oocWorker) loadPair(store *panelstore.Store, a, b int) error {
+	w.rows = w.rows[:0]
+	pinA, err := store.Panel(store.PanelOf(a))
+	if err != nil {
+		return err
+	}
+	pinB := pinA
+	if pb := store.PanelOf(b); pb != pinA.Index() {
+		pinB, err = store.Panel(pb)
+		if err != nil {
+			pinA.Release()
+			return err
+		}
+	}
+	w.stage(pinA, a, 0)
+	w.stage(pinB, b, 1)
+	if pinB != pinA {
+		pinB.Release()
+	}
+	pinA.Release()
+	w.rebind()
+	return nil
+}
+
+// oocScan is the disk-backed counterpart of hostScan: the same
+// threshold estimation and pair-tile scan, but every gene row is
+// fetched from the panel store on demand and normalized/precomputed
+// per tile, so the working set is the memory budget — not the genome.
+func oocScan(ctx context.Context, store *panelstore.Store, cfg Config, res *Result) error {
+	n, m := store.Rows(), store.Cols()
+	basis, err := bspline.New(cfg.Order, cfg.Bins)
+	if err != nil {
+		return err
+	}
+	pool := perm.MustNewPool(cfg.Seed, m, cfg.Permutations)
+	tiles := tile.Decompose(n, cfg.TileSize)
+
+	// Build the worker kits first: their scratch is a fixed cost the
+	// store's panel budget must make room for.
+	workers := make([]*oocWorker, cfg.Workers)
+	for w := range workers {
+		workers[w] = newOOCWorker(basis, pool, cfg, m)
+	}
+	perWorker := workers[0].bytes(basis, cfg)
+	scratch := perWorker*int64(cfg.Workers) + 3*store.PanelBytes() // + staging/transpose/io buffers
+	maxPins := int64(2 * cfg.Workers)
+	if np := int64(store.NumPanels()); np < maxPins {
+		maxPins = np
+	}
+	storeBudget := cfg.MemoryBudget - scratch
+	if floor := maxPins * store.PanelBytes(); storeBudget < floor {
+		return fmt.Errorf("core: memory budget %d too small: %d workers need %d scratch + %d pinned panel bytes (minimum %d)",
+			cfg.MemoryBudget, cfg.Workers, scratch, floor, scratch+floor)
+	}
+	store.SetBudget(storeBudget)
+	// The peak so far belongs to the ingest phase, whose fixed overhead
+	// is the store's three buffers, not the workers' scratch. Account
+	// the phases separately and report the larger ceiling at the end.
+	ingestPeak := store.ResetPeak()
+
+	// Checkpoint setup — byte-compatible with the resident engines via
+	// the shared fingerprint, so committed tiles survive a kill and are
+	// never re-read from the store on resume.
+	var ck *ckptManager
+	resumed := false
+	if cfg.CheckpointPath != "" {
+		fp := fingerprintDims(n, m, cfg)
+		state, err := checkpoint.LoadFile(cfg.CheckpointPath)
+		if err != nil {
+			return err
+		}
+		if state != nil {
+			if err := state.Validate(fp, len(tiles)); err != nil {
+				return err
+			}
+			resumed = true
+		} else {
+			state = checkpoint.NewState(fp, len(tiles))
+		}
+		ck = &ckptManager{path: cfg.CheckpointPath, every: cfg.CheckpointEvery, state: state}
+	}
+
+	// Phase 3: pooled-null threshold over sampled pairs. Each permuted
+	// MI value is bit-identical to the resident computation and the
+	// pooled Null is order-independent, so the threshold matches the
+	// resident engines exactly.
+	var errMu sync.Mutex
+	var scanErr error
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		errMu.Lock()
+		if scanErr == nil {
+			scanErr = err
+		}
+		errMu.Unlock()
+	}
+	firstErr := func() error {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return scanErr
+	}
+	if resumed {
+		res.Threshold = ck.state.Threshold
+		res.NullSize = ck.state.NullSize
+	} else {
+		res.Timer.Time("threshold", func() {
+			if cfg.Permutations == 0 {
+				res.Threshold = 0
+				return
+			}
+			count := cfg.NullSamplePairs
+			if max := tile.TotalPairs(n); count > max {
+				count = max
+			}
+			pairs := sampleNullPairs(cfg.Seed, n, count)
+			nw := cfg.Workers
+			if nw > len(pairs) && len(pairs) > 0 {
+				nw = len(pairs)
+			}
+			nulls := make([]perm.Null, nw)
+			var wg sync.WaitGroup
+			for w := 0; w < nw; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					wk := workers[w]
+					lo := w * len(pairs) / nw
+					hi := (w + 1) * len(pairs) / nw
+					for _, pr := range pairs[lo:hi] {
+						if ctx.Err() != nil {
+							return
+						}
+						if err := wk.loadPair(store, pr[0], pr[1]); err != nil {
+							fail(err)
+							return
+						}
+						wk.pk.nullForPairs([][2]int{{0, 1}}, wk.ws, &nulls[w])
+					}
+				}(w)
+			}
+			wg.Wait()
+			pooled := &perm.Null{}
+			for w := range nulls {
+				pooled.Merge(&nulls[w])
+			}
+			res.NullSize = pooled.Len()
+			if pooled.Len() > 0 {
+				res.Threshold = pooled.Threshold(cfg.Alpha)
+			}
+		})
+		if err := firstErr(); err != nil {
+			return err
+		}
+		if ck != nil {
+			ck.state.Threshold = res.Threshold
+			ck.state.NullSize = res.NullSize
+		}
+	}
+	for _, wk := range workers {
+		wk.pk.thresh = res.Threshold
+	}
+
+	// Phase 4: tile scan over the pending tiles.
+	pending := make([]int, 0, len(tiles))
+	for i := range tiles {
+		if ck == nil || !ck.state.Done[i] {
+			pending = append(pending, i)
+		}
+	}
+	evalsPerTile := make([]int64, len(tiles))
+	busy := make([]float64, cfg.Workers)
+	edgesPerWorker := make([][]grn.Edge, cfg.Workers)
+	var totalEvals, totalSkipped int64
+	var cacheHits, cacheMisses int64
+	var tilesDone int64
+	res.Timer.Time("mi", func() {
+		sched := tile.NewScheduler(cfg.Policy, len(pending), cfg.Workers)
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				wk := workers[w]
+				start := time.Now()
+				var local []grn.Edge
+				var evals, skipped int64
+				for {
+					pi := sched.Next(w)
+					if pi == -1 || ctx.Err() != nil {
+						break
+					}
+					ti := pending[pi]
+					t := tiles[ti]
+					var endSpan func()
+					if cfg.Trace != nil {
+						endSpan = cfg.Trace.Span(w, fmt.Sprintf("tile-%d %s", ti, t))
+					}
+					jBase, err := wk.loadTile(store, t)
+					if err != nil {
+						fail(err)
+						break
+					}
+					var tileEvals int64
+					var tileEdges []grn.Edge
+					t.ForEachPair(func(i, j int) {
+						obs, sig, ev, sk := wk.pk.decide(i-t.I0, j-t.J0+jBase, wk.ws, wk.pc)
+						tileEvals += ev
+						skipped += sk
+						if sig {
+							tileEdges = append(tileEdges, grn.Edge{I: i, J: j, Weight: obs})
+						}
+					})
+					atomic.AddInt64(&evalsPerTile[ti], tileEvals)
+					evals += tileEvals
+					if ck != nil {
+						ck.tileDone(ti, tileEvals, tileEdges)
+					} else {
+						local = append(local, tileEdges...)
+					}
+					if endSpan != nil {
+						endSpan()
+					}
+					if cfg.Trace != nil {
+						cfg.Trace.Counter(w, "perm_skipped", float64(skipped))
+						if wk.pc != nil {
+							cfg.Trace.Counter(w, "permcache_hits", float64(wk.pc.Hits()))
+						}
+					}
+					if cfg.Progress != nil {
+						cfg.Progress(int(atomic.AddInt64(&tilesDone, 1)), len(pending))
+					}
+				}
+				busy[w] = time.Since(start).Seconds()
+				edgesPerWorker[w] = local
+				atomic.AddInt64(&totalEvals, evals)
+				atomic.AddInt64(&totalSkipped, skipped)
+				if wk.pc != nil {
+					atomic.AddInt64(&cacheHits, wk.pc.Hits())
+					atomic.AddInt64(&cacheMisses, wk.pc.Misses())
+				}
+			}(w)
+		}
+		wg.Wait()
+	})
+	if ck != nil {
+		if err := ck.flush(); err != nil {
+			return err
+		}
+	}
+	if err := firstErr(); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	res.PairsEvaluated = totalEvals
+	res.PermutationsSkipped = totalSkipped
+	res.PermCacheHits = cacheHits
+	res.PermCacheMisses = cacheMisses
+	res.Imbalance = tile.Imbalance(busy)
+
+	st := store.Stats()
+	res.PanelHits = st.Hits
+	res.PanelLoads = st.Misses
+	res.PanelEvictions = st.Evictions
+	res.PanelBytesSpilled = st.BytesSpilled
+	res.PanelBytesLoaded = st.BytesLoaded
+	res.StorePeakBytes = st.PeakBytes
+	// The true ceiling is the larger of the two phase peaks: resident
+	// panels plus the store's own buffers during ingest, resident panels
+	// plus every worker's fixed scratch (and those buffers) during the
+	// scan. The phases never overlap, so they are not summed.
+	res.PeakTileBytes = st.PeakBytes + scratch
+	if p := ingestPeak + 3*store.PanelBytes(); p > res.PeakTileBytes {
+		res.PeakTileBytes = p
+	}
+
+	net := grn.New(n)
+	if ck != nil {
+		for _, e := range ck.state.Edges {
+			net.AddEdge(e.I, e.J, e.Weight)
+		}
+	} else {
+		for _, edges := range edgesPerWorker {
+			for _, e := range edges {
+				net.AddEdge(e.I, e.J, e.Weight)
+			}
+		}
+	}
+	res.Network = net
+	return nil
+}

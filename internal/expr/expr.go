@@ -354,24 +354,37 @@ func (d *Dataset) MissingCount() int {
 func (d *Dataset) ImputeRowMean() int {
 	imputed := 0
 	for g := 0; g < d.N(); g++ {
-		row := d.Expr.Row(g)
-		var sum float64
-		observed := 0
-		for _, v := range row {
-			if !math.IsNaN(float64(v)) {
-				sum += float64(v)
-				observed++
-			}
+		imputed += ImputeRowMeanValues(d.Expr.Row(g))
+	}
+	return imputed
+}
+
+// ImputeRowMeanValues is the slice-level imputation behind
+// ImputeRowMean: imputation only ever looks at one gene's row, so the
+// streaming out-of-core ingest can impute each row as it is parsed —
+// before the full matrix would exist — and produce exactly the values
+// the resident path does.
+func ImputeRowMeanValues(row []float32) int {
+	var sum float64
+	observed := 0
+	for _, v := range row {
+		if !math.IsNaN(float64(v)) {
+			sum += float64(v)
+			observed++
 		}
-		fill := float32(0.5)
-		if observed > 0 {
-			fill = float32(sum / float64(observed))
-		}
-		for i, v := range row {
-			if math.IsNaN(float64(v)) {
-				row[i] = fill
-				imputed++
-			}
+	}
+	if observed == len(row) {
+		return 0
+	}
+	fill := float32(0.5)
+	if observed > 0 {
+		fill = float32(sum / float64(observed))
+	}
+	imputed := 0
+	for i, v := range row {
+		if math.IsNaN(float64(v)) {
+			row[i] = fill
+			imputed++
 		}
 	}
 	return imputed

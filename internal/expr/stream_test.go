@@ -75,3 +75,37 @@ func TestStreamTSVMissingValues(t *testing.T) {
 		t.Fatalf("Truth len %d, want 2", len(d.Truth))
 	}
 }
+
+// TestStreamTSVPeakIngestBytes pins the streaming loader's memory
+// contract: after ingest the returned matrix retains exactly rows*cols
+// floats — the geometric append slack (up to ~2x on a whole-genome
+// load) is released by the final Shrink. 600 genes outgrow the 256-row
+// capacity hint twice, so without the Shrink the backing array would
+// hold 1024 rows' worth of floats.
+func TestStreamTSVPeakIngestBytes(t *testing.T) {
+	const rows, cols = 600, 9
+	d := MustGenerate(GenConfig{Genes: rows, Experiments: cols, Seed: 11})
+	var buf bytes.Buffer
+	if err := d.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := StreamTSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != rows || ds.M() != cols {
+		t.Fatalf("shape %dx%d, want %dx%d", ds.N(), ds.M(), rows, cols)
+	}
+	if got := cap(ds.Expr.Data()); got != rows*cols {
+		t.Fatalf("retained backing capacity %d floats (%d bytes), want exactly %d (%d bytes): ingest slack not released",
+			got, got*4, rows*cols, rows*cols*4)
+	}
+	// And the shrunk matrix is still the same data the staged loader sees.
+	want, err := ReadTSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Expr.Equal(want.Expr, 0) {
+		t.Fatal("shrunk streamed matrix differs from staged matrix")
+	}
+}

@@ -204,7 +204,15 @@ func (m *Dense) RowMax(i int) float32 {
 // TINGe applies before B-spline MI estimation so that the estimator is
 // invariant to monotone transformations of the raw expression values.
 func (m *Dense) RankNormalizeRow(i int) {
-	r := m.Row(i)
+	RankNormalizeValues(m.Row(i))
+}
+
+// RankNormalizeValues is the slice-level rank transform behind
+// RankNormalizeRow. The out-of-core scan normalizes gene rows one panel
+// at a time as they stream back from the spill store; sharing the exact
+// routine (same sort, same tie averaging, same float32 rounding) with
+// the resident path is what makes the two engines bit-identical.
+func RankNormalizeValues(r []float32) {
 	n := len(r)
 	if n == 0 {
 		return

@@ -69,6 +69,21 @@ func (m *Matrix32) Row(i int) []float32 {
 	return m.data[start : start+m.cols : start+m.cols]
 }
 
+// Shrink releases the geometric-growth over-allocation: when the
+// backing array's capacity exceeds the appended rows, the data is
+// copied into an exactly-sized array and the slack handed back to the
+// allocator. Streaming loaders call it once at end of ingest so a
+// whole-genome matrix holds rows·cols floats, not up to twice that.
+func (m *Matrix32) Shrink() {
+	need := m.rows * m.Cols()
+	if cap(m.data) == need {
+		return
+	}
+	exact := make([]float32, need)
+	copy(exact, m.data[:need])
+	m.data = exact
+}
+
 // AsDense returns the accumulated rows as a *Dense view sharing the
 // backing storage — zero copy; mutating one mutates the other. Appending
 // more rows afterwards may reallocate the backing array and detach the

@@ -128,3 +128,44 @@ func TestMatrix32TransposeTilePanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestMatrix32Shrink pins the over-allocation bugfix: geometric append
+// growth may hold up to ~2x the final matrix, and Shrink must hand all
+// of it back so a whole-genome ingest retains exactly rows*cols floats.
+func TestMatrix32Shrink(t *testing.T) {
+	m := NewMatrix32()
+	rng := rand.New(rand.NewSource(5))
+	const rows, cols = 1000, 7
+	want := make([]float32, 0, rows*cols)
+	row := make([]float32, cols)
+	for r := 0; r < rows; r++ {
+		for c := range row {
+			row[c] = float32(rng.NormFloat64())
+		}
+		want = append(want, row...)
+		if err := m.AppendRow(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cap(m.data) <= rows*cols {
+		t.Fatalf("append growth left no slack (cap %d); test is vacuous", cap(m.data))
+	}
+	m.Shrink()
+	if cap(m.data) != rows*cols {
+		t.Fatalf("after Shrink cap = %d, want exactly %d", cap(m.data), rows*cols)
+	}
+	for r := 0; r < rows; r++ {
+		got := m.Row(r)
+		for c := range got {
+			if got[c] != want[r*cols+c] {
+				t.Fatalf("row %d col %d: %v != %v after Shrink", r, c, got[c], want[r*cols+c])
+			}
+		}
+	}
+	// Shrinking an exactly-sized matrix is a no-op, not a copy.
+	before := &m.data[0]
+	m.Shrink()
+	if &m.data[0] != before {
+		t.Fatal("Shrink on exact-size matrix reallocated")
+	}
+}

@@ -114,6 +114,31 @@ func NewEstimatorParallel(wm *bspline.WeightMatrix, workers int) *Estimator {
 // WM returns the underlying weight matrix.
 func (e *Estimator) WM() *bspline.WeightMatrix { return e.wm }
 
+// Reset re-points the estimator at a (re-filled) weight matrix and
+// recomputes the marginal entropies in place, reusing the entropy
+// slices when capacity allows. The out-of-core scan calls it once per
+// tile after bspline.WeightMatrix.FillPanel: the marginal of a gene
+// depends only on that gene's own weights, so the values match the
+// whole-genome construction bit for bit. The new matrix must share the
+// old one's basis and sample count (worker scratch is sized to both).
+func (e *Estimator) Reset(wm *bspline.WeightMatrix) {
+	if e.wm != nil && (wm.Samples != e.wm.Samples || wm.Basis.Bins() != e.wm.Basis.Bins() || wm.Basis.Order() != e.wm.Basis.Order()) {
+		panic("mi: Reset with incompatible weight matrix")
+	}
+	e.wm = wm
+	n := wm.Genes
+	if cap(e.hMarginal) < n {
+		e.hMarginal = make([]float64, n)
+		e.hMarginal32 = make([]float32, n)
+	}
+	e.hMarginal = e.hMarginal[:n]
+	e.hMarginal32 = e.hMarginal32[:n]
+	for g := 0; g < n; g++ {
+		e.hMarginal[g] = Entropy(wm.Marginal(g))
+		e.hMarginal32[g] = Entropy32(wm.Marginal32(g))
+	}
+}
+
 // MarginalEntropy returns the precomputed H(X_g) in bits.
 func (e *Estimator) MarginalEntropy(g int) float64 { return e.hMarginal[g] }
 
@@ -147,6 +172,13 @@ type Workspace struct {
 	keyIGene int
 	blockAcc []float32
 }
+
+// InvalidateRowKeys drops the cached row-key gene so the next sweep
+// call re-derives ws.keyI. The out-of-core scan must call it whenever
+// gene indices are remapped (each tile re-fills the panel weight
+// matrix with local indices, so a stale keyIGene would alias a
+// different gene's keys).
+func (ws *Workspace) InvalidateRowKeys() { ws.keyIGene = -1 }
 
 // NewWorkspace allocates scratch sized for the estimator's basis and
 // sample count, for the default float64 path.

@@ -95,6 +95,21 @@ func (c *PermCache) Gene(g int) (offs []int32, w []float32) {
 	return offs, w
 }
 
+// Rebind re-points the cache at est and invalidates every entry while
+// keeping the arena. The out-of-core scan calls it per tile: gene keys
+// become tile-local after each FillPanel/Reset, so cached rows from the
+// previous tile would alias the wrong genes — but the arena's size
+// depends only on (q, m, k), which a Reset never changes, so the
+// worker's fixed-footprint guarantee survives the rebind.
+func (c *PermCache) Rebind(est *Estimator) {
+	if est.wm.Samples != c.est.wm.Samples || est.wm.Basis.Order() != c.est.wm.Basis.Order() {
+		panic("mi: Rebind with incompatible estimator")
+	}
+	c.est = est
+	clear(c.entries)
+	c.next = 0
+}
+
 // Bytes reports the cache's arena footprint — fixed at construction,
 // independent of how many genes have been materialized.
 func (c *PermCache) Bytes() int {

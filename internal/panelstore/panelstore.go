@@ -1,0 +1,433 @@
+// Package panelstore is the disk-backed gene-panel store behind the
+// out-of-core engine. Streaming ingest appends gene rows; the store
+// groups them into fixed-height row panels, spills every panel to a
+// temp file, and keeps an LRU of in-memory panels under a configurable
+// byte budget. The scan then pins the two panels a pair tile touches,
+// reads their rows as borrowed slices, and releases them — so the
+// resident footprint is bounded by the budget, not by the matrix.
+//
+// On disk a panel is stored sample-major (transposed through
+// mat.Matrix32.TransposeTileInto, the hook PR 4 shipped for exactly
+// this): sample s of the panel's genes is one contiguous run. That is
+// the layout a sample-sharded reader needs — the ROADMAP's multi-node
+// sharded ingest streams sample ranges of a panel without striding the
+// whole panel — and it costs one small transpose per spill/load.
+//
+// Concurrency: all state transitions (append, pin, release, evict) are
+// mutex-guarded. A pinned panel's row data is immutable until every
+// pin is released, so concurrent readers may share a *Panel without
+// further locking; eviction only ever reclaims unpinned panels.
+package panelstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/mat"
+)
+
+// Stats is a point-in-time account of store activity.
+type Stats struct {
+	// Hits counts pins served from a resident panel; Misses counts
+	// pins that had to re-read the spill file.
+	Hits, Misses int64
+	// Evictions counts panels dropped from memory to stay under budget.
+	Evictions int64
+	// BytesSpilled and BytesLoaded are cumulative spill-file traffic.
+	BytesSpilled, BytesLoaded int64
+	// ResidentBytes is the current in-memory panel footprint;
+	// PeakBytes is its high-water mark — the store's true ceiling.
+	ResidentBytes, PeakBytes int64
+}
+
+// panel is the store-internal panel record.
+type panel struct {
+	lo, hi  int       // global row range [lo, hi)
+	data    []float32 // (hi-lo)×cols row-major; nil when evicted
+	pins    int
+	lastUse int64 // LRU clock tick of the most recent pin
+}
+
+// Panel is a pinned handle on one resident panel. Rows are borrowed
+// slices into the store's buffer: valid until Release, and must not be
+// mutated. Panels are safe for concurrent readers.
+type Panel struct {
+	s   *Store
+	p   *panel
+	idx int
+}
+
+// Index returns the panel's index in the store.
+func (p *Panel) Index() int { return p.idx }
+
+// Lo returns the first global row of the panel.
+func (p *Panel) Lo() int { return p.p.lo }
+
+// Hi returns one past the last global row of the panel.
+func (p *Panel) Hi() int { return p.p.hi }
+
+// Rows returns the panel height.
+func (p *Panel) Rows() int { return p.p.hi - p.p.lo }
+
+// Row returns global row g (which must lie in [Lo, Hi)) as a borrowed
+// read-only slice.
+func (p *Panel) Row(g int) []float32 {
+	r := g - p.p.lo
+	if r < 0 || r >= p.Rows() {
+		panic(fmt.Sprintf("panelstore: row %d outside panel [%d,%d)", g, p.p.lo, p.p.hi))
+	}
+	cols := p.s.cols
+	return p.p.data[r*cols : (r+1)*cols : (r+1)*cols]
+}
+
+// Release unpins the panel. The handle (and every row slice borrowed
+// from it) must not be used afterwards. Releasing twice panics.
+func (p *Panel) Release() {
+	p.s.mu.Lock()
+	defer p.s.mu.Unlock()
+	if p.p.pins <= 0 {
+		panic("panelstore: Release of unpinned panel")
+	}
+	p.p.pins--
+	p.s.evictLocked()
+}
+
+// Store is the disk-backed panel store. See the package comment.
+type Store struct {
+	mu     sync.Mutex
+	cols   int
+	height int // rows per panel (the last panel may be shorter)
+	budget int64
+
+	file    *os.File
+	path    string
+	panels  []*panel
+	rows    int
+	sealed  bool
+	closed  bool
+	clock   int64
+	stats   Stats
+	staging *mat.Matrix32 // ingest buffer for the panel being filled
+	tbuf    []float32     // transpose scratch (height×cols)
+	iobuf   []byte        // spill/load byte buffer
+}
+
+// New creates an empty store spilling to a fresh temp file under dir
+// (os.TempDir() when dir is empty). cols is the sample count, height
+// the panel height in rows, budget the in-memory panel byte budget
+// (pins may force the store above it; PeakBytes records the truth).
+func New(dir string, cols, height int, budget int64) (*Store, error) {
+	if cols < 1 {
+		return nil, fmt.Errorf("panelstore: non-positive cols %d", cols)
+	}
+	if height < 1 {
+		return nil, fmt.Errorf("panelstore: non-positive panel height %d", height)
+	}
+	if budget < 0 {
+		return nil, fmt.Errorf("panelstore: negative budget %d", budget)
+	}
+	f, err := os.CreateTemp(dir, "panelstore-*.spill")
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		cols:    cols,
+		height:  height,
+		budget:  budget,
+		file:    f,
+		path:    f.Name(),
+		staging: mat.NewMatrix32Hint(cols, height),
+		tbuf:    make([]float32, height*cols),
+		iobuf:   make([]byte, height*cols*4),
+	}, nil
+}
+
+// Cols returns the sample count.
+func (s *Store) Cols() int { return s.cols }
+
+// PanelHeight returns the configured rows-per-panel.
+func (s *Store) PanelHeight() int { return s.height }
+
+// Rows returns the number of appended rows.
+func (s *Store) Rows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rows + s.staging.Rows()
+}
+
+// NumPanels returns the panel count (only meaningful after Seal).
+func (s *Store) NumPanels() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.panels)
+}
+
+// PanelOf returns the index of the panel containing global row g.
+func (s *Store) PanelOf(g int) int { return g / s.height }
+
+// PanelRange returns the global row range [lo, hi) of panel i.
+func (s *Store) PanelRange(i int) (lo, hi int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.panels[i]
+	return p.lo, p.hi
+}
+
+// SpillPath returns the spill file's path (tests truncate it to model
+// a torn write).
+func (s *Store) SpillPath() string { return s.path }
+
+// Append copies row into the store as the next gene row. Rows are
+// staged and spilled one panel at a time; Append never retains the
+// argument slice.
+func (s *Store) Append(row []float32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sealed {
+		return fmt.Errorf("panelstore: Append after Seal")
+	}
+	if s.closed {
+		return fmt.Errorf("panelstore: Append after Close")
+	}
+	if len(row) != s.cols {
+		return fmt.Errorf("panelstore: row has %d values, want %d", len(row), s.cols)
+	}
+	if err := s.staging.AppendRow(row); err != nil {
+		return err
+	}
+	if s.staging.Rows() == s.height {
+		return s.flushStagingLocked()
+	}
+	return nil
+}
+
+// Seal flushes the final partial panel and switches the store to read
+// mode; Panel may only be called on a sealed store.
+func (s *Store) Seal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sealed {
+		return nil
+	}
+	if s.closed {
+		return fmt.Errorf("panelstore: Seal after Close")
+	}
+	if s.staging.Rows() > 0 {
+		if err := s.flushStagingLocked(); err != nil {
+			return err
+		}
+	}
+	s.sealed = true
+	return nil
+}
+
+// flushStagingLocked spills the staged rows as the next panel: the
+// panel is transposed into sample-major order through the Matrix32
+// tile-transpose hook, serialized, and written at the panel's fixed
+// file offset. The freshly written panel stays resident (it is the
+// hottest panel by construction); the evict pass below restores the
+// budget if that tips it over.
+func (s *Store) flushStagingLocked() error {
+	nr := s.staging.Rows()
+	lo := s.rows
+	p := &panel{lo: lo, hi: lo + nr, data: make([]float32, nr*s.cols)}
+	for r := 0; r < nr; r++ {
+		copy(p.data[r*s.cols:(r+1)*s.cols], s.staging.Row(r))
+	}
+
+	// Sample-major on disk: dst[c*nr+r] = staging[r][c].
+	tb := s.tbuf[:nr*s.cols]
+	s.staging.TransposeTileInto(tb, 0, nr, 0, s.cols)
+	buf := s.iobuf[:nr*s.cols*4]
+	for i, v := range tb {
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+	}
+	off := int64(len(s.panels)) * int64(s.height) * int64(s.cols) * 4
+	if _, err := s.file.WriteAt(buf, off); err != nil {
+		return fmt.Errorf("panelstore: spill panel %d: %w", len(s.panels), err)
+	}
+	s.stats.BytesSpilled += int64(len(buf))
+
+	s.rows += nr
+	s.makeRoomLocked(int64(len(p.data)) * 4)
+	s.panels = append(s.panels, p)
+	s.clock++
+	p.lastUse = s.clock
+	s.stats.ResidentBytes += int64(len(p.data)) * 4
+	if s.stats.ResidentBytes > s.stats.PeakBytes {
+		s.stats.PeakBytes = s.stats.ResidentBytes
+	}
+	s.staging = mat.NewMatrix32Hint(s.cols, s.height)
+	return nil
+}
+
+// Panel pins panel i and returns its handle, re-reading the spill file
+// when the panel is not resident. The caller must Release it.
+func (s *Store) Panel(i int) (*Panel, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.sealed {
+		return nil, fmt.Errorf("panelstore: Panel before Seal")
+	}
+	if s.closed {
+		return nil, fmt.Errorf("panelstore: Panel after Close")
+	}
+	if i < 0 || i >= len(s.panels) {
+		return nil, fmt.Errorf("panelstore: panel %d out of range %d", i, len(s.panels))
+	}
+	p := s.panels[i]
+	if p.data == nil {
+		s.makeRoomLocked(int64(p.hi-p.lo) * int64(s.cols) * 4)
+		if err := s.loadLocked(i, p); err != nil {
+			return nil, err
+		}
+		s.stats.Misses++
+	} else {
+		s.stats.Hits++
+	}
+	p.pins++
+	s.clock++
+	p.lastUse = s.clock
+	return &Panel{s: s, p: p, idx: i}, nil
+}
+
+// loadLocked re-reads panel i from the spill file and de-transposes it
+// back to row-major.
+func (s *Store) loadLocked(i int, p *panel) error {
+	nr := p.hi - p.lo
+	buf := s.iobuf[:nr*s.cols*4]
+	off := int64(i) * int64(s.height) * int64(s.cols) * 4
+	if _, err := s.file.ReadAt(buf, off); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("panelstore: spill file truncated at panel %d: %w", i, err)
+		}
+		return fmt.Errorf("panelstore: load panel %d: %w", i, err)
+	}
+	tb := s.tbuf[:nr*s.cols]
+	for x := range tb {
+		tb[x] = math.Float32frombits(binary.LittleEndian.Uint32(buf[x*4:]))
+	}
+	data := make([]float32, nr*s.cols)
+	for c := 0; c < s.cols; c++ {
+		col := tb[c*nr:]
+		for r := 0; r < nr; r++ {
+			data[r*s.cols+c] = col[r]
+		}
+	}
+	p.data = data
+	s.stats.BytesLoaded += int64(len(buf))
+	s.stats.ResidentBytes += int64(len(data)) * 4
+	if s.stats.ResidentBytes > s.stats.PeakBytes {
+		s.stats.PeakBytes = s.stats.ResidentBytes
+	}
+	return nil
+}
+
+// evictLocked drops least-recently-used unpinned panels until the
+// resident footprint fits the budget (or nothing is evictable —
+// pinned panels are never reclaimed; PeakBytes records the overshoot).
+func (s *Store) evictLocked() { s.makeRoomLocked(0) }
+
+// makeRoomLocked evicts until `need` additional bytes fit under the
+// budget. Callers about to make a panel resident use it BEFORE the
+// bytes land, so the high-water mark never overshoots the budget
+// transiently — only unsatisfiable pins can push PeakBytes above it.
+func (s *Store) makeRoomLocked(need int64) {
+	for s.stats.ResidentBytes+need > s.budget {
+		var victim *panel
+		for _, p := range s.panels {
+			if p.data == nil || p.pins > 0 {
+				continue
+			}
+			if victim == nil || p.lastUse < victim.lastUse {
+				victim = p
+			}
+		}
+		if victim == nil {
+			return
+		}
+		s.stats.ResidentBytes -= int64(len(victim.data)) * 4
+		victim.data = nil
+		s.stats.Evictions++
+	}
+}
+
+// SetBudget adjusts the byte budget, evicting immediately if the new
+// budget is tighter. The scan uses it to hand the store whatever the
+// run's memory budget leaves after per-worker scratch is carved out.
+func (s *Store) SetBudget(budget int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if budget < 0 {
+		budget = 0
+	}
+	s.budget = budget
+	s.evictLocked()
+}
+
+// ResetPeak returns the high-water mark so far and restarts it from the
+// current residency. The engine uses it at the ingest→scan boundary:
+// the two phases have different fixed overheads (the store's own
+// buffers during ingest, per-worker scratch during the scan), so their
+// peaks must be accounted separately rather than summed.
+func (s *Store) ResetPeak() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	peak := s.stats.PeakBytes
+	s.stats.PeakBytes = s.stats.ResidentBytes
+	return peak
+}
+
+// Budget returns the current byte budget.
+func (s *Store) Budget() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.budget
+}
+
+// PanelBytes returns the in-memory byte size of a full-height panel.
+func (s *Store) PanelBytes() int64 { return int64(s.height) * int64(s.cols) * 4 }
+
+// Stats returns a snapshot of the store's activity counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// PeakBytes returns the resident-panel high-water mark.
+func (s *Store) PeakBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats.PeakBytes
+}
+
+// Close deletes the spill file. Pinned panels must be released first;
+// Close with live pins is an error so a scan bug surfaces instead of
+// unmapping data under a reader.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	for i, p := range s.panels {
+		if p.pins > 0 {
+			return fmt.Errorf("panelstore: Close with panel %d still pinned", i)
+		}
+	}
+	s.closed = true
+	err := s.file.Close()
+	if rerr := os.Remove(s.path); err == nil {
+		err = rerr
+	}
+	return err
+}
+
+// Dir returns the directory holding the spill file.
+func (s *Store) Dir() string { return filepath.Dir(s.path) }

@@ -1,0 +1,312 @@
+package panelstore
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildStore spills n rows of m deterministic floats (including NaN and
+// negative-zero payloads, which must round-trip bit-exactly through the
+// little-endian spill encoding) and returns the sealed store plus the
+// in-memory oracle copy of every row.
+func buildStore(t testing.TB, dir string, n, m, height int, budget int64, seed int64) (*Store, [][]float32) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s, err := New(dir, m, height, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := make([][]float32, n)
+	for g := 0; g < n; g++ {
+		row := make([]float32, m)
+		for c := range row {
+			switch rng.Intn(10) {
+			case 0:
+				row[c] = float32(math.NaN())
+			case 1:
+				row[c] = float32(math.Copysign(0, -1))
+			default:
+				row[c] = float32(rng.NormFloat64())
+			}
+		}
+		oracle[g] = row
+		if err := s.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	return s, oracle
+}
+
+// sameBits compares float32 slices by bit pattern, so NaN payloads and
+// signed zeros count as equal only when truly identical on disk.
+func sameBits(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStoreOracle is the property test: a long randomized sequence of
+// pin / read / release / SetBudget operations must always serve rows
+// bit-identical to the in-memory oracle, regardless of which panels the
+// LRU has spilled and re-loaded in between, while the resident
+// footprint respects the budget whenever pins allow it.
+func TestStoreOracle(t *testing.T) {
+	const n, m, height = 53, 17, 8 // deliberately ragged: last panel is partial
+	panelBytes := int64(height) * int64(m) * 4
+	s, oracle := buildStore(t, t.TempDir(), n, m, height, 3*panelBytes, 42)
+	defer func() {
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(99))
+	var pinned []*Panel
+	for op := 0; op < 5000; op++ {
+		switch r := rng.Intn(10); {
+		case r < 5: // pin a random panel and verify every row against the oracle
+			idx := rng.Intn(s.NumPanels())
+			p, err := s.Panel(idx)
+			if err != nil {
+				t.Fatalf("op %d: pin %d: %v", op, idx, err)
+			}
+			lo, hi := p.Lo(), p.Hi()
+			if want := idx * height; lo != want {
+				t.Fatalf("op %d: panel %d Lo=%d want %d", op, idx, lo, want)
+			}
+			for g := lo; g < hi; g++ {
+				if !sameBits(p.Row(g), oracle[g]) {
+					t.Fatalf("op %d: panel %d row %d diverged from oracle", op, idx, g)
+				}
+			}
+			pinned = append(pinned, p)
+		case r < 8: // release a random held pin
+			if len(pinned) == 0 {
+				continue
+			}
+			k := rng.Intn(len(pinned))
+			pinned[k].Release()
+			pinned = append(pinned[:k], pinned[k+1:]...)
+		default: // shrink or grow the budget mid-flight
+			s.SetBudget(int64(1+rng.Intn(4)) * panelBytes)
+		}
+
+		st := s.Stats()
+		if pinnedBytes := int64(len(pinned)) * panelBytes; st.ResidentBytes > s.Budget() && st.ResidentBytes > pinnedBytes+s.Budget() {
+			t.Fatalf("op %d: resident %d exceeds budget %d beyond what %d pins force", op, st.ResidentBytes, s.Budget(), len(pinned))
+		}
+		if st.PeakBytes < st.ResidentBytes {
+			t.Fatalf("op %d: peak %d below resident %d", op, st.PeakBytes, st.ResidentBytes)
+		}
+	}
+	for _, p := range pinned {
+		p.Release()
+	}
+
+	st := s.Stats()
+	if st.Misses == 0 || st.Evictions == 0 {
+		t.Fatalf("property run never exercised the disk path: misses=%d evictions=%d", st.Misses, st.Evictions)
+	}
+}
+
+// TestStoreConcurrentReaders is the -race hammer: many goroutines pin
+// overlapping panels under a budget that forces constant eviction and
+// re-load, each verifying its rows against the oracle. Pinned panels
+// are immutable and shared, so this must be data-race free.
+func TestStoreConcurrentReaders(t *testing.T) {
+	const n, m, height = 64, 16, 8
+	panelBytes := int64(height) * int64(m) * 4
+	s, oracle := buildStore(t, t.TempDir(), n, m, height, 2*panelBytes, 7)
+	defer func() {
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	const readers = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, readers)
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for op := 0; op < 400; op++ {
+				idx := rng.Intn(s.NumPanels())
+				p, err := s.Panel(idx)
+				if err != nil {
+					errc <- err
+					return
+				}
+				for g := p.Lo(); g < p.Hi(); g++ {
+					if !sameBits(p.Row(g), oracle[g]) {
+						p.Release()
+						errc <- fmt.Errorf("panel %d row %d diverged from oracle", idx, g)
+						return
+					}
+				}
+				p.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Misses == 0 {
+		t.Fatal("concurrent hammer never re-loaded from disk")
+	}
+}
+
+// TestStoreLifecycleErrors pins the misuse contract: reads before Seal
+// and after Close fail with errors (not panics or silent corruption),
+// double-release and out-of-range rows panic loudly, and Close refuses
+// while pins are outstanding.
+func TestStoreLifecycleErrors(t *testing.T) {
+	s, err := New(t.TempDir(), 4, 2, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Panel(0); err == nil {
+		t.Fatal("Panel before Seal should fail")
+	}
+	for g := 0; g < 4; g++ {
+		if err := s.Append([]float32{1, 2, 3, 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Panel(7); err == nil {
+		t.Fatal("out-of-range panel should fail")
+	}
+
+	p, err := s.Panel(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err == nil {
+		t.Fatal("Close with an outstanding pin should fail")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("out-of-range Row should panic")
+			}
+		}()
+		p.Row(99)
+	}()
+	p.Release()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("double Release should panic")
+			}
+		}()
+		p.Release()
+	}()
+
+	path := s.SpillPath()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("spill file %s not removed on Close (err=%v)", path, err)
+	}
+	if _, err := s.Panel(0); err == nil {
+		t.Fatal("Panel after Close should fail")
+	}
+}
+
+// TestStoreTruncatedSpill: a spill file cut short (disk full, external
+// tampering) must surface as a wrapped load error naming the panel, not
+// a panic or a short silent read.
+func TestStoreTruncatedSpill(t *testing.T) {
+	const n, m, height = 16, 8, 4
+	s, _ := buildStore(t, t.TempDir(), n, m, height, 1<<20, 3)
+	defer s.Close()
+
+	s.SetBudget(0) // evict everything so reads must hit the file
+	if err := os.Truncate(s.SpillPath(), int64(height*m*4)+7); err != nil {
+		t.Fatal(err)
+	}
+	p0, err := s.Panel(0)
+	if err != nil {
+		t.Fatalf("panel 0 is intact, got %v", err)
+	}
+	p0.Release()
+	_, err = s.Panel(2)
+	if err == nil {
+		t.Fatal("load past truncation should fail")
+	}
+	if !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("error %q does not report truncation", err)
+	}
+}
+
+// FuzzPanelStore drives random geometries and truncation points through
+// the spill/load cycle: every surviving byte must read back bit-exactly
+// and every missing byte must fail with an error — never a panic, hang,
+// or wrong data.
+func FuzzPanelStore(f *testing.F) {
+	f.Add(uint8(16), uint8(8), uint8(4), uint32(0))
+	f.Add(uint8(16), uint8(8), uint8(4), uint32(1))
+	f.Add(uint8(5), uint8(3), uint8(2), uint32(24))
+	f.Add(uint8(1), uint8(1), uint8(1), uint32(3))
+	f.Add(uint8(64), uint8(4), uint8(8), uint32(500))
+	f.Fuzz(func(t *testing.T, nRows, nCols, height uint8, truncAt uint32) {
+		n, m, h := int(nRows)%64+1, int(nCols)%32+1, int(height)%16+1
+		s, oracle := buildStore(t, t.TempDir(), n, m, h, 1<<20, int64(truncAt))
+		defer s.Close()
+
+		fi, err := os.Stat(s.SpillPath())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut := int64(truncAt) % (fi.Size() + 1)
+		if err := os.Truncate(s.SpillPath(), cut); err != nil {
+			t.Fatal(err)
+		}
+		s.SetBudget(0)
+
+		panelBytes := int64(h) * int64(m) * 4
+		for i := 0; i < s.NumPanels(); i++ {
+			lo, hi := s.PanelRange(i)
+			need := int64(i)*panelBytes + int64(hi-lo)*int64(m)*4
+			p, err := s.Panel(i)
+			if need > cut {
+				if err == nil {
+					p.Release()
+					t.Fatalf("panel %d needs %d bytes, file has %d, load succeeded", i, need, cut)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("panel %d within %d surviving bytes: %v", i, cut, err)
+			}
+			for g := lo; g < hi; g++ {
+				if !sameBits(p.Row(g), oracle[g]) {
+					p.Release()
+					t.Fatalf("panel %d row %d diverged after truncation to %d", i, g, cut)
+				}
+			}
+			p.Release()
+		}
+	})
+}

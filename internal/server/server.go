@@ -296,10 +296,18 @@ func parseConfig(r *http.Request) (core.Config, error) {
 		"nullpairs":     &cfg.NullSamplePairs,
 		"ckptevery":     &cfg.CheckpointEvery,
 		"maxrecoveries": &cfg.MaxRecoveries,
+		"panelrows":     &cfg.PanelRows,
 	} {
 		if err := intParam(name, dst); err != nil {
 			return cfg, err
 		}
+	}
+	if v := q.Get("memorybudget"); v != "" {
+		b, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return cfg, fmt.Errorf("bad memorybudget: %v", err)
+		}
+		cfg.MemoryBudget = b
 	}
 	if v := q.Get("alpha"); v != "" {
 		a, err := strconv.ParseFloat(v, 64)
@@ -325,6 +333,8 @@ func parseConfig(r *http.Request) (core.Config, error) {
 		cfg.Engine = core.Phi
 	case "cluster":
 		cfg.Engine = core.Cluster
+	case "ooc":
+		cfg.Engine = core.OutOfCore
 	default:
 		return cfg, fmt.Errorf("unknown engine %q", v)
 	}

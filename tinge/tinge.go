@@ -35,6 +35,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/mi"
 	"repro/internal/mpi"
+	"repro/internal/panelstore"
 	"repro/internal/phi"
 	"repro/internal/soft"
 	"repro/internal/tile"
@@ -118,7 +119,76 @@ const (
 	Cluster = core.Cluster
 	// Hybrid models concurrent host + coprocessor execution.
 	Hybrid = core.Hybrid
+	// OutOfCore runs the tile scan against a disk-backed panel store
+	// under Config.MemoryBudget — the whole-genome-scale path, with
+	// results bit-identical to Host for equal seeds.
+	OutOfCore = core.OutOfCore
 )
+
+// PanelStore is a disk-backed gene-row store: streaming ingest spills
+// fixed-height row panels to a temp file and an LRU keeps a budgeted
+// set resident. It is what the OutOfCore engine scans instead of a
+// resident matrix.
+type PanelStore = panelstore.Store
+
+// NewPanelStore creates an empty spill store: cols experiments per
+// row, panelRows gene rows per panel (must match Config.PanelRows),
+// and an in-memory panel byte budget. dir "" uses the OS temp dir.
+func NewPanelStore(dir string, cols, panelRows int, budget int64) (*PanelStore, error) {
+	return panelstore.New(dir, cols, panelRows, budget)
+}
+
+// InferStore runs the out-of-core pipeline against an ingested panel
+// store — the streaming path where the expression matrix is never
+// resident. The caller keeps ownership of the store (and must Close
+// it). See core.InferStore.
+func InferStore(store *PanelStore, cfg Config) (*Result, error) {
+	return core.InferStore(store, cfg)
+}
+
+// InferStoreContext is InferStore with cancellation.
+func InferStoreContext(ctx context.Context, store *PanelStore, cfg Config) (*Result, error) {
+	return core.InferStoreContext(ctx, store, cfg)
+}
+
+// MinMemoryBudget reports the smallest Config.MemoryBudget an
+// out-of-core run over genes×samples accepts under cfg — worker
+// scratch, store buffers, and the pinned-panel floor. Sizing a run at
+// exactly this budget maximizes spill traffic; production runs should
+// add slack for the LRU to amortize re-reads. See core.MinMemoryBudget.
+func MinMemoryBudget(genes, samples int, cfg Config) (int64, error) {
+	return core.MinMemoryBudget(genes, samples, cfg)
+}
+
+// IngestExpressionTSV streams a header+rows expression TSV directly
+// into a fresh panel store: parse → impute (row means) → spill, one
+// row at a time, so peak ingest memory is one panel plus a row buffer.
+// It returns the sealed store and the gene names in row order. On
+// error the store is already closed.
+func IngestExpressionTSV(r io.Reader, dir string, panelRows int, budget int64) (*PanelStore, []string, error) {
+	var store *PanelStore
+	genes, _, err := expr.StreamTSVRows(r, func(gene string, row []float32) error {
+		if store == nil {
+			var err error
+			store, err = panelstore.New(dir, len(row), panelRows, budget)
+			if err != nil {
+				return err
+			}
+		}
+		expr.ImputeRowMeanValues(row)
+		return store.Append(row)
+	})
+	if err == nil {
+		err = store.Seal()
+	}
+	if err != nil {
+		if store != nil {
+			store.Close()
+		}
+		return nil, nil, err
+	}
+	return store, genes, nil
+}
 
 // Kernel formulations.
 const (
