@@ -22,6 +22,9 @@
 //	OOC out-of-core panel-store engine at its minimum memory budget vs
 //	    the resident host engine: end-to-end overhead, honored memory
 //	    ceiling, spill traffic (writes BENCH_ooc.json)
+//	SC  conservative pair prescreening on vs off: mi-phase speedup,
+//	    screened-out fraction, bit-identical network check (writes
+//	    BENCH_prescreen.json)
 //
 // Usage:
 //
@@ -40,7 +43,9 @@
 // process exits non-zero if any matched row's sweep speedup regressed
 // by more than 15%. -compare-ooc FILE is the same gate for the OOC
 // experiment: a matched row fails if its out-of-core overhead ratio
-// grew by more than 25% over the baseline's.
+// grew by more than 25% over the baseline's. -compare-sc FILE gates the
+// SC experiment: a matched row fails if its prescreen speedup dropped
+// by more than 15%.
 //
 // Results are deterministic for a fixed -seed except for wall-clock
 // columns.
@@ -74,22 +79,24 @@ type suite struct {
 	quick      bool
 	compare    string
 	compareOOC string
+	compareSC  string
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchsuite: ")
 	var (
-		expFlag    = flag.String("exp", "all", "comma-separated experiment ids (T1,T2,F1..F9,T3,A1,A2,PS,FS,OOC) or 'all'")
+		expFlag    = flag.String("exp", "all", "comma-separated experiment ids (T1,T2,F1..F9,T3,A1,A2,PS,FS,OOC,SC) or 'all'")
 		seed       = flag.Uint64("seed", 1, "run seed")
 		quick      = flag.Bool("quick", false, "smaller sizes for a fast pass")
 		compare    = flag.String("compare", "", "baseline BENCH_permsweep*.json: after PS, fail if any matched row's speedup regressed >15%")
 		compareOOC = flag.String("compare-ooc", "", "baseline BENCH_ooc*.json: after OOC, fail if any matched row's overhead grew >25%")
+		compareSC  = flag.String("compare-sc", "", "baseline BENCH_prescreen*.json: after SC, fail if any matched row's speedup regressed >15%")
 	)
 	flag.Parse()
 
-	s := &suite{seed: *seed, quick: *quick, compare: *compare, compareOOC: *compareOOC}
-	all := []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "T3", "A1", "A2", "PS", "FS", "OOC"}
+	s := &suite{seed: *seed, quick: *quick, compare: *compare, compareOOC: *compareOOC, compareSC: *compareSC}
+	all := []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "T3", "A1", "A2", "PS", "FS", "OOC", "SC"}
 	var ids []string
 	if *expFlag == "all" {
 		ids = all
@@ -102,7 +109,7 @@ func main() {
 		"T1": s.t1, "T2": s.t2, "F1": s.f1, "F2": s.f2, "F3": s.f3,
 		"F4": s.f4, "F5": s.f5, "F6": s.f6, "F7": s.f7, "F8": s.f8,
 		"T3": s.t3, "A1": s.a1, "A2": s.a2, "F9": s.f9, "PS": s.ps,
-		"FS": s.fs, "OOC": s.ooc,
+		"FS": s.fs, "OOC": s.ooc, "SC": s.sc,
 	}
 	for _, id := range ids {
 		run, ok := runners[id]
@@ -165,8 +172,8 @@ func (s *suite) t2() {
 		m = 128
 		perms = 10
 	}
-	fmt.Printf("%7s %9s %9s %11s %11s %11s %9s %7s\n",
-		"genes", "pairs", "wall(s)", "precomp(s)", "thresh(s)", "mi(s)", "evals", "edges")
+	fmt.Printf("%7s %9s %9s %11s %11s %11s %9s %9s %7s\n",
+		"genes", "pairs", "wall(s)", "precomp(s)", "thresh(s)", "mi(s)", "dpi(s)", "evals", "edges")
 	for _, n := range sizes {
 		d := s.dataset(n, m)
 		start := time.Now()
@@ -177,11 +184,12 @@ func (s *suite) t2() {
 			log.Fatal(err)
 		}
 		wall := time.Since(start).Seconds()
-		fmt.Printf("%7d %9d %9.2f %11.3f %11.3f %11.3f %9d %7d\n",
+		fmt.Printf("%7d %9d %9.2f %11.3f %11.3f %11.3f %9.3f %9d %7d\n",
 			n, tile.TotalPairs(n), wall,
 			res.Timer.Get("precompute").Seconds(),
 			res.Timer.Get("threshold").Seconds(),
 			res.Timer.Get("mi").Seconds(),
+			res.Timer.Get("dpi").Seconds(),
 			res.PairsEvaluated, res.Network.Len())
 	}
 

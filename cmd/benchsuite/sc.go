@@ -1,0 +1,244 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/tinge"
+)
+
+// scRow is one measured configuration of the SC experiment, serialized
+// into BENCH_prescreen.json. The headline columns are the mi-phase
+// off/on ratio (≈1.0 when the screen self-disarms, which the measured
+// negative result in EXPERIMENTS.md shows is every
+// permutation-calibrated run) and the fraction of the pair universe
+// the conservative bound screened out; ScreenSeconds is the CPU time
+// the workers spent computing bounds (part of the on-run's mi phase,
+// reported so the screen's own cost stays visible).
+type scRow struct {
+	Genes         int     `json:"genes"`
+	Samples       int     `json:"samples"`
+	Permutations  int     `json:"permutations"`
+	MISecondsOff  float64 `json:"mi_seconds_prescreen_off"`
+	MISecondsOn   float64 `json:"mi_seconds_prescreen_on"`
+	Speedup       float64 `json:"speedup"`
+	ScreenedOut   int64   `json:"pairs_screened_out"`
+	ScreenedFrac  float64 `json:"screened_fraction"`
+	ScreenSeconds float64 `json:"screen_cpu_seconds"`
+	Edges         int     `json:"edges"`
+}
+
+// scDoc is the envelope of a BENCH_prescreen*.json measurement file.
+type scDoc struct {
+	Experiment string  `json:"experiment"`
+	Engine     string  `json:"engine"`
+	Seed       uint64  `json:"seed"`
+	Rows       []scRow `json:"rows"`
+}
+
+// scMaxRegression is the relative gate vs a checked-in baseline: like
+// the PS gate, a matched row may lose up to this fraction of its
+// baseline speedup before the gate trips — far outside run-to-run
+// jitter, well inside the win the screen carries.
+const scMaxRegression = 0.15
+
+// scMaxOverhead is the hard acceptance bar at full size: with the
+// permutation-calibrated threshold the conservative bound has no
+// power (see EXPERIMENTS.md "Pair prescreening" — the screen
+// self-disarms), so the bench gates the only thing the flag is allowed
+// to cost: the prescreen-on mi phase may not run more than this
+// fraction slower than the full scan on the n>=1000 host rows (quick
+// rows are too small to clear it reliably and are gated only
+// relatively, against their own baseline).
+const scMaxOverhead = 0.15
+
+func loadSCDoc(path string) (*scDoc, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc scDoc
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Rows) == 0 {
+		return nil, fmt.Errorf("%s: no measurement rows", path)
+	}
+	return &doc, nil
+}
+
+// compareSC matches baseline rows to fresh rows by configuration and
+// reports every matched row whose prescreen speedup dropped by more
+// than maxRegress (fractional). Unmatched baseline rows are ignored, as
+// in comparePS: a quick pass gates against a quick baseline.
+func compareSC(baseline, fresh []scRow, maxRegress float64) (regressions []string, matched int) {
+	type key struct{ genes, samples, perms int }
+	latest := make(map[key]scRow, len(fresh))
+	for _, r := range fresh {
+		latest[key{r.Genes, r.Samples, r.Permutations}] = r
+	}
+	for _, old := range baseline {
+		now, ok := latest[key{old.Genes, old.Samples, old.Permutations}]
+		if !ok {
+			continue
+		}
+		matched++
+		floor := old.Speedup * (1 - maxRegress)
+		if now.Speedup < floor {
+			regressions = append(regressions, fmt.Sprintf(
+				"n=%d m=%d q=%d: speedup %.2fx < %.2fx (baseline %.2fx - %.0f%%)",
+				old.Genes, old.Samples, old.Permutations,
+				now.Speedup, floor, old.Speedup, 100*maxRegress))
+		}
+	}
+	return regressions, matched
+}
+
+// identicalNetwork reports whether two networks are bit-identical —
+// same edges in the same order with bitwise-equal MI weights. The
+// prescreen claim is exactness, not closeness, so unlike sameEdgeSet
+// the weights must match too.
+func identicalNetwork(a, b *tinge.Network) bool {
+	ae, be := a.Edges(), b.Edges()
+	if len(ae) != len(be) {
+		return false
+	}
+	for k := range ae {
+		if ae[k].I != be[k].I || ae[k].J != be[k].J || ae[k].Weight != be[k].Weight {
+			return false
+		}
+	}
+	return true
+}
+
+// scPairs measures prescreen off/on in interleaved pairs — one off run
+// immediately followed by one on run, reps times — and keeps the pair
+// with the median off/on mi-phase ratio. Paired runs share transient
+// machine load, and because the expected ratio is ~1.0 (the screen
+// self-disarms), taking an extreme like oocPairs does would report
+// pure jitter as speedup or slowdown; the median discards both tails.
+func (s *suite) scPairs(d *tinge.Dataset, offCfg, onCfg tinge.Config, reps int) (offRes, onRes *tinge.Result, offSec, onSec float64) {
+	type pairRun struct {
+		off, on       *tinge.Result
+		offSec, onSec float64
+	}
+	runs := make([]pairRun, 0, reps)
+	for r := 0; r < reps; r++ {
+		off, err := tinge.InferDataset(d, offCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		on, err := tinge.InferDataset(d, onCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runs = append(runs, pairRun{off, on, off.Timer.Get("mi").Seconds(), on.Timer.Get("mi").Seconds()})
+	}
+	sort.Slice(runs, func(a, b int) bool {
+		return runs[a].offSec/runs[a].onSec < runs[b].offSec/runs[b].onSec
+	})
+	med := runs[(len(runs)-1)/2]
+	return med.off, med.on, med.offSec, med.onSec
+}
+
+// SC: conservative pair prescreening against the unscreened host scan.
+// The screened run must emit a bit-identical network — same edges, same
+// bitwise weights (the engine's golden tests pin this across all five
+// engines and both precisions; the suite re-checks here) — so the only
+// thing allowed to move is the mi-phase time and the evaluation
+// counters. Against a permutation-calibrated threshold the bound is
+// powerless at every sample count (the measured negative result in
+// EXPERIMENTS.md), so the experiment's job is to pin the flag's cost
+// at ~zero in both disarm regimes: compendium-scale m, where the
+// per-gene floor check rejects every pair up front, and small m, where
+// the floors are low and the kernel must burn its probe budget before
+// the adaptive disarm kicks in. Results go to BENCH_prescreen.json.
+func (s *suite) sc() {
+	header("SC", "conservative pair prescreening vs full scan (host engine)")
+	type scSize struct{ n, m int }
+	sizes := []scSize{{500, 337}, {1000, 337}, {1000, 24}}
+	perms := 30
+	// Odd rep counts give a true median pair; an even count would bias
+	// the selection toward whichever tail the sort puts at the lower
+	// middle.
+	reps := 3
+	if s.quick {
+		sizes = []scSize{{100, 128}, {200, 128}, {200, 20}}
+		perms = 10
+		// Quick rows are sub-second; extra paired reps keep the speedup
+		// steady enough for the 15% -compare-sc gate.
+		reps = 5
+	}
+	fmt.Printf("%7s %7s %11s %11s %9s %11s %10s %10s %7s\n",
+		"genes", "m", "off mi(s)", "on mi(s)", "speedup", "screened", "frac", "screen(s)", "edges")
+	var rows []scRow
+	for _, sz := range sizes {
+		n, m := sz.n, sz.m
+		d := s.dataset(n, m)
+		offCfg := tinge.Config{Seed: s.seed, Permutations: perms, DPI: true}
+		onCfg := offCfg
+		onCfg.Prescreen = true
+
+		offRes, onRes, offMI, onMI := s.scPairs(d, offCfg, onCfg, reps)
+
+		if !identicalNetwork(offRes.Network, onRes.Network) {
+			log.Fatalf("SC n=%d: prescreened network is not bit-identical to the full scan (%d vs %d edges)",
+				n, onRes.Network.Len(), offRes.Network.Len())
+		}
+		pairs := onRes.PairsEvaluated + onRes.PairsScreenedOut
+		frac := 0.0
+		if pairs > 0 {
+			frac = float64(onRes.PairsScreenedOut) / float64(pairs)
+		}
+		r := scRow{
+			Genes: n, Samples: m, Permutations: perms,
+			MISecondsOff: offMI, MISecondsOn: onMI, Speedup: offMI / onMI,
+			ScreenedOut: onRes.PairsScreenedOut, ScreenedFrac: frac,
+			ScreenSeconds: onRes.ScreenPhaseSeconds,
+			Edges:         offRes.Network.Len(),
+		}
+		rows = append(rows, r)
+		fmt.Printf("%7d %7d %11.3f %11.3f %8.2fx %11d %9.1f%% %10.3f %7d\n",
+			n, m, offMI, onMI, r.Speedup, r.ScreenedOut, 100*frac, r.ScreenSeconds, r.Edges)
+		if !s.quick && n >= 1000 && r.Speedup < 1/(1+scMaxOverhead) {
+			log.Fatalf("SC n=%d m=%d: prescreen-on mi phase is %.2fx the full scan — over the %.0f%% overhead bar",
+				n, m, 1/r.Speedup, 100*scMaxOverhead)
+		}
+	}
+
+	// Load the baseline before writing the fresh file: a full-size run
+	// gated against the checked-in BENCH_prescreen.json overwrites that
+	// very path.
+	var old *scDoc
+	if s.compareSC != "" {
+		var err error
+		if old, err = loadSCDoc(s.compareSC); err != nil {
+			log.Fatal(err)
+		}
+	}
+	out := scDoc{Experiment: "SC", Engine: "host", Seed: s.seed, Rows: rows}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := s.benchPath("BENCH_prescreen")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote " + path)
+
+	if old != nil {
+		regressions, matched := compareSC(old.Rows, rows, scMaxRegression)
+		fmt.Printf("compare vs %s: %d row(s) matched, %d regression(s)\n",
+			s.compareSC, matched, len(regressions))
+		for _, r := range regressions {
+			fmt.Println("  REGRESSION: " + r)
+		}
+		if len(regressions) > 0 {
+			log.Fatalf("prescreen speedup regressed vs %s", s.compareSC)
+		}
+	}
+}

@@ -35,6 +35,7 @@ func main() {
 		alpha    = flag.Float64("alpha", 0.01, "significance level for the pooled-null threshold")
 		nullPair = flag.Int("null-pairs", 500, "pairs sampled for the pooled null")
 		dpi      = flag.Bool("dpi", false, "apply data-processing-inequality pruning")
+		prescrn  = flag.Bool("prescreen", false, "skip pairs whose conservative MI bound falls below the threshold (bit-identical network)")
 		dpiTol   = flag.Float64("dpi-tolerance", 0.1, "DPI near-tie tolerance")
 		workers  = flag.Int("workers", 0, "host worker goroutines (0 = GOMAXPROCS)")
 		tileSize = flag.Int("tile", 32, "pair-tile edge length")
@@ -133,6 +134,7 @@ func main() {
 		NullSamplePairs: *nullPair,
 		DPI:             *dpi,
 		DPITolerance:    *dpiTol,
+		Prescreen:       *prescrn,
 		Workers:         *workers,
 		TileSize:        *tileSize,
 		Seed:            *seed,
@@ -267,7 +269,17 @@ func main() {
 	fmt.Fprintf(os.Stderr, "tinge: %d genes x %d experiments, engine=%s\n", nGenes, mExps, *engine)
 	fmt.Fprintf(os.Stderr, "tinge: threshold I_alpha=%.4f (null size %d), edges=%d (raw %d)\n",
 		res.Threshold, res.NullSize, res.Network.Len(), res.RawEdges)
-	fmt.Fprintf(os.Stderr, "tinge: MI evaluations=%d, imbalance=%.3f\n", res.PairsEvaluated, res.Imbalance)
+	fmt.Fprintf(os.Stderr, "tinge: MI evaluations=%d (+%d permutation), imbalance=%.3f\n",
+		res.PairsEvaluated, res.PermEvaluations, res.Imbalance)
+	if *prescrn {
+		pairs := res.PairsEvaluated + res.PairsScreenedOut
+		frac := 0.0
+		if pairs > 0 {
+			frac = float64(res.PairsScreenedOut) / float64(pairs)
+		}
+		fmt.Fprintf(os.Stderr, "tinge: prescreen: %d of %d pairs skipped (%.1f%%), screen CPU %.3fs\n",
+			res.PairsScreenedOut, pairs, 100*frac, res.ScreenPhaseSeconds)
+	}
 	fmt.Fprintf(os.Stderr, "tinge: phases: %s\n", res.Timer)
 	if res.SimSeconds > 0 {
 		fmt.Fprintf(os.Stderr, "tinge: simulated coprocessor time %.3fs (transfers %.3fs)\n",

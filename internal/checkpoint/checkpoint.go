@@ -42,6 +42,11 @@ type Fingerprint struct {
 	// checkpoints decode to 0 (float64), matching the path that wrote
 	// them.
 	Precision uint8
+	// Prescreen distinguishes prescreened scans: the emitted network is
+	// identical either way, but the per-tile evaluation accounting is
+	// not, so mixing sessions would corrupt the counters (and the Phi
+	// time model built on them). Old checkpoints decode to false.
+	Prescreen bool
 }
 
 // State is the resumable scan state.
@@ -53,16 +58,29 @@ type State struct {
 	Done []bool
 	// Edges holds the significant edges of completed tiles.
 	Edges []grn.Edge
-	// EvalsPerTile records MI evaluation counts of completed tiles.
+	// EvalsPerTile records combined MI evaluation counts (exact pair
+	// kernels plus permutation evaluations) of completed tiles — the
+	// quantity the Phi time model replays.
 	EvalsPerTile []int64
+	// PairEvalsPerTile records just the exact-kernel pair evaluations,
+	// so resumed runs can report the pair/permutation split exactly.
+	// Files written before the split decode nil and are normalized to
+	// zeros by Load.
+	PairEvalsPerTile []int64
+	// ScreenedPerTile records pairs removed by prescreening (all zero
+	// with prescreening off). Same nil-normalization as
+	// PairEvalsPerTile.
+	ScreenedPerTile []int64
 }
 
 // NewState initializes an empty state for nTiles tiles.
 func NewState(fp Fingerprint, nTiles int) *State {
 	return &State{
-		Fingerprint:  fp,
-		Done:         make([]bool, nTiles),
-		EvalsPerTile: make([]int64, nTiles),
+		Fingerprint:      fp,
+		Done:             make([]bool, nTiles),
+		EvalsPerTile:     make([]int64, nTiles),
+		PairEvalsPerTile: make([]int64, nTiles),
+		ScreenedPerTile:  make([]int64, nTiles),
 	}
 }
 
@@ -102,6 +120,10 @@ func (s *State) Validate(fp Fingerprint, nTiles int) error {
 	if len(s.EvalsPerTile) != nTiles {
 		return fmt.Errorf("checkpoint: evals length mismatch: saved %d, run %d", len(s.EvalsPerTile), nTiles)
 	}
+	if len(s.PairEvalsPerTile) != nTiles || len(s.ScreenedPerTile) != nTiles {
+		return fmt.Errorf("checkpoint: split-counter length mismatch: saved %d/%d, run %d",
+			len(s.PairEvalsPerTile), len(s.ScreenedPerTile), nTiles)
+	}
 	return nil
 }
 
@@ -122,6 +144,19 @@ func Load(r io.Reader) (*State, error) {
 	if len(s.Done) != len(s.EvalsPerTile) {
 		return nil, fmt.Errorf("checkpoint: inconsistent state: %d done flags, %d eval counts",
 			len(s.Done), len(s.EvalsPerTile))
+	}
+	// Files written before the pair/permutation counter split carry no
+	// per-tile split arrays; normalize them to zeros so resumed runs see
+	// consistent lengths (the combined EvalsPerTile stays authoritative).
+	if s.PairEvalsPerTile == nil {
+		s.PairEvalsPerTile = make([]int64, len(s.Done))
+	}
+	if s.ScreenedPerTile == nil {
+		s.ScreenedPerTile = make([]int64, len(s.Done))
+	}
+	if len(s.PairEvalsPerTile) != len(s.Done) || len(s.ScreenedPerTile) != len(s.Done) {
+		return nil, fmt.Errorf("checkpoint: inconsistent state: %d done flags, %d/%d split counts",
+			len(s.Done), len(s.PairEvalsPerTile), len(s.ScreenedPerTile))
 	}
 	return &s, nil
 }

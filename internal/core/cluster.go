@@ -71,14 +71,19 @@ func (r *clusterRecorder) setThreshold(th float64, nullSize int) {
 }
 
 // tileDone commits one finished tile and persists opportunistically.
-func (r *clusterRecorder) tileDone(ti int, evals, skipped int64, edges []grn.Edge) {
+// The pair/permutation split and the screened-out count live in the
+// checkpoint state so a resumed run reports the full-history counters
+// exactly (the resume test pins this).
+func (r *clusterRecorder) tileDone(ti int, pairEvals, permEvals, screened, skipped int64, edges []grn.Edge) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.state.Done[ti] {
 		return
 	}
 	r.state.Done[ti] = true
-	r.state.EvalsPerTile[ti] = evals
+	r.state.EvalsPerTile[ti] = pairEvals + permEvals
+	r.state.PairEvalsPerTile[ti] = pairEvals
+	r.state.ScreenedPerTile[ti] = screened
 	r.skipped[ti] = skipped
 	r.state.Edges = append(r.state.Edges, edges...)
 	if r.path == "" {
@@ -186,6 +191,7 @@ func runCluster(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *
 		cacheHits, cacheMisses int64
 		busy                   float64
 		tileBytes              int64
+		screenNanos            int64
 	}
 
 	alive := cfg.Ranks
@@ -241,22 +247,37 @@ func runCluster(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *
 			busyStart := time.Now()
 			pc := k.newPermCache(cfg)
 			var edges []grn.Edge
+			var screenNanos int64
+			var mask []bool
 			for idx := c.Rank(); idx < len(pending); idx += c.Size() {
 				if err := c.Err(); err != nil {
 					return err
 				}
 				ti := pending[idx]
-				var tileEvals, tileSkipped int64
+				var tileScreened int64
+				if k.screen != nil {
+					screenStart := time.Now()
+					mask, tileScreened = k.screenTile(tiles[ti], ws, mask)
+					screenNanos += time.Since(screenStart).Nanoseconds()
+				}
+				var tilePairEvals, tilePermEvals, tileSkipped int64
 				var tileEdges []grn.Edge
+				pairIdx := 0
 				tiles[ti].ForEachPair(func(i, j int) {
-					obs, sig, ev, sk := k.decide(i, j, ws, pc)
-					tileEvals += ev
+					if k.screen != nil && mask[pairIdx] {
+						pairIdx++
+						return
+					}
+					pairIdx++
+					obs, sig, ev, pe, sk := k.decide(i, j, ws, pc)
+					tilePairEvals += ev
+					tilePermEvals += pe
 					tileSkipped += sk
 					if sig {
 						tileEdges = append(tileEdges, grn.Edge{I: i, J: j, Weight: obs})
 					}
 				})
-				rec.tileDone(ti, tileEvals, tileSkipped, tileEdges)
+				rec.tileDone(ti, tilePairEvals, tilePermEvals, tileScreened, tileSkipped, tileEdges)
 				edges = append(edges, tileEdges...)
 				m, b := c.Traffic()
 				rec.sampleTraffic(m, b)
@@ -282,6 +303,7 @@ func runCluster(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *
 
 			o := &out[c.Rank()]
 			o.threshold = threshold
+			o.screenNanos = screenNanos
 			o.tileBytes = int64(ws.Bytes())
 			if pc != nil {
 				o.cacheHits = pc.Hits()
@@ -342,6 +364,7 @@ func runCluster(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *
 	res.Timer.Add("threshold+mi(cluster)", scanSpan)
 
 	busy := make([]float64, len(out))
+	var screenNanos int64
 	for r := range out {
 		res.PermCacheHits += out[r].cacheHits
 		res.PermCacheMisses += out[r].cacheMisses
@@ -349,10 +372,21 @@ func runCluster(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *
 			res.PeakTileBytes = out[r].tileBytes
 		}
 		busy[r] = out[r].busy
+		screenNanos += out[r].screenNanos
+	}
+	if cfg.Prescreen {
+		d := time.Duration(screenNanos)
+		res.ScreenPhaseSeconds = d.Seconds()
+		res.Timer.Add("screen", d)
 	}
 	res.Imbalance = tile.Imbalance(busy)
+	// Full-history sums from the committed tile log: the split arrays
+	// ride in the checkpoint, so a resumed run reports the identical
+	// totals a fault-free run would.
 	for ti := range state.EvalsPerTile {
-		res.PairsEvaluated += state.EvalsPerTile[ti]
+		res.PairsEvaluated += state.PairEvalsPerTile[ti]
+		res.PermEvaluations += state.EvalsPerTile[ti] - state.PairEvalsPerTile[ti]
+		res.PairsScreenedOut += state.ScreenedPerTile[ti]
 		res.PermutationsSkipped += rec.skipped[ti]
 	}
 	res.Messages, res.TrafficBytes = rec.traffic()

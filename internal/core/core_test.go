@@ -422,8 +422,10 @@ func TestProfileTiles(t *testing.T) {
 	for _, e := range prof.EvalsPerTile {
 		total += e
 	}
-	if total != prof.Result.PairsEvaluated {
-		t.Fatalf("per-tile evals %d != total %d", total, prof.Result.PairsEvaluated)
+	// EvalsPerTile carries the combined exact+permutation counts the time
+	// model replays; the Result splits them.
+	if combined := prof.Result.PairsEvaluated + prof.Result.PermEvaluations; total != combined {
+		t.Fatalf("per-tile evals %d != total %d", total, combined)
 	}
 	// Simulated makespans: monotone nonincreasing in worker count and
 	// bounded by the serial time.

@@ -27,11 +27,16 @@ type ckptManager struct {
 }
 
 // tileDone records a completed tile and persists opportunistically.
-func (m *ckptManager) tileDone(ti int, evals int64, edges []grn.Edge) {
+// EvalsPerTile keeps the combined exact+permutation count (the Phi time
+// model's quantity); the split and the screened-out count are persisted
+// alongside so a resumed run can still report them.
+func (m *ckptManager) tileDone(ti int, pairEvals, permEvals, screened int64, edges []grn.Edge) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.state.Done[ti] = true
-	m.state.EvalsPerTile[ti] = evals
+	m.state.EvalsPerTile[ti] = pairEvals + permEvals
+	m.state.PairEvalsPerTile[ti] = pairEvals
+	m.state.ScreenedPerTile[ti] = screened
 	m.state.Edges = append(m.state.Edges, edges...)
 	m.sinceSave++
 	if m.sinceSave >= m.every {
@@ -74,6 +79,7 @@ func fingerprintDims(genes, samples int, cfg Config) checkpoint.Fingerprint {
 		Alpha:           cfg.Alpha,
 		Seed:            cfg.Seed,
 		Precision:       uint8(cfg.Precision),
+		Prescreen:       cfg.Prescreen,
 	}
 }
 
@@ -174,8 +180,9 @@ func hostScan(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Re
 	busy := make([]float64, cfg.Workers)
 	tileBytes := make([]int64, cfg.Workers)
 	edgesPerWorker := make([][]grn.Edge, cfg.Workers)
-	var totalEvals int64
+	var totalEvals, totalPermEvals, totalScreened int64
 	var totalSkipped int64
+	var totalScreenNanos int64
 	var cacheHits, cacheMisses int64
 	var tilesDone int64
 	res.Timer.Time("mi", func() {
@@ -193,31 +200,58 @@ func hostScan(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Re
 				}
 				start := time.Now()
 				var local []grn.Edge
-				var evals, skipped int64
+				var evals, permEvals, screened, skipped int64
+				var screenNanos int64
+				var mask []bool
 				for {
 					pi := sched.Next(w)
 					if pi == -1 || ctx.Err() != nil {
 						break
 					}
 					ti := pending[pi]
+					var tileScreened int64
+					if k.screen != nil {
+						// Prescreening pass: bound the whole tile before any
+						// exact evaluation.
+						var endScreen func()
+						if cfg.Trace != nil {
+							endScreen = cfg.Trace.Span(w, fmt.Sprintf("screen-%d %s", ti, tiles[ti]))
+						}
+						screenStart := time.Now()
+						mask, tileScreened = k.screenTile(tiles[ti], ws, mask)
+						screenNanos += time.Since(screenStart).Nanoseconds()
+						if endScreen != nil {
+							endScreen()
+						}
+					}
 					var endSpan func()
 					if cfg.Trace != nil {
 						endSpan = cfg.Trace.Span(w, fmt.Sprintf("tile-%d %s", ti, tiles[ti]))
 					}
-					var tileEvals int64
+					var tilePairEvals, tilePermEvals int64
 					var tileEdges []grn.Edge
+					idx := 0
 					tiles[ti].ForEachPair(func(i, j int) {
-						obs, sig, ev, sk := k.decide(i, j, ws, pc)
-						tileEvals += ev
+						if k.screen != nil && mask[idx] {
+							idx++
+							return
+						}
+						idx++
+						obs, sig, ev, pe, sk := k.decide(i, j, ws, pc)
+						tilePairEvals += ev
+						tilePermEvals += pe
 						skipped += sk
 						if sig {
 							tileEdges = append(tileEdges, grn.Edge{I: i, J: j, Weight: obs})
 						}
 					})
+					tileEvals := tilePairEvals + tilePermEvals
 					atomic.AddInt64(&evalsPerTile[ti], tileEvals)
-					evals += tileEvals
+					evals += tilePairEvals
+					permEvals += tilePermEvals
+					screened += tileScreened
 					if ck != nil {
-						ck.tileDone(ti, tileEvals, tileEdges)
+						ck.tileDone(ti, tilePairEvals, tilePermEvals, tileScreened, tileEdges)
 					} else {
 						local = append(local, tileEdges...)
 					}
@@ -226,9 +260,13 @@ func hostScan(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Re
 					}
 					if cfg.Trace != nil {
 						// Per-worker amortization counter tracks: cumulative
-						// permutations skipped by early exit and permuted-row
-						// cache hits, sampled at every tile boundary.
+						// permutations skipped by early exit, pairs screened
+						// out, and permuted-row cache hits, sampled at every
+						// tile boundary.
 						cfg.Trace.Counter(w, "perm_skipped", float64(skipped))
+						if k.screen != nil {
+							cfg.Trace.Counter(w, "pairs_screened", float64(screened))
+						}
 						if pc != nil {
 							cfg.Trace.Counter(w, "permcache_hits", float64(pc.Hits()))
 						}
@@ -240,7 +278,10 @@ func hostScan(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Re
 				busy[w] = time.Since(start).Seconds()
 				edgesPerWorker[w] = local
 				atomic.AddInt64(&totalEvals, evals)
+				atomic.AddInt64(&totalPermEvals, permEvals)
+				atomic.AddInt64(&totalScreened, screened)
 				atomic.AddInt64(&totalSkipped, skipped)
+				atomic.AddInt64(&totalScreenNanos, screenNanos)
 				if pc != nil {
 					atomic.AddInt64(&cacheHits, pc.Hits())
 					atomic.AddInt64(&cacheMisses, pc.Misses())
@@ -259,9 +300,16 @@ func hostScan(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Re
 		return nil, nil, err
 	}
 	res.PairsEvaluated = totalEvals
+	res.PermEvaluations = totalPermEvals
+	res.PairsScreenedOut = totalScreened
 	res.PermutationsSkipped = totalSkipped
 	res.PermCacheHits = cacheHits
 	res.PermCacheMisses = cacheMisses
+	if k.screen != nil {
+		d := time.Duration(totalScreenNanos)
+		res.ScreenPhaseSeconds = d.Seconds()
+		res.Timer.Add("screen", d)
+	}
 	res.Imbalance = tile.Imbalance(busy)
 	for _, b := range tileBytes {
 		if b > res.PeakTileBytes {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"repro/internal/bspline"
 	"repro/internal/mi"
 	"repro/internal/perm"
@@ -8,32 +10,65 @@ import (
 )
 
 // pairKernel bundles the estimator, permutation pool, and kernel choice
-// shared by all engines. It is immutable and safe for concurrent use
-// with per-goroutine workspaces (and per-goroutine permutation caches).
+// shared by all engines. Aside from the screen-disarm counters it is
+// immutable and safe for concurrent use with per-goroutine workspaces
+// (and per-goroutine permutation caches).
 type pairKernel struct {
 	est    *mi.Estimator
 	pool   *perm.Pool
 	kind   KernelKind
 	prec   Precision
-	legacy bool    // per-permutation seed path instead of the batched sweep
+	legacy bool // per-permutation seed path instead of the batched sweep
+	// screen is the conservative-bound prescreener, nil unless
+	// Config.Prescreen is set. Like est it is immutable and shared
+	// across workers.
+	screen *mi.Screener
 	thresh float64 // I_alpha; 0 during the threshold-estimation phase
+	// Adaptive disarm: when the first screenProbeBudget bound probes
+	// produce zero skips, the threshold is in the regime the bound
+	// cannot reach (see the mi package doc) and screenTile stops paying
+	// for bounds. The network is bit-identical either way — screening
+	// only ever drops pairs the exact kernel would reject — but in the
+	// razor-edge case where the budget is exhausted just before the
+	// first screenable tile, PairsScreenedOut can vary with worker
+	// scheduling. Correctness never does.
+	screenProbes atomic.Int64
+	screenHits   atomic.Int64
+	screenOff    atomic.Bool
 }
 
+// screenProbeBudget is the calibration allowance for adaptive disarm:
+// how many pairs may be bounded with zero skips before the kernel
+// concludes the screen is powerless for this run's threshold and stops
+// bounding. It caps the worst-case prescreen overhead at a few
+// thousand coarse bounds (sub-millisecond) per kernel.
+const screenProbeBudget = 4096
+
 func newPairKernel(wm *bspline.WeightMatrix, cfg Config) *pairKernel {
-	return &pairKernel{
+	k := &pairKernel{
 		est:    mi.NewEstimatorParallel(wm, cfg.Workers),
 		pool:   perm.MustNewPool(cfg.Seed, wm.Samples, cfg.Permutations),
 		kind:   cfg.Kernel,
 		prec:   cfg.Precision,
 		legacy: cfg.LegacyPermutation,
 	}
+	if cfg.Prescreen {
+		k.screen = mi.NewScreener(k.est, cfg.Precision)
+	}
+	return k
 }
 
 // newWorkspace allocates per-goroutine scratch for the configured
 // precision — the float32 path's workspace carries a float32 joint
-// accumulator (half the bytes), the float64 path a float64 one.
+// accumulator (half the bytes), the float64 path a float64 one. When
+// prescreening is on, the screen's coarse-joint scratch is allocated
+// eagerly so Workspace.Bytes is final at construction.
 func (k *pairKernel) newWorkspace() *mi.Workspace {
-	return mi.NewWorkspacePrec(k.est, k.prec)
+	ws := mi.NewWorkspacePrec(k.est, k.prec)
+	if k.screen != nil {
+		k.screen.EnsureScratch(ws)
+	}
+	return ws
 }
 
 // newPermCache builds the worker-local permuted-row cache for the sweep
@@ -104,34 +139,35 @@ func (k *pairKernel) miPermuted(i, j, p int, ws *mi.Workspace) float64 {
 // permuted value, i.e. empirical p < 1/(q+1)).
 //
 // It returns the observed MI, whether the edge is significant, the
-// number of MI kernel evaluations spent (1 + permutations actually
-// computed — identical between the sweep and legacy paths, since both
-// stop at the first permuted MI >= obs), and the number of permutations
-// the early exit skipped (q minus the permutations computed, 0 for
-// pairs cut by the threshold).
+// number of exact-kernel pair evaluations spent (always 1), the number
+// of permutation evaluations actually computed (identical between the
+// sweep and legacy paths, since both stop at the first permuted
+// MI >= obs), and the number of permutations the early exit skipped
+// (q minus the permutations computed, 0 for pairs cut by the
+// threshold).
 //
 // pc, when non-nil, is this goroutine's permuted-row cache; the sweep
 // kernels stream gene j's cached rows instead of gathering through the
 // permutation per evaluation. Results are bit-identical with or without
 // the cache.
-func (k *pairKernel) decide(i, j int, ws *mi.Workspace, pc *mi.PermCache) (obs float64, significant bool, evals, skipped int64) {
+func (k *pairKernel) decide(i, j int, ws *mi.Workspace, pc *mi.PermCache) (obs float64, significant bool, evals, permEvals, skipped int64) {
 	obs = k.miPair(i, j, ws)
 	evals = 1
 	if obs < k.thresh {
-		return obs, false, evals, 0
+		return obs, false, evals, 0, 0
 	}
 	q := k.pool.Q()
 	if q == 0 {
-		return obs, true, evals, 0
+		return obs, true, evals, 0, 0
 	}
 	if k.legacy {
 		for p := 0; p < q; p++ {
-			evals++
+			permEvals++
 			if k.miPermuted(i, j, p, ws) >= obs {
-				return obs, false, evals, int64(q - p - 1)
+				return obs, false, evals, permEvals, int64(q - p - 1)
 			}
 		}
-		return obs, true, evals, 0
+		return obs, true, evals, permEvals, 0
 	}
 	perms := k.pool.Perms()
 	var poffs []int32
@@ -159,7 +195,34 @@ func (k *pairKernel) decide(i, j int, ws *mi.Workspace, pc *mi.PermCache) (obs f
 			done, significant = k.est.SweepBucketed(i, j, obs, perms, poffs, pw, ws)
 		}
 	}
-	return obs, significant, evals + int64(done), int64(q - done)
+	return obs, significant, evals, int64(done), int64(q - done)
+}
+
+// screenTile runs the prescreening pass over one tile: mask[p] is true
+// when pair p (in ForEachPair order) can skip the exact kernel and its
+// permutation sweep. It returns the extended mask and the number of
+// pairs screened out. The caller owns mask's backing array so the hot
+// loop allocates only on the first (largest) tile.
+func (k *pairKernel) screenTile(t tile.Tile, ws *mi.Workspace, mask []bool) ([]bool, int64) {
+	mask = mask[:0]
+	if k.screenOff.Load() {
+		t.ForEachPair(func(i, j int) { mask = append(mask, false) })
+		return mask, 0
+	}
+	var screened int64
+	t.ForEachPair(func(i, j int) {
+		skip := k.screen.ShouldSkip(i, j, k.thresh, ws)
+		if skip {
+			screened++
+		}
+		mask = append(mask, skip)
+	})
+	if screened > 0 {
+		k.screenHits.Add(screened)
+	} else if k.screenProbes.Add(int64(len(mask))) >= screenProbeBudget && k.screenHits.Load() == 0 {
+		k.screenOff.Store(true)
+	}
+	return mask, screened
 }
 
 // sampleNullPairs deterministically selects count distinct pairs (i<j)

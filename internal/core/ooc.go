@@ -83,6 +83,13 @@ func newOOCWorker(basis *bspline.Basis, pool *perm.Pool, cfg Config, samples int
 		rows:    make([][]float32, 0, 2*cfg.TileSize),
 		samples: samples,
 	}
+	if cfg.Prescreen {
+		// Reserve the screener arena for a full tile's gene capacity and
+		// the workspace's coarse-joint scratch now, so bytes() is final
+		// before the budget check.
+		w.pk.screen = mi.NewScreenerCap(est, cfg.Precision, 2*cfg.TileSize)
+		w.pk.screen.EnsureScratch(w.ws)
+	}
 	w.pc = w.pk.newPermCache(cfg)
 	return w
 }
@@ -94,6 +101,9 @@ func (w *oocWorker) bytes(basis *bspline.Basis, cfg Config) int64 {
 	b += int64(w.ws.Bytes())
 	if w.pc != nil {
 		b += int64(w.pc.Bytes())
+	}
+	if w.pk.screen != nil {
+		b += int64(w.pk.screen.Bytes())
 	}
 	b += int64(len(w.normBuf)) * 4
 	b += int64(2*cfg.TileSize) * 12 // estimator marginal-entropy slices
@@ -120,6 +130,9 @@ func (w *oocWorker) rebind() {
 	w.ws.InvalidateRowKeys()
 	if w.pc != nil {
 		w.pc.Rebind(w.pk.est)
+	}
+	if w.pk.screen != nil {
+		w.pk.screen.Reset(w.pk.est)
 	}
 }
 
@@ -336,7 +349,8 @@ func oocScan(ctx context.Context, store *panelstore.Store, cfg Config, res *Resu
 	evalsPerTile := make([]int64, len(tiles))
 	busy := make([]float64, cfg.Workers)
 	edgesPerWorker := make([][]grn.Edge, cfg.Workers)
-	var totalEvals, totalSkipped int64
+	var totalEvals, totalPermEvals, totalScreened, totalSkipped int64
+	var totalScreenNanos int64
 	var cacheHits, cacheMisses int64
 	var tilesDone int64
 	res.Timer.Time("mi", func() {
@@ -349,7 +363,9 @@ func oocScan(ctx context.Context, store *panelstore.Store, cfg Config, res *Resu
 				wk := workers[w]
 				start := time.Now()
 				var local []grn.Edge
-				var evals, skipped int64
+				var evals, permEvals, screened, skipped int64
+				var screenNanos int64
+				var mask []bool
 				for {
 					pi := sched.Next(w)
 					if pi == -1 || ctx.Err() != nil {
@@ -366,20 +382,40 @@ func oocScan(ctx context.Context, store *panelstore.Store, cfg Config, res *Resu
 						fail(err)
 						break
 					}
-					var tileEvals int64
+					var tileScreened int64
+					if wk.pk.screen != nil {
+						// Screen per pinned panel pair: the bound runs on the
+						// same tile-local weights the exact kernel would use,
+						// so the budget accounting is untouched.
+						localTile := tile.Tile{I0: 0, I1: t.I1 - t.I0, J0: jBase, J1: jBase + t.J1 - t.J0}
+						screenStart := time.Now()
+						mask, tileScreened = wk.pk.screenTile(localTile, wk.ws, mask)
+						screenNanos += time.Since(screenStart).Nanoseconds()
+					}
+					var tilePairEvals, tilePermEvals int64
 					var tileEdges []grn.Edge
+					idx := 0
 					t.ForEachPair(func(i, j int) {
-						obs, sig, ev, sk := wk.pk.decide(i-t.I0, j-t.J0+jBase, wk.ws, wk.pc)
-						tileEvals += ev
+						if wk.pk.screen != nil && mask[idx] {
+							idx++
+							return
+						}
+						idx++
+						obs, sig, ev, pe, sk := wk.pk.decide(i-t.I0, j-t.J0+jBase, wk.ws, wk.pc)
+						tilePairEvals += ev
+						tilePermEvals += pe
 						skipped += sk
 						if sig {
 							tileEdges = append(tileEdges, grn.Edge{I: i, J: j, Weight: obs})
 						}
 					})
+					tileEvals := tilePairEvals + tilePermEvals
 					atomic.AddInt64(&evalsPerTile[ti], tileEvals)
-					evals += tileEvals
+					evals += tilePairEvals
+					permEvals += tilePermEvals
+					screened += tileScreened
 					if ck != nil {
-						ck.tileDone(ti, tileEvals, tileEdges)
+						ck.tileDone(ti, tilePairEvals, tilePermEvals, tileScreened, tileEdges)
 					} else {
 						local = append(local, tileEdges...)
 					}
@@ -388,6 +424,9 @@ func oocScan(ctx context.Context, store *panelstore.Store, cfg Config, res *Resu
 					}
 					if cfg.Trace != nil {
 						cfg.Trace.Counter(w, "perm_skipped", float64(skipped))
+						if wk.pk.screen != nil {
+							cfg.Trace.Counter(w, "pairs_screened", float64(screened))
+						}
 						if wk.pc != nil {
 							cfg.Trace.Counter(w, "permcache_hits", float64(wk.pc.Hits()))
 						}
@@ -399,7 +438,10 @@ func oocScan(ctx context.Context, store *panelstore.Store, cfg Config, res *Resu
 				busy[w] = time.Since(start).Seconds()
 				edgesPerWorker[w] = local
 				atomic.AddInt64(&totalEvals, evals)
+				atomic.AddInt64(&totalPermEvals, permEvals)
+				atomic.AddInt64(&totalScreened, screened)
 				atomic.AddInt64(&totalSkipped, skipped)
+				atomic.AddInt64(&totalScreenNanos, screenNanos)
 				if wk.pc != nil {
 					atomic.AddInt64(&cacheHits, wk.pc.Hits())
 					atomic.AddInt64(&cacheMisses, wk.pc.Misses())
@@ -420,9 +462,16 @@ func oocScan(ctx context.Context, store *panelstore.Store, cfg Config, res *Resu
 		return err
 	}
 	res.PairsEvaluated = totalEvals
+	res.PermEvaluations = totalPermEvals
+	res.PairsScreenedOut = totalScreened
 	res.PermutationsSkipped = totalSkipped
 	res.PermCacheHits = cacheHits
 	res.PermCacheMisses = cacheMisses
+	if cfg.Prescreen {
+		d := time.Duration(totalScreenNanos)
+		res.ScreenPhaseSeconds = d.Seconds()
+		res.Timer.Add("screen", d)
+	}
 	res.Imbalance = tile.Imbalance(busy)
 
 	st := store.Stats()

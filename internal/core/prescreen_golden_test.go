@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/tile"
+)
+
+// prescreenIdentical is the golden claim for the prescreening pass: the
+// screened run's network is bit-identical to the full scan — same
+// threshold, same edges in the same order, bitwise-equal weights — and
+// the counters reconcile exactly: every pair was either evaluated or
+// screened out, and no screened pair cost any permutations (a screened
+// pair sits below the threshold, where the full scan spends zero
+// permutations too).
+func prescreenIdentical(t *testing.T, label string, off, on *Result) {
+	t.Helper()
+	if off.Threshold != on.Threshold {
+		t.Fatalf("%s: threshold %v != %v", label, off.Threshold, on.Threshold)
+	}
+	if on.PairsEvaluated+on.PairsScreenedOut != off.PairsEvaluated {
+		t.Fatalf("%s: evaluated %d + screened %d != full scan's %d pairs",
+			label, on.PairsEvaluated, on.PairsScreenedOut, off.PairsEvaluated)
+	}
+	if off.PermEvaluations != on.PermEvaluations {
+		t.Fatalf("%s: PermEvaluations %d != %d", label, off.PermEvaluations, on.PermEvaluations)
+	}
+	ae, be := off.Network.Edges(), on.Network.Edges()
+	if len(ae) != len(be) {
+		t.Fatalf("%s: %d edges != %d edges", label, len(ae), len(be))
+	}
+	for k := range ae {
+		if ae[k].I != be[k].I || ae[k].J != be[k].J || ae[k].Weight != be[k].Weight {
+			t.Fatalf("%s: edge %d differs: %+v vs %+v", label, k, ae[k], be[k])
+		}
+	}
+}
+
+// TestPrescreenGoldenEquivalence is the acceptance suite for the
+// conservative prescreening pass: across all five engines, all three
+// kernels, both precisions, and multiple seeds, a prescreened run must
+// emit a network bit-identical to the unscreened run. A screen that
+// ever drops a true edge fails here.
+func TestPrescreenGoldenEquivalence(t *testing.T) {
+	engines := []EngineKind{Host, Phi, Cluster, Hybrid, OutOfCore}
+	kernels := []KernelKind{KernelBucketed, KernelScalar, KernelVec}
+	for _, seed := range []uint64{1, 2} {
+		d := testDataset(t, 20, 60, seed)
+		for _, prec := range []Precision{Float64, Float32} {
+			for _, eng := range engines {
+				for _, kern := range kernels {
+					cfg := Config{
+						Engine: eng, Kernel: kern, Precision: prec,
+						Seed: seed, Permutations: 8, Workers: 4, TileSize: 8, Ranks: 2,
+					}
+					off, err := Infer(d.Expr, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					onCfg := cfg
+					onCfg.Prescreen = true
+					on, err := Infer(d.Expr, onCfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					label := fmt.Sprintf("%s/%s/prec%d", eng, kern, prec)
+					prescreenIdentical(t, label, off, on)
+				}
+			}
+		}
+	}
+}
+
+// TestScreenTileSkipsAndDisarms drives the kernel's screening pass
+// directly, where the threshold can be placed on either side of the
+// bound's reach. A threshold above every bound must mask every pair and
+// keep the screen armed; a threshold the bound can never undercut must
+// screen nothing and, once the probe budget is spent, trip the adaptive
+// disarm so later tiles skip the bound entirely.
+func TestScreenTileSkipsAndDisarms(t *testing.T) {
+	const n = 96 // 4560 pairs — enough to exhaust screenProbeBudget
+	d := testDataset(t, n, 40, 3)
+	cfg := Config{Seed: 3, Permutations: 4, Workers: 2, TileSize: 16, Prescreen: true}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	norm := d.Expr.Clone()
+	norm.RankNormalize()
+	wm := precomputeWeights(t, cfg, norm)
+	tiles := tile.Decompose(n, cfg.TileSize)
+
+	// Unreachably high threshold: every bound sits below it, every pair
+	// is screened, and hits keep the screen armed tile after tile.
+	k := newPairKernel(wm, cfg)
+	k.thresh = 50
+	ws := k.newWorkspace()
+	var mask []bool
+	var screened int64
+	for _, tl := range tiles {
+		var s int64
+		mask, s = k.screenTile(tl, ws, mask)
+		screened += s
+	}
+	if want := int64(tile.TotalPairs(n)); screened != want {
+		t.Fatalf("high threshold: screened %d of %d pairs", screened, want)
+	}
+	if k.screenOff.Load() {
+		t.Fatal("screen disarmed while it was skipping every pair")
+	}
+
+	// Sanity of the mask against the exact kernel at a plausible
+	// threshold: every masked pair must fail the threshold exactly.
+	k2 := newPairKernel(wm, cfg)
+	k2.thresh = 1.2
+	checked := 0
+	for _, tl := range tiles[:4] {
+		mask, _ = k2.screenTile(tl, ws, mask)
+		idx := 0
+		tl.ForEachPair(func(i, j int) {
+			if mask[idx] {
+				if obs := k2.miPair(i, j, ws); obs >= k2.thresh {
+					t.Fatalf("pair(%d,%d) screened at thresh %.2f but exact MI %.6f survives", i, j, k2.thresh, obs)
+				}
+				checked++
+			}
+			idx++
+		})
+	}
+	if checked == 0 {
+		t.Fatal("no pair screened at thresh 1.2 — mask sanity check is vacuous")
+	}
+
+	// Threshold below the universal floor: the bound can never fire, so
+	// after screenProbeBudget probes the kernel must disarm.
+	k3 := newPairKernel(wm, cfg)
+	k3.thresh = 0.05
+	for _, tl := range tiles {
+		var s int64
+		mask, s = k3.screenTile(tl, ws, mask)
+		if s != 0 {
+			t.Fatalf("screened %d pairs at a threshold below the estimator bias floor", s)
+		}
+	}
+	if !k3.screenOff.Load() {
+		t.Fatalf("screen stayed armed after %d fruitless probes (budget %d)",
+			k3.screenProbes.Load(), screenProbeBudget)
+	}
+	// Disarmed tiles still produce a full all-false mask for the scan
+	// loop's indexing.
+	mask, s := k3.screenTile(tiles[0], ws, mask)
+	if s != 0 || len(mask) != tiles[0].Pairs() {
+		t.Fatalf("disarmed screenTile: %d screened, mask len %d want %d", s, len(mask), tiles[0].Pairs())
+	}
+}

@@ -32,6 +32,9 @@ func identicalNetworks(t *testing.T, label string, a, b *Result) {
 	if a.PairsEvaluated != b.PairsEvaluated {
 		t.Fatalf("%s: PairsEvaluated %d != %d", label, a.PairsEvaluated, b.PairsEvaluated)
 	}
+	if a.PermEvaluations != b.PermEvaluations {
+		t.Fatalf("%s: PermEvaluations %d != %d", label, a.PermEvaluations, b.PermEvaluations)
+	}
 	ae, be := a.Network.Edges(), b.Network.Edges()
 	if len(ae) != len(be) {
 		t.Fatalf("%s: %d edges != %d edges", label, len(ae), len(be))
@@ -133,10 +136,11 @@ func TestPermCacheConcurrentWorkers(t *testing.T) {
 	k.thresh = 0.01
 
 	type verdict struct {
-		obs     float64
-		sig     bool
-		evals   int64
-		skipped int64
+		obs       float64
+		sig       bool
+		evals     int64
+		permEvals int64
+		skipped   int64
 	}
 	// Serial reference over all pairs.
 	ref := make(map[[2]int]verdict)
@@ -145,8 +149,8 @@ func TestPermCacheConcurrentWorkers(t *testing.T) {
 	tiles := tile.Decompose(24, cfg.TileSize)
 	for _, tl := range tiles {
 		tl.ForEachPair(func(i, j int) {
-			obs, sig, ev, sk := k.decide(i, j, refWS, refPC)
-			ref[[2]int{i, j}] = verdict{obs, sig, ev, sk}
+			obs, sig, ev, pe, sk := k.decide(i, j, refWS, refPC)
+			ref[[2]int{i, j}] = verdict{obs, sig, ev, pe, sk}
 		})
 	}
 
@@ -163,9 +167,9 @@ func TestPermCacheConcurrentWorkers(t *testing.T) {
 			for round := 0; round < 2; round++ {
 				for ti := w; ti < len(tiles); ti += cfg.Workers {
 					tiles[ti].ForEachPair(func(i, j int) {
-						obs, sig, ev, sk := k.decide(i, j, ws, pc)
+						obs, sig, ev, pe, sk := k.decide(i, j, ws, pc)
 						want := ref[[2]int{i, j}]
-						if obs != want.obs || sig != want.sig || ev != want.evals || sk != want.skipped {
+						if obs != want.obs || sig != want.sig || ev != want.evals || pe != want.permEvals || sk != want.skipped {
 							select {
 							case errs <- "worker decision diverged from serial reference":
 							default:

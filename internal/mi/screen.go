@@ -1,0 +1,368 @@
+// Pair prescreening: a provably conservative MI upper bound that is
+// several times cheaper than the exact B-spline kernel.
+//
+// The bound starts from the grid-refinement (grouping) inequality.
+// Aggregate the fine b-bin joint histogram into coarse cells of r
+// consecutive fine bins each; merging cells can only lower entropy, so
+// H_c(X,Y) <= H_f(X,Y) and therefore
+//
+//	MI_f = H_f(X) + H_f(Y) - H_f(X,Y) <= H_f(X) + H_f(Y) - H_c(X,Y).
+//
+// That textbook form carries ~2*log2(r) bits of slack on smooth data
+// (the marginal refinement entropies), which is far too loose to
+// screen anything. It tightens by concavity of entropy: the fine joint
+// is the mixture (1/m)*sum_s of per-sample product stencils, so the
+// conditional fine-given-coarse entropy is at least the average of the
+// samples' own within-cell conditional entropies, which factor per
+// axis into per-gene precomputable scalars R_g ("rbar"):
+//
+//	H_f(X,Y) >= H_c(X,Y) + R_i + R_j
+//	=> MI_f <= H_f(X) + H_f(Y) - H_c(X,Y) - R_i - R_j.
+//
+// Empirically this halves the slack (~0.9 bits at b=10, k=3). Two
+// structural facts govern when the bound has power. First, a per-pair
+// floor: the coarse joint is a genuine distribution, so its mutual
+// information is nonnegative and the bound can never fall below
+//
+//	floor_i + floor_j,  floor_g = H_f(g) - H_c(g) - R_g >= 0,
+//
+// per-gene scalars known before any pair is touched. ShouldSkip checks
+// the floor first, so when the threshold sits below every reachable
+// bound (the screen cannot fire), the per-pair cost collapses to one
+// add and compare. Second, the regime: a permutation-calibrated I_alpha
+// sits only a few null standard deviations (~(b-1)^2/(2*m*ln2) scale)
+// above the estimator's bias floor, so at compendium-scale sample
+// counts no conservative coarse bound can separate them — the screen
+// self-disarms. At small sample counts (roughly m <~ 30 at b=10) the
+// null widens past the slack and the bound screens most pairs. See
+// EXPERIMENTS.md "Pair prescreening" for the measured table.
+//
+// The coarse joint is exact aggregation, not re-estimation: each
+// sample's k-wide fine stencil spans at most two adjacent coarse cells
+// when r >= k-1, so a per-gene precompute collapses every stencil to
+// (cell, inCellWeight, spillWeight) and the per-pair cost drops from
+// k² fused multiply-adds per sample plus a b²-cell log pass to 4 per
+// sample plus a (b/r)²-cell log pass.
+//
+// A rank-correlation fast path runs before the bound: genes are
+// rank-normalized upstream, so the correlation of the per-sample
+// spline-stencil centers approximates the Spearman correlation, and
+// pairs whose Gaussian-MI proxy already clears the threshold route
+// straight to the exact kernel without paying for the bound. The fast
+// path only ever screens pairs IN, so it needs no conservativeness
+// proof.
+package mi
+
+import (
+	"math"
+
+	"repro/internal/simd"
+)
+
+// Numerical safety margins for the skip decision, in bits. The
+// grouping and concavity inequalities are exact in real arithmetic;
+// floating-point accumulation of the coarse joint (and the float32
+// rounding of the collapsed stencil weights) perturbs the computed
+// bound by far less than these. A pair is skipped only when
+// bound < threshold - margin, so any pair the screen drops would have
+// been rejected by the exact kernel too.
+const (
+	screenMargin64 = 1e-6
+	screenMargin32 = 1e-3
+)
+
+// Screener holds the per-gene collapsed coarse stencils and proxy
+// vectors for the prescreening pass. Like Estimator it is immutable
+// after construction (or Reset) and safe for concurrent use; per-pair
+// scratch lives in the Workspace.
+type Screener struct {
+	est  *Estimator
+	prec Precision
+	// r is the refinement factor: fine bins per coarse cell, chosen as
+	// max(k-1, 2) so every k-wide fine stencil spans at most two
+	// adjacent coarse cells.
+	r int
+	// bc is the coarse bin count ceil(bins/r); stride is bc+1 — the
+	// coarse joint keeps one padded spill row/column so the 2×2 scatter
+	// never needs a bounds branch (the spill weight of a stencil in the
+	// last cell is exactly zero, so padding cells only accumulate 0.0).
+	bc, stride int
+	margin     float64
+	// co[g*m+s] is the coarse cell of gene g sample s's stencil start;
+	// cw[(g*m+s)*2] and cw[(g*m+s)*2+1] are the fine-weight sums landing
+	// in that cell and in the next one.
+	co []int32
+	cw []float32
+	// cz[g*m:(g+1)*m] is gene g's centered, unit-norm spline-center
+	// proxy (all zeros for a constant gene), so the fast-path rank
+	// correlation of a pair is a single dot product.
+	cz []float32
+	// rbar[g] is gene g's concavity correction: the sample-averaged
+	// entropy of the within-coarse-cell stencil weights. hcf[g] is the
+	// gene's fine-minus-coarse marginal entropy gap minus rbar[g] — the
+	// per-gene floor beneath which no pair bound involving g can fall.
+	rbar []float64
+	hcf  []float64
+}
+
+// NewScreener precomputes the collapsed coarse stencils and proxy
+// vectors for every gene of the estimator's weight matrix.
+func NewScreener(e *Estimator, prec Precision) *Screener {
+	return NewScreenerCap(e, prec, e.wm.Genes)
+}
+
+// NewScreenerCap is NewScreener with arena capacity reserved up front
+// for maxGenes genes — the out-of-core scan's form, whose panel weight
+// matrices start empty and are refilled per tile with up to maxGenes
+// local genes. Reserving here keeps Bytes (and the memory-budget
+// accounting built on it) exact from construction on.
+func NewScreenerCap(e *Estimator, prec Precision, maxGenes int) *Screener {
+	sc := &Screener{est: e, prec: prec, margin: screenMargin64}
+	if prec == Float32 {
+		sc.margin = screenMargin32
+	}
+	if maxGenes > e.wm.Genes {
+		m := e.wm.Samples
+		sc.co = make([]int32, 0, maxGenes*m)
+		sc.cw = make([]float32, 0, maxGenes*m*2)
+		sc.cz = make([]float32, 0, maxGenes*m)
+		sc.rbar = make([]float64, 0, maxGenes)
+		sc.hcf = make([]float64, 0, maxGenes)
+	}
+	sc.derive()
+	return sc
+}
+
+func (sc *Screener) derive() {
+	wm := sc.est.wm
+	k := wm.Basis.Order()
+	bins := wm.Basis.Bins()
+	sc.r = k - 1
+	if sc.r < 2 {
+		sc.r = 2
+	}
+	sc.bc = (bins + sc.r - 1) / sc.r
+	sc.stride = sc.bc + 1
+	n, m := wm.Genes, wm.Samples
+	if cap(sc.co) < n*m {
+		sc.co = make([]int32, n*m)
+		sc.cw = make([]float32, n*m*2)
+		sc.cz = make([]float32, n*m)
+	}
+	if cap(sc.rbar) < n {
+		sc.rbar = make([]float64, n)
+		sc.hcf = make([]float64, n)
+	}
+	sc.co = sc.co[:n*m]
+	sc.cw = sc.cw[:n*m*2]
+	sc.cz = sc.cz[:n*m]
+	sc.rbar = sc.rbar[:n]
+	sc.hcf = sc.hcf[:n]
+	// coarseM is the per-gene padded coarse marginal, rebuilt per gene.
+	coarseM := make([]float64, sc.stride)
+	invM := 1 / float64(m)
+	for g := 0; g < n; g++ {
+		base := g * m
+		var mean, rbar float64
+		for i := range coarseM {
+			coarseM[i] = 0
+		}
+		for s := 0; s < m; s++ {
+			off := int(wm.Offsets[base+s])
+			w := wm.Sparse[(base+s)*k : (base+s)*k+k]
+			c0 := off / sc.r
+			var w0, w1, center float32
+			// Within-cell entropies of the stencil halves: h0 over the
+			// fine weights landing in cell c0, h1 over those in c0+1.
+			var h0, h1 float64
+			for u, wu := range w {
+				if (off+u)/sc.r == c0 {
+					w0 += wu
+					if wu > 0 {
+						h0 -= float64(wu) * math.Log2(float64(wu))
+					}
+				} else {
+					w1 += wu
+					if wu > 0 {
+						h1 -= float64(wu) * math.Log2(float64(wu))
+					}
+				}
+				center += float32(u) * wu
+			}
+			// mass*H(within/mass) = h_raw + mass*log2(mass) with
+			// h_raw = -sum w*log2(w) over the cell's fine weights.
+			if w0 > 0 {
+				rbar += h0 + float64(w0)*math.Log2(float64(w0))
+			}
+			if w1 > 0 {
+				rbar += h1 + float64(w1)*math.Log2(float64(w1))
+			}
+			sc.co[base+s] = int32(c0)
+			sc.cw[(base+s)*2] = w0
+			sc.cw[(base+s)*2+1] = w1
+			coarseM[c0] += float64(w0)
+			coarseM[c0+1] += float64(w1)
+			c := float32(off) + center
+			sc.cz[base+s] = c
+			mean += float64(c)
+		}
+		sc.rbar[g] = rbar * invM
+		var hc float64
+		for _, cm := range coarseM {
+			if cm > 0 {
+				p := cm * invM
+				hc -= p * math.Log2(p)
+			}
+		}
+		var hf float64
+		if sc.prec == Float32 {
+			hf = float64(sc.est.hMarginal32[g])
+		} else {
+			hf = sc.est.hMarginal[g]
+		}
+		// floor_g = H_f(g) - H_c(g) - rbar_g, clamped at 0 so float
+		// rounding never produces a negative floor.
+		if f := hf - hc - sc.rbar[g]; f > 0 {
+			sc.hcf[g] = f
+		} else {
+			sc.hcf[g] = 0
+		}
+		mean /= float64(m)
+		var ss float64
+		for s := 0; s < m; s++ {
+			d := float64(sc.cz[base+s]) - mean
+			sc.cz[base+s] = float32(d)
+			ss += d * d
+		}
+		if ss > 0 {
+			inv := float32(1 / math.Sqrt(ss))
+			for s := 0; s < m; s++ {
+				sc.cz[base+s] *= inv
+			}
+		} else {
+			for s := 0; s < m; s++ {
+				sc.cz[base+s] = 0
+			}
+		}
+	}
+}
+
+// Reset re-derives the tables against a (re-filled) weight matrix,
+// reusing the arenas when capacity allows — the out-of-core scan calls
+// it once per tile after Estimator.Reset, mirroring PermCache.Rebind.
+// The new matrix must share the old one's basis and sample count.
+func (sc *Screener) Reset(e *Estimator) {
+	old := sc.est.wm
+	wm := e.wm
+	if wm.Samples != old.Samples || wm.Basis.Bins() != old.Basis.Bins() || wm.Basis.Order() != old.Basis.Order() {
+		panic("mi: Screener.Reset with incompatible weight matrix")
+	}
+	sc.est = e
+	sc.derive()
+}
+
+// Bytes reports the screener's arena footprint (capacity, not current
+// length — Reset shrinks the active prefix but keeps the backing
+// arrays) — the per-worker term the out-of-core budget accounting
+// charges for prescreening.
+func (sc *Screener) Bytes() int {
+	return cap(sc.co)*4 + cap(sc.cw)*4 + cap(sc.cz)*4 + cap(sc.rbar)*8 + cap(sc.hcf)*8
+}
+
+// Margin returns the numerical safety margin (in bits) subtracted from
+// the threshold before a skip decision.
+func (sc *Screener) Margin() float64 { return sc.margin }
+
+// Floor returns gene g's bound floor: no pair bound involving g can
+// fall below Floor(g) + Floor(other). Engines (and tests) can use it
+// to predict whether the screen can fire at all for a threshold.
+func (sc *Screener) Floor(g int) float64 { return sc.hcf[g] }
+
+// EnsureScratch sizes ws's coarse-joint accumulators for this
+// screener's grid. Engines call it once per worker workspace when
+// prescreening is enabled so Workspace.Bytes reflects the scratch up
+// front (the bound kernels also call it as a safety net).
+func (sc *Screener) EnsureScratch(ws *Workspace) {
+	cells := sc.stride * sc.stride
+	if sc.prec == Float32 {
+		if len(ws.screenJoint32) < cells {
+			ws.screenJoint32 = make([]float32, cells)
+			ws.screenJoint32b = make([]float32, cells)
+		}
+		return
+	}
+	if len(ws.screenJoint) < cells {
+		ws.screenJoint = make([]float64, cells)
+	}
+}
+
+// Bound returns the conservative upper bound on MI(gene i, gene j) in
+// bits: fine marginal entropies minus the coarse joint entropy minus
+// the per-gene concavity corrections, accumulated in float64.
+func (sc *Screener) Bound(i, j int, ws *Workspace) float64 {
+	sc.EnsureScratch(ws)
+	m := sc.est.wm.Samples
+	stride := sc.stride
+	joint := ws.screenJoint
+	bi, bj := i*m, j*m
+	for s := 0; s < m; s++ {
+		a0 := float64(sc.cw[(bi+s)*2])
+		a1 := float64(sc.cw[(bi+s)*2+1])
+		b0 := float64(sc.cw[(bj+s)*2])
+		b1 := float64(sc.cw[(bj+s)*2+1])
+		cell := int(sc.co[bi+s])*stride + int(sc.co[bj+s])
+		joint[cell] += a0 * b0
+		joint[cell+1] += a0 * b1
+		joint[cell+stride] += a1 * b0
+		joint[cell+stride+1] += a1 * b1
+	}
+	inv := 1 / float64(m)
+	var hc float64
+	for idx, c := range joint {
+		if c > 0 {
+			p := c * inv
+			hc -= p * math.Log2(p)
+		}
+		joint[idx] = 0
+	}
+	return sc.est.hMarginal[i] + sc.est.hMarginal[j] - hc - sc.rbar[i] - sc.rbar[j]
+}
+
+// ProxyMI returns the fast-path Gaussian-MI proxy for the pair: the
+// analytic MI of a bivariate Gaussian at the correlation of the two
+// genes' spline-center proxies. It is NOT a bound — callers may only
+// use it to route pairs toward the exact kernel.
+func (sc *Screener) ProxyMI(i, j int) float64 {
+	m := sc.est.wm.Samples
+	rho := simd.Dot64(sc.cz[i*m:(i+1)*m], sc.cz[j*m:(j+1)*m])
+	if rho > 1 {
+		rho = 1
+	} else if rho < -1 {
+		rho = -1
+	}
+	return GaussianMI(rho)
+}
+
+// ShouldSkip reports whether the pair can safely skip the exact kernel
+// and its permutation sweep: the conservative bound falls below thresh
+// by more than the numerical margin. The per-gene floor check runs
+// first — when the threshold is unreachable (the compendium-scale
+// regime) every pair exits here for the cost of an add and a compare —
+// then the rank-correlation fast path routes likely-significant pairs
+// to the exact kernel without paying for the bound.
+func (sc *Screener) ShouldSkip(i, j int, thresh float64, ws *Workspace) bool {
+	cut := thresh - sc.margin
+	if sc.hcf[i]+sc.hcf[j] >= cut {
+		return false
+	}
+	if sc.ProxyMI(i, j) >= thresh {
+		return false
+	}
+	var bound float64
+	if sc.prec == Float32 {
+		bound = sc.Bound32(i, j, ws)
+	} else {
+		bound = sc.Bound(i, j, ws)
+	}
+	return bound < cut
+}

@@ -1,0 +1,32 @@
+// Single-precision screening bound — the float32 path's counterpart of
+// Screener.Bound. The coarse joint accumulates in float32 through the
+// batched simd scatter (two interleaved even/odd accumulators folded
+// before the entropy pass, so same-cell hits do not serialize on one
+// dependency chain), and the entropy runs through simd.EntropyDot like
+// every other float32 histogram in the pipeline. The wider float32
+// accumulation error is what the larger screenMargin32 covers.
+package mi
+
+import "repro/internal/simd"
+
+// Bound32 returns the conservative upper bound on MI(gene i, gene j)
+// in bits on the float32 path: float32 marginals minus the float32
+// coarse joint entropy minus the per-gene concavity corrections.
+func (sc *Screener) Bound32(i, j int, ws *Workspace) float64 {
+	sc.EnsureScratch(ws)
+	m := sc.est.wm.Samples
+	bi, bj := i*m, j*m
+	acc0, acc1 := ws.screenJoint32, ws.screenJoint32b
+	simd.ScatterOuter2(
+		sc.co[bi:bi+m], sc.co[bj:bj+m],
+		sc.cw[bi*2:(bi+m)*2], sc.cw[bj*2:(bj+m)*2],
+		sc.stride, acc0, acc1,
+	)
+	for idx, v := range acc1 {
+		acc0[idx] += v
+		acc1[idx] = 0
+	}
+	hc := -simd.EntropyDot(acc0, 1/float32(m))
+	clear(acc0)
+	return float64(sc.est.hMarginal32[i]) + float64(sc.est.hMarginal32[j]) - hc - sc.rbar[i] - sc.rbar[j]
+}

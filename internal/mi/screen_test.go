@@ -1,0 +1,197 @@
+package mi
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// screenPanel builds a mixed panel: independent Gaussian genes plus a
+// few strongly correlated pairs, rank-normalized as the pipeline does.
+func screenPanel(t testing.TB, n, m int, order, bins int, seed int64) (*Estimator, *Workspace) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float32, 0, n)
+	for len(rows)+2 <= n {
+		rho := 0.0
+		if len(rows)%6 == 0 {
+			rho = 0.9
+		}
+		xi, xj := gaussianPair(rng, m, rho)
+		rows = append(rows, xi, xj)
+	}
+	for len(rows) < n {
+		xi, _ := gaussianPair(rng, m, 0)
+		rows = append(rows, xi)
+	}
+	return buildEstimator(t, rows, order, bins)
+}
+
+// boundAndExact evaluates the screening bound and the exact kernel for
+// one pair at the given precision.
+func boundAndExact(sc *Screener, e *Estimator, i, j int, ws *Workspace) (bound, exact float64) {
+	if sc.prec == Float32 {
+		return sc.Bound32(i, j, ws), e.PairBlocked32(i, j, ws)
+	}
+	return sc.Bound(i, j, ws), e.PairBucketed(i, j, ws)
+}
+
+// TestScreenBoundConservative is the core soundness property: for every
+// pair, at every supported spline order and both precisions, the coarse
+// bound plus the numerical margin must dominate the exact MI. A
+// violation means the screen could drop a true edge.
+func TestScreenBoundConservative(t *testing.T) {
+	for _, order := range []int{1, 2, 3, 4} {
+		for _, prec := range []Precision{Float64, Float32} {
+			e, _ := screenPanel(t, 24, 64, order, 10, int64(100+order))
+			sc := NewScreener(e, prec)
+			ws := NewWorkspacePrec(e, prec)
+			n := e.wm.Genes
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					bound, exact := boundAndExact(sc, e, i, j, ws)
+					if bound+sc.Margin() < exact {
+						t.Fatalf("order=%d prec=%v pair(%d,%d): bound %.6f + margin %.2g < exact %.6f",
+							order, prec, i, j, bound, sc.Margin(), exact)
+					}
+					if fl := sc.Floor(i) + sc.Floor(j); bound+sc.Margin() < fl {
+						t.Fatalf("order=%d prec=%v pair(%d,%d): bound %.6f below its own floor %.6f",
+							order, prec, i, j, bound, fl)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScreenShouldSkipAgreesWithExact drives ShouldSkip across a ladder
+// of thresholds: every skipped pair's exact MI must itself fall below
+// the threshold (the skip changed nothing), and a threshold of zero
+// must never skip (the floor short-circuit fires first).
+func TestScreenShouldSkipAgreesWithExact(t *testing.T) {
+	for _, prec := range []Precision{Float64, Float32} {
+		e, _ := screenPanel(t, 20, 48, 3, 10, 7)
+		sc := NewScreener(e, prec)
+		ws := NewWorkspacePrec(e, prec)
+		n := e.wm.Genes
+		skips := 0
+		for _, thresh := range []float64{0, 0.5, 1.0, 2.0, 5.0} {
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					if !sc.ShouldSkip(i, j, thresh, ws) {
+						continue
+					}
+					skips++
+					if thresh == 0 {
+						t.Fatalf("prec=%v pair(%d,%d): skipped at threshold 0", prec, i, j)
+					}
+					_, exact := boundAndExact(sc, e, i, j, ws)
+					if exact >= thresh {
+						t.Fatalf("prec=%v pair(%d,%d): skipped at thresh %.3f but exact MI %.6f survives",
+							prec, i, j, thresh, exact)
+					}
+				}
+			}
+		}
+		// At 48 samples the bound bulk sits near 1 bit, so the 2.0 and
+		// 5.0 rungs must actually exercise the skip path.
+		if skips == 0 {
+			t.Fatalf("prec=%v: no pair skipped at any threshold — the skip path went untested", prec)
+		}
+	}
+}
+
+// TestScreenFloors pins the per-gene floor semantics: floors are
+// nonnegative, and a floor sum at or above the threshold means
+// ShouldSkip must decline without looking at the pair (checked
+// indirectly: no skip may occur when floors block it).
+func TestScreenFloors(t *testing.T) {
+	e, ws := screenPanel(t, 16, 40, 3, 10, 3)
+	sc := NewScreener(e, Float64)
+	n := e.wm.Genes
+	var minFloor float64
+	for g := 0; g < n; g++ {
+		if f := sc.Floor(g); f < 0 {
+			t.Fatalf("gene %d: negative floor %v", g, f)
+		} else if g == 0 || f < minFloor {
+			minFloor = f
+		}
+	}
+	if minFloor == 0 {
+		t.Fatal("all-zero floors: the refinement gap collapsed, floor check is vacuous")
+	}
+	// Any threshold at or below twice the smallest floor is unreachable
+	// for every pair.
+	thresh := 2 * minFloor * 0.99
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if sc.ShouldSkip(i, j, thresh, ws) {
+				t.Fatalf("pair(%d,%d) skipped below the universal floor", i, j)
+			}
+		}
+	}
+}
+
+// TestScreenerReset pins the out-of-core reuse contract: a screener
+// reset onto a refilled estimator must produce exactly the bounds a
+// fresh screener over that estimator produces, and incompatible shapes
+// must panic.
+func TestScreenerReset(t *testing.T) {
+	eA, _ := screenPanel(t, 12, 40, 3, 10, 1)
+	eB, _ := screenPanel(t, 12, 40, 3, 10, 2)
+	sc := NewScreenerCap(eA, Float64, 24)
+	sc.Reset(eB)
+	fresh := NewScreener(eB, Float64)
+	ws := NewWorkspace(eB)
+	for i := 0; i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			if got, want := sc.Bound(i, j, ws), fresh.Bound(i, j, ws); got != want {
+				t.Fatalf("pair(%d,%d): reset bound %v != fresh bound %v", i, j, got, want)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset onto an incompatible estimator did not panic")
+		}
+	}()
+	eBad, _ := screenPanel(t, 12, 32, 3, 10, 3)
+	sc.Reset(eBad)
+}
+
+// FuzzScreenBound fuzzes the soundness property directly: random
+// panels, random spline order, both precisions — the bound plus margin
+// must dominate the exact kernel on every input the fuzzer finds.
+func FuzzScreenBound(f *testing.F) {
+	f.Add(uint8(3), []byte("fuzzing the conservative screen bound"))
+	f.Add(uint8(1), []byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(uint8(7), []byte{255, 0, 255, 0, 1, 2, 3, 4, 250, 128, 7, 9, 11, 200, 40, 80, 13, 1})
+	f.Fuzz(func(t *testing.T, orderByte uint8, data []byte) {
+		if len(data) < 16 {
+			t.Skip()
+		}
+		m := len(data)
+		if m > 128 {
+			m = 128
+		}
+		xi := make([]float32, m)
+		xj := make([]float32, m)
+		for s := 0; s < m; s++ {
+			// Forward and strided reads of the same bytes give dependent,
+			// tie-heavy rows; the jitter keeps the panel from collapsing
+			// to a constant gene, which rank normalization rejects.
+			xi[s] = float32(data[s]) + float32(s)*1e-3
+			xj[s] = float32(data[(s*7+3)%len(data)]) + float32(s%5)*1e-2
+		}
+		order := 1 + int(orderByte)%4
+		e, _ := buildEstimator(t, [][]float32{xi, xj}, order, 10)
+		for _, prec := range []Precision{Float64, Float32} {
+			sc := NewScreener(e, prec)
+			ws := NewWorkspacePrec(e, prec)
+			bound, exact := boundAndExact(sc, e, 0, 1, ws)
+			if bound+sc.Margin() < exact {
+				t.Fatalf("order=%d prec=%v m=%d: bound %.9f + margin %.2g < exact %.9f",
+					order, prec, m, bound, sc.Margin(), exact)
+			}
+		}
+	})
+}

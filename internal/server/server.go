@@ -145,6 +145,7 @@ type Server struct {
 	// Pre-registered instruments (hot-path safe: no registry lookups).
 	mSubmitted, mRejected, mEvicted  *metrics.Counter
 	mPairs, mSkipped, mHits, mMisses *metrics.Counter
+	mPermEvals, mScreened            *metrics.Counter
 	mRankFailures, mRecoveryRuns     *metrics.Counter
 	mRecoveredTiles                  *metrics.Counter
 	mFaultDelayed, mFaultDropped     *metrics.Counter
@@ -193,6 +194,8 @@ func (s *Server) init() {
 				"Jobs reaching a terminal state.", metrics.Labels{"state": string(st)})
 		}
 		s.mPairs = r.Counter("tinge_pairs_evaluated_total", "MI kernel evaluations including permutations.", nil)
+		s.mPermEvals = r.Counter("tinge_perm_evaluations_total", "Permutation MI evaluations actually computed.", nil)
+		s.mScreened = r.Counter("tinge_pairs_screened_out_total", "Pairs skipped by the conservative prescreening bound.", nil)
 		s.mSkipped = r.Counter("tinge_permutations_skipped_total", "Permutation evaluations avoided by early exit.", nil)
 		s.mHits = r.Counter("tinge_permcache_hits_total", "Permuted-row cache hits.", nil)
 		s.mMisses = r.Counter("tinge_permcache_misses_total", "Permuted-row cache misses.", nil)
@@ -326,6 +329,9 @@ func parseConfig(r *http.Request) (core.Config, error) {
 	if v := q.Get("dpi"); v == "1" || v == "true" {
 		cfg.DPI = true
 	}
+	if v := q.Get("prescreen"); v == "1" || v == "true" {
+		cfg.Prescreen = true
+	}
 	switch v := q.Get("engine"); v {
 	case "", "host":
 		cfg.Engine = core.Host
@@ -355,10 +361,10 @@ func parseConfig(r *http.Request) (core.Config, error) {
 func jobKey(body []byte, cfg core.Config) string {
 	h := sha256.New()
 	h.Write(body)
-	fmt.Fprintf(h, "|%d|%d|%d|%d|%d|%v|%d|%v|%v|%v|%v",
+	fmt.Fprintf(h, "|%d|%d|%d|%d|%d|%v|%d|%v|%v|%v|%v|%v",
 		cfg.Order, cfg.Bins, cfg.Permutations, cfg.NullSamplePairs,
 		cfg.TileSize, cfg.Alpha, cfg.Seed, cfg.Engine, cfg.DPI, cfg.Kernel,
-		cfg.Precision)
+		cfg.Precision, cfg.Prescreen)
 	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
@@ -507,7 +513,12 @@ func (s *Server) finish(j *job, st JobState, errMsg string, res *core.Result) {
 	s.mTerminal[st].Inc()
 	s.hJobSeconds.Observe(wall)
 	if res != nil {
-		s.mPairs.Add(float64(res.PairsEvaluated))
+		// tinge_pairs_evaluated_total historically counted observed plus
+		// permutation evaluations; keep that meaning now the Result
+		// splits them.
+		s.mPairs.Add(float64(res.PairsEvaluated + res.PermEvaluations))
+		s.mPermEvals.Add(float64(res.PermEvaluations))
+		s.mScreened.Add(float64(res.PairsScreenedOut))
 		s.mSkipped.Add(float64(res.PermutationsSkipped))
 		s.mHits.Add(float64(res.PermCacheHits))
 		s.mMisses.Add(float64(res.PermCacheMisses))
@@ -532,7 +543,8 @@ func (s *Server) finish(j *job, st JobState, errMsg string, res *core.Result) {
 	}
 	if res != nil {
 		attrs = append(attrs, "edges", res.Network.Len(), "threshold", res.Threshold,
-			"evals", res.PairsEvaluated)
+			"evals", res.PairsEvaluated, "perm_evals", res.PermEvaluations,
+			"screened_out", res.PairsScreenedOut)
 	}
 	s.Logger.Info("job finished", attrs...)
 }
@@ -624,6 +636,8 @@ type statusResponse struct {
 	RawEdges  int      `json:"rawEdges,omitempty"`
 	Threshold float64  `json:"threshold,omitempty"`
 	Evals     int64    `json:"evaluations,omitempty"`
+	PermEvals int64    `json:"permEvaluations,omitempty"`
+	Screened  int64    `json:"pairsScreenedOut,omitempty"`
 	SimSecs   float64  `json:"simSeconds,omitempty"`
 }
 
@@ -644,6 +658,8 @@ func (j *job) status() statusResponse {
 		resp.RawEdges = j.result.RawEdges
 		resp.Threshold = j.result.Threshold
 		resp.Evals = j.result.PairsEvaluated
+		resp.PermEvals = j.result.PermEvaluations
+		resp.Screened = j.result.PairsScreenedOut
 		resp.SimSecs = j.result.SimSeconds
 	}
 	return resp

@@ -1,0 +1,48 @@
+package simd
+
+// Batched coarse-histogram scatter for the prescreening bound.
+//
+// The screening pass accumulates a 2×2 outer-product stencil per sample
+// into a small coarse joint histogram. Unlike the exact kernel's k×k
+// scatter, consecutive samples frequently land on the same coarse cell
+// (the grid is ~r× coarser), so a naive accumulate serializes on
+// dependent adds to one memory location. ScatterOuter2 splits even and
+// odd samples into two independent accumulator arrays — two
+// interleaved dependency chains the CPU can overlap — and the caller
+// folds the halves together once before the entropy pass.
+
+// ScatterOuter2 accumulates, for each sample s, the 2×2 outer product
+// of wa[2s:2s+2] and wb[2s:2s+2] at histogram cell
+// (ca[s], cb[s])..(ca[s]+1, cb[s]+1) with row stride `stride`. Even
+// samples accumulate into acc0, odd samples into acc1; the caller sums
+// acc0+acc1 cell-wise to obtain the full histogram. Both accumulators
+// must have at least (max(ca)+2)*stride cells.
+func ScatterOuter2(ca, cb []int32, wa, wb []float32, stride int, acc0, acc1 []float32) {
+	n := len(ca)
+	s := 0
+	for ; s+2 <= n; s += 2 {
+		b0 := int(ca[s])*stride + int(cb[s])
+		a0, a1 := wa[2*s], wa[2*s+1]
+		x0, x1 := wb[2*s], wb[2*s+1]
+		b1 := int(ca[s+1])*stride + int(cb[s+1])
+		c0, c1 := wa[2*s+2], wa[2*s+3]
+		y0, y1 := wb[2*s+2], wb[2*s+3]
+		acc0[b0] += a0 * x0
+		acc1[b1] += c0 * y0
+		acc0[b0+1] += a0 * x1
+		acc1[b1+1] += c0 * y1
+		acc0[b0+stride] += a1 * x0
+		acc1[b1+stride] += c1 * y0
+		acc0[b0+stride+1] += a1 * x1
+		acc1[b1+stride+1] += c1 * y1
+	}
+	if s < n {
+		b := int(ca[s])*stride + int(cb[s])
+		a0, a1 := wa[2*s], wa[2*s+1]
+		x0, x1 := wb[2*s], wb[2*s+1]
+		acc0[b] += a0 * x0
+		acc0[b+1] += a0 * x1
+		acc0[b+stride] += a1 * x0
+		acc0[b+stride+1] += a1 * x1
+	}
+}

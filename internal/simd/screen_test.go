@@ -1,0 +1,53 @@
+package simd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestScatterOuter2MatchesScalar pins the batched even/odd scatter to a
+// naive per-sample 2×2 accumulate: folding acc0+acc1 must reproduce the
+// single-accumulator histogram exactly (same adds, only reassociated
+// across samples, never within a cell chain of one parity).
+func TestScatterOuter2MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 337} {
+		const stride = 7
+		ca := make([]int32, n)
+		cb := make([]int32, n)
+		wa := make([]float32, 2*n)
+		wb := make([]float32, 2*n)
+		for s := 0; s < n; s++ {
+			ca[s] = int32(rng.Intn(stride - 1))
+			cb[s] = int32(rng.Intn(stride - 1))
+			for u := 0; u < 2; u++ {
+				wa[2*s+u] = rng.Float32()
+				wb[2*s+u] = rng.Float32()
+			}
+		}
+		cells := stride * stride
+		acc0 := make([]float32, cells)
+		acc1 := make([]float32, cells)
+		ScatterOuter2(ca, cb, wa, wb, stride, acc0, acc1)
+
+		want0 := make([]float32, cells)
+		want1 := make([]float32, cells)
+		for s := 0; s < n; s++ {
+			acc := want0
+			if s%2 == 1 {
+				acc = want1
+			}
+			base := int(ca[s])*stride + int(cb[s])
+			acc[base] += wa[2*s] * wb[2*s]
+			acc[base+1] += wa[2*s] * wb[2*s+1]
+			acc[base+stride] += wa[2*s+1] * wb[2*s]
+			acc[base+stride+1] += wa[2*s+1] * wb[2*s+1]
+		}
+		for c := 0; c < cells; c++ {
+			if acc0[c] != want0[c] || acc1[c] != want1[c] {
+				t.Fatalf("n=%d cell %d: got (%v,%v) want (%v,%v)",
+					n, c, acc0[c], acc1[c], want0[c], want1[c])
+			}
+		}
+	}
+}
