@@ -46,7 +46,7 @@ func BenchmarkT2_EndToEnd(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := tinge.InferDataset(d, tinge.Config{
-					Seed: 1, Permutations: 10, DPI: true,
+					Seed: 1, Permutations: 10, DPI: true, DPITolerance: 0.1,
 				}); err != nil {
 					b.Fatal(err)
 				}

@@ -95,7 +95,7 @@ func (s *suite) fs() {
 	var rows []fsRow
 	for _, n := range sizes {
 		d := s.dataset(n, m)
-		cfg := tinge.Config{Seed: s.seed, Permutations: perms, DPI: true}
+		cfg := tinge.Config{Seed: s.seed, Permutations: perms, DPI: true, DPITolerance: 0.1}
 		cfg32 := cfg
 		cfg32.Precision = tinge.Float32
 

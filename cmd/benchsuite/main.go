@@ -25,6 +25,9 @@
 //	SC  conservative pair prescreening on vs off: mi-phase speedup,
 //	    screened-out fraction, bit-identical network check (writes
 //	    BENCH_prescreen.json)
+//	DP  parallel tiled DPI filter: worker and memory-budget scaling on
+//	    a >=1e5-edge network, bit-identity vs the sequential reference
+//	    enforced (writes BENCH_dpi.json)
 //
 // Usage:
 //
@@ -45,7 +48,8 @@
 // experiment: a matched row fails if its out-of-core overhead ratio
 // grew by more than 25% over the baseline's. -compare-sc FILE gates the
 // SC experiment: a matched row fails if its prescreen speedup dropped
-// by more than 15%.
+// by more than 15%. -compare-dp FILE gates the DP experiment the same
+// way on the parallel-DPI speedup.
 //
 // Results are deterministic for a fixed -seed except for wall-clock
 // columns.
@@ -80,23 +84,25 @@ type suite struct {
 	compare    string
 	compareOOC string
 	compareSC  string
+	compareDP  string
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchsuite: ")
 	var (
-		expFlag    = flag.String("exp", "all", "comma-separated experiment ids (T1,T2,F1..F9,T3,A1,A2,PS,FS,OOC,SC) or 'all'")
+		expFlag    = flag.String("exp", "all", "comma-separated experiment ids (T1,T2,F1..F9,T3,A1,A2,PS,FS,OOC,SC,DP) or 'all'")
 		seed       = flag.Uint64("seed", 1, "run seed")
 		quick      = flag.Bool("quick", false, "smaller sizes for a fast pass")
 		compare    = flag.String("compare", "", "baseline BENCH_permsweep*.json: after PS, fail if any matched row's speedup regressed >15%")
 		compareOOC = flag.String("compare-ooc", "", "baseline BENCH_ooc*.json: after OOC, fail if any matched row's overhead grew >25%")
 		compareSC  = flag.String("compare-sc", "", "baseline BENCH_prescreen*.json: after SC, fail if any matched row's speedup regressed >15%")
+		compareDP  = flag.String("compare-dp", "", "baseline BENCH_dpi*.json: after DP, fail if any matched row's speedup regressed >15%")
 	)
 	flag.Parse()
 
-	s := &suite{seed: *seed, quick: *quick, compare: *compare, compareOOC: *compareOOC, compareSC: *compareSC}
-	all := []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "T3", "A1", "A2", "PS", "FS", "OOC", "SC"}
+	s := &suite{seed: *seed, quick: *quick, compare: *compare, compareOOC: *compareOOC, compareSC: *compareSC, compareDP: *compareDP}
+	all := []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "T3", "A1", "A2", "PS", "FS", "OOC", "SC", "DP"}
 	var ids []string
 	if *expFlag == "all" {
 		ids = all
@@ -109,7 +115,7 @@ func main() {
 		"T1": s.t1, "T2": s.t2, "F1": s.f1, "F2": s.f2, "F3": s.f3,
 		"F4": s.f4, "F5": s.f5, "F6": s.f6, "F7": s.f7, "F8": s.f8,
 		"T3": s.t3, "A1": s.a1, "A2": s.a2, "F9": s.f9, "PS": s.ps,
-		"FS": s.fs, "OOC": s.ooc, "SC": s.sc,
+		"FS": s.fs, "OOC": s.ooc, "SC": s.sc, "DP": s.dp,
 	}
 	for _, id := range ids {
 		run, ok := runners[id]
@@ -178,7 +184,7 @@ func (s *suite) t2() {
 		d := s.dataset(n, m)
 		start := time.Now()
 		res, err := tinge.InferDataset(d, tinge.Config{
-			Seed: s.seed, Permutations: perms, DPI: true,
+			Seed: s.seed, Permutations: perms, DPI: true, DPITolerance: 0.1,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -580,7 +586,7 @@ func (s *suite) t3() {
 		Genes: n, Experiments: mm, AvgRegulators: 1, Noise: 0.05, Seed: s.seed,
 	})
 	truth := d.TrueEdgeSet()
-	res, err := tinge.InferDataset(d, tinge.Config{Seed: s.seed, Permutations: 20, DPI: true})
+	res, err := tinge.InferDataset(d, tinge.Config{Seed: s.seed, Permutations: 20, DPI: true, DPITolerance: 0.1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -704,7 +710,7 @@ func (s *suite) ps() {
 	var rows []psRow
 	for _, n := range sizes {
 		d := s.dataset(n, m)
-		cfg := tinge.Config{Seed: s.seed, Permutations: perms, DPI: true}
+		cfg := tinge.Config{Seed: s.seed, Permutations: perms, DPI: true, DPITolerance: 0.1}
 		legacyCfg := cfg
 		legacyCfg.LegacyPermutation = true
 		lres, lmiBest, _ := s.fsRun(d, legacyCfg, reps)

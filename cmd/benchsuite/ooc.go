@@ -130,7 +130,7 @@ func (s *suite) ooc() {
 	var rows []oocRow
 	for _, n := range sizes {
 		d := s.dataset(n, m)
-		hostCfg := tinge.Config{Seed: s.seed, Permutations: perms, DPI: true}
+		hostCfg := tinge.Config{Seed: s.seed, Permutations: perms, DPI: true, DPITolerance: 0.1}
 		oocCfg := hostCfg
 		oocCfg.Engine = tinge.OutOfCore
 		budget, err := tinge.MinMemoryBudget(n, m, oocCfg)

@@ -178,7 +178,7 @@ func (s *suite) sc() {
 	for _, sz := range sizes {
 		n, m := sz.n, sz.m
 		d := s.dataset(n, m)
-		offCfg := tinge.Config{Seed: s.seed, Permutations: perms, DPI: true}
+		offCfg := tinge.Config{Seed: s.seed, Permutations: perms, DPI: true, DPITolerance: 0.1}
 		onCfg := offCfg
 		onCfg.Prescreen = true
 

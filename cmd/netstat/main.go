@@ -29,7 +29,8 @@ func main() {
 		truth  = flag.String("truth", "", "optional ground-truth edge TSV for scoring")
 		hubs   = flag.Int("hubs", 10, "number of top-degree genes to list")
 		dpi    = flag.Bool("dpi", false, "apply DPI pruning before analysis")
-		dpiTol = flag.Float64("dpi-tolerance", 0.1, "DPI near-tie tolerance")
+		dpiTol = flag.Float64("dpi-tolerance", 0.1, "DPI near-tie tolerance (0 = strict)")
+		dpiWrk = flag.Int("workers", 0, "DPI worker goroutines (0 = GOMAXPROCS)")
 		alpha  = flag.Int("alpha-dmin", 2, "minimum degree for the power-law fit")
 		dot    = flag.String("dot", "", "write the network as Graphviz DOT to this file")
 	)
@@ -44,7 +45,11 @@ func main() {
 
 	if *dpi {
 		before := net.Len()
-		net = net.DPI(*dpiTol)
+		pruned, _, err := net.DPIParallel(tinge.FilterOpts{Tolerance: *dpiTol, Workers: *dpiWrk})
+		if err != nil {
+			log.Fatal(err)
+		}
+		net = pruned
 		fmt.Printf("DPI(tol=%.2f): %d -> %d edges\n", *dpiTol, before, net.Len())
 	}
 

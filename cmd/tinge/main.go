@@ -36,7 +36,9 @@ func main() {
 		nullPair = flag.Int("null-pairs", 500, "pairs sampled for the pooled null")
 		dpi      = flag.Bool("dpi", false, "apply data-processing-inequality pruning")
 		prescrn  = flag.Bool("prescreen", false, "skip pairs whose conservative MI bound falls below the threshold (bit-identical network)")
-		dpiTol   = flag.Float64("dpi-tolerance", 0.1, "DPI near-tie tolerance")
+		dpiTol   = flag.Float64("dpi-tolerance", 0.1, "DPI near-tie tolerance (0 = strict: every triangle's weakest edge is pruned)")
+		cmi      = flag.Bool("cmi", false, "apply the conditional-MI successor filter after DPI")
+		cmiRatio = flag.Float64("cmi-ratio", 0.3, "CMI filter removal threshold: prune (i,j) when min_k I(i;j|k) < ratio*I(i;j)")
 		workers  = flag.Int("workers", 0, "host worker goroutines (0 = GOMAXPROCS)")
 		tileSize = flag.Int("tile", 32, "pair-tile edge length")
 		policy   = flag.String("policy", "dynamic", "tile schedule: static-block|static-cyclic|dynamic|stealing")
@@ -134,6 +136,8 @@ func main() {
 		NullSamplePairs: *nullPair,
 		DPI:             *dpi,
 		DPITolerance:    *dpiTol,
+		CMIFilter:       *cmi,
+		CMIRatio:        *cmiRatio,
 		Prescreen:       *prescrn,
 		Workers:         *workers,
 		TileSize:        *tileSize,
@@ -279,6 +283,17 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "tinge: prescreen: %d of %d pairs skipped (%.1f%%), screen CPU %.3fs\n",
 			res.PairsScreenedOut, pairs, 100*frac, res.ScreenPhaseSeconds)
+	}
+	if *dpi {
+		fmt.Fprintf(os.Stderr, "tinge: dpi(tol=%g): removed %d edge(s)\n", cfg.DPITolerance, res.DPIEdgesRemoved)
+	}
+	if *cmi {
+		fmt.Fprintf(os.Stderr, "tinge: cmi(ratio=%g): removed %d edge(s)\n", cfg.CMIRatio, res.CMIEdgesRemoved)
+	}
+	if res.FilterShardLoads > 0 {
+		fmt.Fprintf(os.Stderr, "tinge: filter adjacency: peak %d bytes (%d shard loads, %d hits, %d evictions, %d spilled)\n",
+			res.FilterShardPeakBytes, res.FilterShardLoads, res.FilterShardHits,
+			res.FilterShardEvictions, res.FilterShardBytesSpilled)
 	}
 	fmt.Fprintf(os.Stderr, "tinge: phases: %s\n", res.Timer)
 	if res.SimSeconds > 0 {

@@ -57,6 +57,7 @@ func main() {
 		Seed:         1,
 		Permutations: *perms,
 		DPI:          true,
+		DPITolerance: 0.1,
 		TileSize:     64,
 	})
 	if err != nil {

@@ -32,8 +32,9 @@ func main() {
 	// 30 permutations, DPI pruning, all CPU cores.
 	start := time.Now()
 	res, err := tinge.InferDataset(data, tinge.Config{
-		Seed: 42,
-		DPI:  true,
+		Seed:         42,
+		DPI:          true,
+		DPITolerance: 0.1,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -139,9 +139,19 @@ const (
 	Float32 = mi.Float32
 )
 
+// DefaultDPITolerance is what a negative (unset-sentinel)
+// Config.DPITolerance resolves to; DefaultCMIRatio likewise for a zero
+// Config.CMIRatio.
+const (
+	DefaultDPITolerance = 0.1
+	DefaultCMIRatio     = 0.3
+)
+
 // Config parameterizes a network-inference run. The zero value plus
 // Validate yields the paper's defaults (order-3 splines, 10 bins, 30
-// permutations).
+// permutations) — except DPITolerance, whose zero value is strict DPI
+// (the CLI and server expose the sentinel; library callers wanting the
+// paper's 0.1 set it explicitly or pass a negative).
 type Config struct {
 	// Engine selects host, phi, or cluster execution.
 	Engine EngineKind
@@ -157,10 +167,27 @@ type Config struct {
 	// NullSamplePairs is how many pairs contribute permuted MI values
 	// to the pooled null (default 500, clamped to the pair count).
 	NullSamplePairs int
-	// DPI enables data-processing-inequality pruning.
+	// DPI enables data-processing-inequality pruning — the parallel
+	// tiled filter (grn.DPIParallel), bit-identical to the sequential
+	// reference at every worker count and memory budget.
 	DPI bool
-	// DPITolerance protects near-tie triangles (default 0.1).
+	// DPITolerance protects near-tie triangles. 0 is strict DPI (every
+	// violating triangle loses its weakest edge); negative values are
+	// the "unset" sentinel and resolve to DefaultDPITolerance. Note the
+	// zero value means strict: before the sentinel fix an explicit 0
+	// was silently coerced to 0.1, making strict DPI unreachable.
 	DPITolerance float64
+	// CMIFilter enables the conditional-mutual-information successor
+	// filter after DPI: edge (i, j) is removed when some common
+	// neighbor k explains the dependence, I(i;j|k) < CMIRatio·I(i;j)
+	// (estimated by equal-width binning at Bins per dimension). It runs
+	// on the same sharded parallel sweep as DPI and matches the
+	// sequential mi.CMIFilter exactly.
+	CMIFilter bool
+	// CMIRatio is the removal threshold ratio in (0,1]. 0 resolves to
+	// DefaultCMIRatio (a ratio of exactly 0 could never remove an edge,
+	// so 0 doubles as the unset sentinel).
+	CMIRatio float64
 	// Workers is the host worker count (default GOMAXPROCS).
 	Workers int
 	// TileSize is the pair-tile edge length (default 32).
@@ -283,11 +310,17 @@ func (c *Config) Validate() error {
 	if c.NullSamplePairs < 0 {
 		return fmt.Errorf("core: negative NullSamplePairs %d", c.NullSamplePairs)
 	}
-	if c.DPITolerance == 0 {
-		c.DPITolerance = 0.1
+	if c.DPITolerance < 0 {
+		c.DPITolerance = DefaultDPITolerance
 	}
-	if c.DPITolerance < 0 || c.DPITolerance >= 1 {
+	if c.DPITolerance >= 1 {
 		return fmt.Errorf("core: DPI tolerance %v out of [0,1)", c.DPITolerance)
+	}
+	if c.CMIRatio == 0 {
+		c.CMIRatio = DefaultCMIRatio
+	}
+	if c.CMIRatio < 0 || c.CMIRatio > 1 {
+		return fmt.Errorf("core: CMI ratio %v out of (0,1]", c.CMIRatio)
 	}
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
@@ -386,9 +419,22 @@ type Result struct {
 	// Network holds the significant (and, if enabled, DPI-pruned)
 	// edges weighted by MI in bits.
 	Network *grn.Network
-	// RawEdges is the edge count before DPI (== Network.Len() when DPI
-	// is off).
+	// RawEdges is the edge count before the filter phase
+	// (== Network.Len() when DPI and the CMI filter are off).
 	RawEdges int
+	// DPIEdgesRemoved and CMIEdgesRemoved count the edges each filter
+	// pruned (0 when the respective filter is off).
+	DPIEdgesRemoved, CMIEdgesRemoved int
+	// FilterShardPeakBytes is the filter phase's resident
+	// adjacency-shard high-water mark; on a budgeted run it stays under
+	// the effective shard budget. FilterShardHits/Loads/Evictions and
+	// the spill-traffic byte counters mirror the panel-store metrics
+	// for the filter's own shard store (all 0 on unbudgeted runs except
+	// the peak and hits).
+	FilterShardPeakBytes                            int64
+	FilterShardHits, FilterShardLoads               int64
+	FilterShardEvictions                            int64
+	FilterShardBytesSpilled, FilterShardBytesLoaded int64
 	// Threshold is the pooled-null I_alpha actually used.
 	Threshold float64
 	// PairsEvaluated counts exact-kernel MI computations of observed
@@ -566,12 +612,14 @@ func InferContext(ctx context.Context, exprMat *mat.Dense, cfg Config) (*Result,
 		return nil, err
 	}
 
-	// Phase 5: DPI.
-	res.RawEdges = res.Network.Len()
-	if cfg.DPI {
-		timer.Time("dpi", func() {
-			res.Network = res.Network.DPI(cfg.DPITolerance)
-		})
+	// Phase 5: parallel DPI, then the optional CMI successor filter
+	// (which reads the already rank-normalized rows).
+	var rows grn.RowFunc
+	if cfg.CMIFilter {
+		rows = residentRows(norm)
+	}
+	if err := applyFilters(cfg, res, rows); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -613,17 +661,21 @@ func InferStoreContext(ctx context.Context, store *panelstore.Store, cfg Config)
 }
 
 // inferStore is the shared tail of the out-of-core entry points: the
-// disk-backed scan plus the DPI phase.
+// disk-backed scan plus the filter phase. The filters run under the
+// same memory budget as the scan — adjacency shards spill through
+// their own store, and the CMI filter's expression rows are fetched
+// from the panel store on demand.
 func inferStore(ctx context.Context, store *panelstore.Store, cfg Config, timer *stats.Timer) (*Result, error) {
 	res := &Result{Timer: timer}
 	if err := oocScan(ctx, store, cfg, res); err != nil {
 		return nil, err
 	}
-	res.RawEdges = res.Network.Len()
-	if cfg.DPI {
-		timer.Time("dpi", func() {
-			res.Network = res.Network.DPI(cfg.DPITolerance)
-		})
+	var rows grn.RowFunc
+	if cfg.CMIFilter {
+		rows = storeRows(store)
+	}
+	if err := applyFilters(cfg, res, rows); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

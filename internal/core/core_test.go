@@ -61,7 +61,8 @@ func TestConfigValidateErrors(t *testing.T) {
 		{Permutations: -1},
 		{Alpha: 1.5},
 		{NullSamplePairs: -1},
-		{DPITolerance: -0.5},
+		{DPITolerance: 1.5},
+		{CMIRatio: 1.5},
 		{Workers: -2},
 		{TileSize: -1},
 		{Engine: Phi, ThreadsPerCore: 9},
@@ -303,6 +304,7 @@ func TestDPIReducesEdges(t *testing.T) {
 	plain := Config{Seed: 4, Permutations: 10, Workers: 4}
 	withDPI := plain
 	withDPI.DPI = true
+	withDPI.DPITolerance = DefaultDPITolerance
 	a, err := Infer(d.Expr, plain)
 	if err != nil {
 		t.Fatal(err)
@@ -329,7 +331,7 @@ func TestRecoveryAccuracy(t *testing.T) {
 	d := expr.MustGenerate(expr.GenConfig{
 		Genes: 50, Experiments: 400, AvgRegulators: 1, Noise: 0.05, Seed: 10,
 	})
-	cfg := Config{Seed: 6, Permutations: 20, Workers: 4, DPI: true}
+	cfg := Config{Seed: 6, Permutations: 20, Workers: 4, DPI: true, DPITolerance: DefaultDPITolerance}
 	res, err := Infer(d.Expr, cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"repro/internal/grn"
+	"repro/internal/mat"
+	"repro/internal/panelstore"
+)
+
+// applyFilters is phase 5 for every engine: the parallel DPI prune
+// and, when enabled, the CMI successor filter, each timed into its own
+// phase ("dpi", "cmi") and surfaced through the Result counters. rows
+// supplies rank-normalized expression rows to the CMI filter (may be
+// nil when CMIFilter is off). Shard spilling is armed only on the
+// disk-backed path — the resident engines already hold the whole
+// network, so a resident adjacency costs nothing extra there.
+func applyFilters(cfg Config, res *Result, rows grn.RowFunc) error {
+	res.RawEdges = res.Network.Len()
+	opts := grn.FilterOpts{
+		Tolerance: cfg.DPITolerance,
+		Workers:   cfg.Workers,
+		SpillDir:  cfg.SpillDir,
+	}
+	if cfg.Engine == OutOfCore || (cfg.Engine == Host && cfg.MemoryBudget > 0) {
+		opts.MemoryBudget = cfg.MemoryBudget
+	}
+	var shard grn.FilterStats
+	if cfg.DPI {
+		var net *grn.Network
+		var st grn.FilterStats
+		var err error
+		res.Timer.Time("dpi", func() {
+			net, st, err = res.Network.DPIParallel(opts)
+		})
+		if err != nil {
+			return err
+		}
+		res.Network = net
+		res.DPIEdgesRemoved = st.Removed
+		shard.Merge(st)
+	}
+	if cfg.CMIFilter {
+		var net *grn.Network
+		var st grn.FilterStats
+		var err error
+		res.Timer.Time("cmi", func() {
+			net, st, err = res.Network.CMIFilterParallel(rows, cfg.Bins, cfg.CMIRatio, opts)
+		})
+		if err != nil {
+			return err
+		}
+		res.Network = net
+		res.CMIEdgesRemoved = st.Removed
+		shard.Merge(st)
+	}
+	res.FilterShardPeakBytes = shard.ShardPeakBytes
+	res.FilterShardHits = shard.ShardHits
+	res.FilterShardLoads = shard.ShardLoads
+	res.FilterShardEvictions = shard.ShardEvictions
+	res.FilterShardBytesSpilled = shard.ShardBytesSpilled
+	res.FilterShardBytesLoaded = shard.ShardBytesLoaded
+	return nil
+}
+
+// residentRows adapts the resident engines' rank-normalized matrix
+// into the CMI filter's row source.
+func residentRows(norm *mat.Dense) grn.RowFunc {
+	return func(g int) ([]float32, error) { return norm.Row(g), nil }
+}
+
+// storeRows adapts the panel store: each fetch pins the gene's panel,
+// copies the raw row, and rank-normalizes the copy — the same
+// transform the out-of-core scan applies per tile, so the filter sees
+// bit-identical inputs to the resident engines.
+func storeRows(store *panelstore.Store) grn.RowFunc {
+	return func(g int) ([]float32, error) {
+		pin, err := store.Panel(store.PanelOf(g))
+		if err != nil {
+			return nil, err
+		}
+		row := append([]float32(nil), pin.Row(g)...)
+		pin.Release()
+		mat.RankNormalizeValues(row)
+		return row, nil
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 
 	"repro/internal/bspline"
+	"repro/internal/grn"
 	"repro/internal/mat"
 	"repro/internal/stats"
 	"repro/internal/tile"
@@ -77,9 +78,12 @@ func ProfileTiles(exprMat *mat.Dense, cfg Config) (*Profile, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.RawEdges = res.Network.Len()
-	if cfg.DPI {
-		res.Network = res.Network.DPI(cfg.DPITolerance)
+	var rows grn.RowFunc
+	if cfg.CMIFilter {
+		rows = residentRows(norm)
+	}
+	if err := applyFilters(cfg, res, rows); err != nil {
+		return nil, err
 	}
 	var total int64
 	for _, e := range evals {

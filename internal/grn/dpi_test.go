@@ -1,0 +1,285 @@
+package grn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/mi"
+)
+
+// randNetwork builds a deterministic random network: each pair gets an
+// edge with probability density, weight uniform in (0,1).
+func randNetwork(n int, density float64, seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				g.AddEdge(i, j, rng.Float64())
+			}
+		}
+	}
+	return g
+}
+
+// identicalEdges requires bitwise equality of the two networks' sorted
+// edge lists.
+func identicalEdges(t *testing.T, label string, got, want *Network) {
+	t.Helper()
+	ge, we := got.Edges(), want.Edges()
+	if len(ge) != len(we) {
+		t.Fatalf("%s: %d edges, want %d", label, len(ge), len(we))
+	}
+	for x := range ge {
+		if ge[x] != we[x] {
+			t.Fatalf("%s: edge %d = %+v, want %+v", label, x, ge[x], we[x])
+		}
+	}
+}
+
+// TestDPIParallelGolden is the filter's bit-identity contract: for
+// every tolerance (including strict 0), worker count, shard height,
+// and memory budget, DPIParallel must return exactly the sequential
+// DPI's network — same edges, same order, bitwise weights.
+func TestDPIParallelGolden(t *testing.T) {
+	for _, tc := range []struct {
+		n       int
+		density float64
+		seed    int64
+	}{
+		{30, 0.4, 1},
+		{80, 0.15, 2},
+		{200, 0.05, 3},
+		{5, 1.0, 4}, // complete graph: every triple is a triangle
+	} {
+		g := randNetwork(tc.n, tc.density, tc.seed)
+		for _, tol := range []float64{0, 0.1, 0.35} {
+			want := g.DPI(tol)
+			for _, opts := range []FilterOpts{
+				{Tolerance: tol, Workers: 1},
+				{Tolerance: tol, Workers: 4},
+				{Tolerance: tol, Workers: 8, ShardRows: 7},
+				{Tolerance: tol, Workers: 3, ShardRows: 16, MemoryBudget: 1, SpillDir: t.TempDir()},
+			} {
+				label := fmt.Sprintf("n=%d tol=%v workers=%d rows=%d budget=%d",
+					tc.n, tol, opts.Workers, opts.ShardRows, opts.MemoryBudget)
+				got, _, err := g.DPIParallel(opts)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				identicalEdges(t, label, got, want)
+			}
+		}
+	}
+}
+
+// TestDPIParallelStats checks the filter's accounting: removed counts
+// match, the unbudgeted path never spills, and the budgeted path
+// stays under its effective budget while actually touching the spill
+// file.
+func TestDPIParallelStats(t *testing.T) {
+	g := randNetwork(120, 0.2, 7)
+	out, st, err := g.DPIParallel(FilterOpts{Tolerance: 0.1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Removed != g.Len()-out.Len() {
+		t.Fatalf("Removed = %d, want %d", st.Removed, g.Len()-out.Len())
+	}
+	if st.ShardBytesSpilled != 0 || st.ShardLoads != 0 || st.EffectiveBudget != 0 {
+		t.Fatalf("unbudgeted run spilled: %+v", st)
+	}
+	if st.ShardPeakBytes == 0 {
+		t.Fatal("no resident peak reported")
+	}
+
+	_, bst, err := g.DPIParallel(FilterOpts{
+		Tolerance: 0.1, Workers: 1, ShardRows: 8,
+		MemoryBudget: 1, SpillDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bst.EffectiveBudget <= 0 {
+		t.Fatal("budgeted run reports no effective budget")
+	}
+	if bst.ShardPeakBytes > bst.EffectiveBudget {
+		t.Fatalf("peak %d exceeds effective budget %d", bst.ShardPeakBytes, bst.EffectiveBudget)
+	}
+	if bst.ShardBytesSpilled == 0 || bst.ShardLoads == 0 {
+		t.Fatalf("budgeted run never touched the spill file: %+v", bst)
+	}
+}
+
+// TestDPIParallelWorkerIndependence: the removed-edge count (and set)
+// must not depend on scheduling.
+func TestDPIParallelWorkerIndependence(t *testing.T) {
+	g := randNetwork(150, 0.1, 11)
+	var ref *Network
+	for _, w := range []int{1, 2, 5, 16} {
+		out, _, err := g.DPIParallel(FilterOpts{Tolerance: 0.2, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = out
+			continue
+		}
+		identicalEdges(t, fmt.Sprintf("workers=%d", w), out, ref)
+	}
+}
+
+func TestDPIParallelBadTolerance(t *testing.T) {
+	g := randNetwork(10, 0.5, 1)
+	for _, tol := range []float64{-0.1, 1, 1.5} {
+		if _, _, err := g.DPIParallel(FilterOpts{Tolerance: tol}); err == nil {
+			t.Fatalf("tolerance %v accepted", tol)
+		}
+	}
+}
+
+// testRows builds deterministic rank-normalized-looking rows in [0,1].
+func testRows(n, m int, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float32, n)
+	for i := range rows {
+		rows[i] = make([]float32, m)
+		for j := range rows[i] {
+			rows[i][j] = rng.Float32()
+		}
+	}
+	return rows
+}
+
+// TestCMIFilterParallelGolden: the parallel CMI filter must keep
+// exactly the edges the sequential mi.CMIFilter reference keeps, for
+// every worker count and budget.
+func TestCMIFilterParallelGolden(t *testing.T) {
+	const bins = 6
+	g := randNetwork(60, 0.25, 21)
+	rows := testRows(60, 50, 22)
+	rowFn := func(i int) ([]float32, error) { return rows[i], nil }
+
+	edges := g.Edges()
+	pairs := make([][2]int, len(edges))
+	for x, e := range edges {
+		pairs[x] = [2]int{e.I, e.J}
+	}
+	for _, ratio := range []float64{0.3, 0.8, 1} {
+		remove := mi.CMIFilter(rows, pairs, g.Neighbors, bins, ratio)
+		want := New(g.N())
+		for x, e := range edges {
+			if !remove[x] {
+				want.AddEdge(e.I, e.J, e.Weight)
+			}
+		}
+		for _, opts := range []FilterOpts{
+			{Workers: 1},
+			{Workers: 4, ShardRows: 9},
+			{Workers: 2, ShardRows: 8, MemoryBudget: 1, SpillDir: t.TempDir()},
+		} {
+			got, st, err := g.CMIFilterParallel(rowFn, bins, ratio, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := fmt.Sprintf("ratio=%v workers=%d budget=%d", ratio, opts.Workers, opts.MemoryBudget)
+			identicalEdges(t, label, got, want)
+			if st.Removed != g.Len()-got.Len() {
+				t.Fatalf("%s: Removed = %d, want %d", label, st.Removed, g.Len()-got.Len())
+			}
+		}
+	}
+}
+
+func TestCMIFilterParallelErrors(t *testing.T) {
+	g := randNetwork(10, 0.5, 1)
+	rows := testRows(10, 20, 2)
+	rowFn := func(i int) ([]float32, error) { return rows[i], nil }
+	if _, _, err := g.CMIFilterParallel(nil, 6, 0.3, FilterOpts{}); err == nil {
+		t.Fatal("nil row source accepted")
+	}
+	if _, _, err := g.CMIFilterParallel(rowFn, 0, 0.3, FilterOpts{}); err == nil {
+		t.Fatal("zero bins accepted")
+	}
+	if _, _, err := g.CMIFilterParallel(rowFn, 6, 1.5, FilterOpts{}); err == nil {
+		t.Fatal("ratio > 1 accepted")
+	}
+	boom := errors.New("row source failed")
+	bad := func(i int) ([]float32, error) { return nil, boom }
+	if _, _, err := g.CMIFilterParallel(bad, 6, 0.3, FilterOpts{Workers: 3}); !errors.Is(err, boom) {
+		t.Fatalf("row-source error not propagated: %v", err)
+	}
+}
+
+// TestEdgesConcurrentReaders is the regression hammer for the Edges()
+// in-place sort race: many goroutines reading a just-built network
+// (sorting, scoring, writing) must be race-free. Run with -race.
+func TestEdgesConcurrentReaders(t *testing.T) {
+	// Insert out of (I, J) order so Edges() actually has to sort.
+	g := New(50)
+	rng := rand.New(rand.NewSource(31))
+	type pr struct{ i, j int }
+	var prs []pr
+	for i := 0; i < 50; i++ {
+		for j := i + 1; j < 50; j++ {
+			if rng.Float64() < 0.2 {
+				prs = append(prs, pr{i, j})
+			}
+		}
+	}
+	rng.Shuffle(len(prs), func(a, b int) { prs[a], prs[b] = prs[b], prs[a] })
+	for _, p := range prs {
+		g.AddEdge(p.i, p.j, rng.Float64())
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 50; r++ {
+				edges := g.Edges()
+				for x := 1; x < len(edges); x++ {
+					p, q := edges[x-1], edges[x]
+					if p.I > q.I || (p.I == q.I && p.J >= q.J) {
+						t.Error("Edges() not sorted")
+						return
+					}
+				}
+				g.ScoreAgainst(map[int64]bool{0: true})
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// failWriter errors after accepting limit bytes.
+type failWriter struct {
+	limit int
+	wrote int
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.wrote+len(p) > w.limit {
+		n := w.limit - w.wrote
+		w.wrote = w.limit
+		return n, errors.New("disk full")
+	}
+	w.wrote += len(p)
+	return len(p), nil
+}
+
+// TestWriteDOTPropagatesErrors: a failing writer must surface its
+// error no matter which line it dies on (header, node defaults, edge
+// lines, or the closing flush).
+func TestWriteDOTPropagatesErrors(t *testing.T) {
+	g := randNetwork(40, 0.5, 41) // enough edges to overflow bufio's buffer
+	for _, limit := range []int{0, 10, 45, 2000, 4097} {
+		if err := g.WriteDOT(&failWriter{limit: limit}, nil); err == nil {
+			t.Fatalf("limit %d: error dropped", limit)
+		}
+	}
+}

@@ -6,6 +6,80 @@ import (
 	"testing"
 )
 
+// FuzzDPI drives the parallel DPI filter with arbitrary graph shapes,
+// tolerances, worker counts, and budgets, asserting its invariants:
+// the output is bit-identical to the sequential reference (hence
+// schedule-independent and a subset of the input), and no surviving
+// triangle still violates the tolerance inequality.
+func FuzzDPI(f *testing.F) {
+	f.Add(int64(1), uint8(20), uint8(30), uint8(10), uint8(4), false)
+	f.Add(int64(2), uint8(6), uint8(100), uint8(0), uint8(1), true) // strict, complete graph
+	f.Add(int64(3), uint8(90), uint8(10), uint8(35), uint8(8), true)
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, densityPct, tolPct, workersRaw uint8, budgeted bool) {
+		n := int(nRaw)%96 + 3
+		g := randNetwork(n, float64(densityPct%101)/100, seed)
+		tol := float64(tolPct%100) / 100
+		opts := FilterOpts{
+			Tolerance: tol,
+			Workers:   int(workersRaw)%8 + 1,
+			ShardRows: int(seed&7) + 1,
+		}
+		if budgeted {
+			opts.MemoryBudget = 1
+			opts.SpillDir = t.TempDir()
+		}
+		got, st, err := g.DPIParallel(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := g.DPI(tol)
+		ge, we := got.Edges(), want.Edges()
+		if len(ge) != len(we) {
+			t.Fatalf("%d edges, sequential kept %d", len(ge), len(we))
+		}
+		for x := range ge {
+			if ge[x] != we[x] {
+				t.Fatalf("edge %d = %+v, sequential %+v", x, ge[x], we[x])
+			}
+		}
+		if st.Removed != g.Len()-got.Len() {
+			t.Fatalf("Removed = %d, want %d", st.Removed, g.Len()-got.Len())
+		}
+		// Every edge kept must exist in the input with the same weight.
+		for _, e := range ge {
+			if w, ok := g.Weight(e.I, e.J); !ok || w != e.Weight {
+				t.Fatalf("output edge %+v not in input", e)
+			}
+		}
+		// No surviving triangle may still violate the DPI inequality:
+		// its weakest edge would have been marked.
+		scale := 1 - tol
+		for i := 0; i < got.N(); i++ {
+			ni := got.Neighbors(i)
+			for a := 0; a < len(ni); a++ {
+				j := ni[a]
+				if j < i {
+					continue
+				}
+				for b := a + 1; b < len(ni); b++ {
+					k := ni[b]
+					wjk, ok := got.Weight(j, k)
+					if !ok {
+						continue
+					}
+					wij, _ := got.Weight(i, j)
+					wik, _ := got.Weight(i, k)
+					if (wij < wik*scale && wij < wjk*scale) ||
+						(wik < wij*scale && wik < wjk*scale) ||
+						(wjk < wij*scale && wjk < wik*scale) {
+						t.Fatalf("surviving triangle (%d,%d,%d) violates DPI", i, j, k)
+					}
+				}
+			}
+		}
+	})
+}
+
 // FuzzReadTSV asserts the edge-list parser never panics on arbitrary
 // input and round-trips whatever it accepts.
 func FuzzReadTSV(f *testing.F) {

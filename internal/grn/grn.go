@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Edge is an undirected weighted edge between genes I < J.
@@ -21,11 +22,19 @@ type Edge struct {
 }
 
 // Network is an undirected MI network over a fixed gene universe.
+// Construction (AddEdge) is single-goroutine; once built, all read
+// methods — including Edges, which sorts lazily under an internal
+// lock — are safe for concurrent use.
 type Network struct {
 	n     int
 	edges []Edge
 	// adj[i] maps neighbor j -> weight for quick lookup.
 	adj []map[int]float64
+	// sortMu guards the lazy sort in Edges; sorted records whether
+	// g.edges is already in (I, J) order, so concurrent readers never
+	// mutate the slice.
+	sortMu sync.Mutex
+	sorted bool
 }
 
 // New creates an empty network over n genes. It panics if n < 0.
@@ -33,7 +42,7 @@ func New(n int) *Network {
 	if n < 0 {
 		panic(fmt.Sprintf("grn: negative gene count %d", n))
 	}
-	return &Network{n: n, adj: make([]map[int]float64, n)}
+	return &Network{n: n, adj: make([]map[int]float64, n), sorted: true}
 }
 
 // N returns the gene-universe size.
@@ -61,6 +70,15 @@ func (g *Network) AddEdge(i, j int, w float64) {
 		}
 	}
 	g.edges = append(g.edges, Edge{I: i, J: j, Weight: w})
+	if g.sorted && len(g.edges) > 1 {
+		// Cheap incremental check: appends that arrive in (I, J) order —
+		// the tile scan's usual case — keep the list pre-sorted, so
+		// Edges never has to touch it.
+		p := g.edges[len(g.edges)-2]
+		if i < p.I || (i == p.I && j < p.J) {
+			g.sorted = false
+		}
+	}
 	if g.adj[i] == nil {
 		g.adj[i] = make(map[int]float64)
 	}
@@ -81,14 +99,22 @@ func (g *Network) Weight(i, j int) (float64, bool) {
 }
 
 // Edges returns the edge list sorted by (I, J). The caller must not
-// modify the returned slice.
+// modify the returned slice. The sort happens at most once, under an
+// internal lock, so Edges is safe for concurrent readers (a completed
+// job's network served to parallel HTTP handlers, scored while being
+// written, ...); only AddEdge may not race with it.
 func (g *Network) Edges() []Edge {
-	sort.Slice(g.edges, func(a, b int) bool {
-		if g.edges[a].I != g.edges[b].I {
-			return g.edges[a].I < g.edges[b].I
-		}
-		return g.edges[a].J < g.edges[b].J
-	})
+	g.sortMu.Lock()
+	defer g.sortMu.Unlock()
+	if !g.sorted {
+		sort.Slice(g.edges, func(a, b int) bool {
+			if g.edges[a].I != g.edges[b].I {
+				return g.edges[a].I < g.edges[b].I
+			}
+			return g.edges[a].J < g.edges[b].J
+		})
+		g.sorted = true
+	}
 	return g.edges
 }
 
@@ -315,7 +341,9 @@ func (g *Network) WriteDOT(w io.Writer, names []string) error {
 	if _, err := fmt.Fprintln(bw, "graph tinge {"); err != nil {
 		return err
 	}
-	fmt.Fprintln(bw, "  node [shape=circle, fontsize=10];")
+	if _, err := fmt.Fprintln(bw, "  node [shape=circle, fontsize=10];"); err != nil {
+		return err
+	}
 	label := func(i int) string {
 		if names != nil {
 			return names[i]
@@ -332,8 +360,10 @@ func (g *Network) WriteDOT(w io.Writer, names []string) error {
 		maxW = 1
 	}
 	for _, e := range g.Edges() {
-		fmt.Fprintf(bw, "  %q -- %q [penwidth=%.2f, tooltip=\"MI=%.3f\"];\n",
-			label(e.I), label(e.J), 0.5+2.5*e.Weight/maxW, e.Weight)
+		if _, err := fmt.Fprintf(bw, "  %q -- %q [penwidth=%.2f, tooltip=\"MI=%.3f\"];\n",
+			label(e.I), label(e.J), 0.5+2.5*e.Weight/maxW, e.Weight); err != nil {
+			return err
+		}
 	}
 	if _, err := fmt.Fprintln(bw, "}"); err != nil {
 		return err

@@ -5,6 +5,80 @@ import (
 	"math"
 )
 
+// CMIWorkspace is the reusable scratch of the binning MI/CMI
+// estimators: the b³ joint table and its marginals for ConditionalMIWS
+// plus the b² joint and 1D marginals for BinningMIWS. One workspace per
+// goroutine makes the parallel CMI filter allocation-free on its hot
+// path (a fresh b³ table per triangle is exactly the cost the filter
+// must not pay at whole-genome scale).
+type CMIWorkspace struct {
+	bins  int
+	xyz   []float64 // b³ joint counts
+	xz    []float64 // b² marginal
+	yz    []float64 // b² marginal
+	z     []float64 // b marginal
+	joint []float64 // b² pairwise joint (BinningMIWS)
+	px    []float64 // b marginal (BinningMIWS)
+	py    []float64 // b marginal (BinningMIWS)
+}
+
+// NewCMIWorkspace allocates scratch for b bins per dimension. It
+// panics if bins <= 0.
+func NewCMIWorkspace(bins int) *CMIWorkspace {
+	if bins <= 0 {
+		panic(fmt.Sprintf("mi: CMIWorkspace bins %d <= 0", bins))
+	}
+	return &CMIWorkspace{
+		bins:  bins,
+		xyz:   make([]float64, bins*bins*bins),
+		xz:    make([]float64, bins*bins),
+		yz:    make([]float64, bins*bins),
+		z:     make([]float64, bins),
+		joint: make([]float64, bins*bins),
+		px:    make([]float64, bins),
+		py:    make([]float64, bins),
+	}
+}
+
+// Bins returns the per-dimension histogram size the workspace was
+// sized for.
+func (w *CMIWorkspace) Bins() int { return w.bins }
+
+// Bytes is the workspace's scratch footprint, for budget accounting.
+func (w *CMIWorkspace) Bytes() int64 {
+	return 8 * int64(len(w.xyz)+len(w.xz)+len(w.yz)+len(w.z)+len(w.joint)+len(w.px)+len(w.py))
+}
+
+func zero(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// cmiBin maps a value in [0,1] to its equal-width bin.
+func cmiBin(v float32, bins int) int {
+	b := int(float64(v) * float64(bins))
+	if b < 0 {
+		b = 0
+	}
+	if b >= bins {
+		b = bins - 1
+	}
+	return b
+}
+
+// entropy is H(p) in bits over raw counts summing to m (inv = 1/m).
+func entropy(counts []float64, inv float64) float64 {
+	var sum float64
+	for _, c := range counts {
+		if c > 0 {
+			p := c * inv
+			sum -= p * math.Log2(p)
+		}
+	}
+	return sum
+}
+
 // ConditionalMI estimates I(X;Y|Z) in bits by equal-width binning of
 // the three variables (inputs in [0,1], bins per dimension given):
 //
@@ -14,77 +88,111 @@ import (
 // sharply than the pairwise DPI heuristic: for a chain X→Y→Z,
 // I(X;Z) is large but I(X;Z|Y) ≈ 0. TINGe's successors use CMI
 // filtering; we provide it as an extension (it needs b³ cells, so b
-// stays small).
+// stays small). Allocates per call — hot loops should hold a
+// CMIWorkspace and use ConditionalMIWS.
 func ConditionalMI(x, y, z []float32, bins int) float64 {
-	if len(x) != len(y) || len(y) != len(z) {
-		panic(fmt.Sprintf("mi: ConditionalMI length mismatch %d/%d/%d", len(x), len(y), len(z)))
-	}
 	if bins <= 0 {
 		panic(fmt.Sprintf("mi: ConditionalMI bins %d <= 0", bins))
+	}
+	return ConditionalMIWS(x, y, z, NewCMIWorkspace(bins))
+}
+
+// ConditionalMIWS is ConditionalMI against a caller-owned workspace:
+// identical result (same accumulation order), no allocation.
+func ConditionalMIWS(x, y, z []float32, ws *CMIWorkspace) float64 {
+	if len(x) != len(y) || len(y) != len(z) {
+		panic(fmt.Sprintf("mi: ConditionalMI length mismatch %d/%d/%d", len(x), len(y), len(z)))
 	}
 	m := len(x)
 	if m == 0 {
 		return 0
 	}
-	bin := func(v float32) int {
-		b := int(float64(v) * float64(bins))
-		if b < 0 {
-			b = 0
-		}
-		if b >= bins {
-			b = bins - 1
-		}
-		return b
-	}
+	bins := ws.bins
 	// Joint counts; the 3D table implies all lower-order marginals.
-	xyz := make([]float64, bins*bins*bins)
+	zero(ws.xyz)
 	for s := 0; s < m; s++ {
-		xyz[(bin(x[s])*bins+bin(y[s]))*bins+bin(z[s])]++
+		ws.xyz[(cmiBin(x[s], bins)*bins+cmiBin(y[s], bins))*bins+cmiBin(z[s], bins)]++
 	}
-	xz := make([]float64, bins*bins)
-	yz := make([]float64, bins*bins)
-	zOnly := make([]float64, bins)
+	zero(ws.xz)
+	zero(ws.yz)
+	zero(ws.z)
 	for xi := 0; xi < bins; xi++ {
 		for yi := 0; yi < bins; yi++ {
 			for zi := 0; zi < bins; zi++ {
-				c := xyz[(xi*bins+yi)*bins+zi]
-				xz[xi*bins+zi] += c
-				yz[yi*bins+zi] += c
-				zOnly[zi] += c
+				c := ws.xyz[(xi*bins+yi)*bins+zi]
+				ws.xz[xi*bins+zi] += c
+				ws.yz[yi*bins+zi] += c
+				ws.z[zi] += c
 			}
 		}
 	}
 	inv := 1 / float64(m)
-	h := func(counts []float64) float64 {
-		var sum float64
-		for _, c := range counts {
-			if c > 0 {
-				p := c * inv
-				sum -= p * math.Log2(p)
-			}
-		}
-		return sum
-	}
-	cmi := h(xz) + h(yz) - h(zOnly) - h(xyz)
+	cmi := entropy(ws.xz, inv) + entropy(ws.yz, inv) - entropy(ws.z, inv) - entropy(ws.xyz, inv)
 	if cmi < 0 {
 		cmi = 0
 	}
 	return cmi
 }
 
+// BinningMIWS is BinningMI against a caller-owned workspace: identical
+// result, no allocation. It is the base-MI estimate the CMI filter
+// compares conditional values against.
+func BinningMIWS(xi, xj []float32, ws *CMIWorkspace) float64 {
+	if len(xi) != len(xj) {
+		panic(fmt.Sprintf("mi: BinningMI length mismatch %d vs %d", len(xi), len(xj)))
+	}
+	m := len(xi)
+	if m == 0 {
+		return 0
+	}
+	bins := ws.bins
+	zero(ws.joint)
+	zero(ws.px)
+	zero(ws.py)
+	for s := 0; s < m; s++ {
+		u, v := cmiBin(xi[s], bins), cmiBin(xj[s], bins)
+		ws.joint[u*bins+v]++
+		ws.px[u]++
+		ws.py[v]++
+	}
+	inv := 1 / float64(m)
+	var hx, hy, hxy float64
+	for u := 0; u < bins; u++ {
+		if p := ws.px[u] * inv; p > 0 {
+			hx -= p * math.Log2(p)
+		}
+		if p := ws.py[u] * inv; p > 0 {
+			hy -= p * math.Log2(p)
+		}
+	}
+	for _, c := range ws.joint {
+		if p := c * inv; p > 0 {
+			hxy -= p * math.Log2(p)
+		}
+	}
+	mi := hx + hy - hxy
+	if mi < 0 {
+		mi = 0
+	}
+	return mi
+}
+
 // CMIFilter scans every edge (i, j) of the adjacency implied by
 // keepEdge and reports, through remove, edges for which some common
 // neighbor k explains the dependence: I(i;j|k) < ratio · I(i;j). It is
-// exposed as a building block; the pipeline's default pruning remains
-// the cheaper DPI. rows must hold the normalized expression rows.
+// exposed as a building block and as the sequential reference the
+// parallel filter (grn.CMIFilterParallel) is tested against; the
+// pipeline's default pruning remains the cheaper DPI. rows must hold
+// the normalized expression rows.
 func CMIFilter(rows [][]float32, edges [][2]int, neighbors func(g int) []int, bins int, ratio float64) (remove []bool) {
 	if ratio < 0 || ratio > 1 {
 		panic(fmt.Sprintf("mi: CMIFilter ratio %v out of [0,1]", ratio))
 	}
+	ws := NewCMIWorkspace(bins)
 	remove = make([]bool, len(edges))
 	for e, pr := range edges {
 		i, j := pr[0], pr[1]
-		base := BinningMI(rows[i], rows[j], bins)
+		base := BinningMIWS(rows[i], rows[j], ws)
 		if base == 0 {
 			continue
 		}
@@ -97,7 +205,7 @@ func CMIFilter(rows [][]float32, edges [][2]int, neighbors func(g int) []int, bi
 			if k == i || k == j || !nj[k] {
 				continue
 			}
-			if ConditionalMI(rows[i], rows[j], rows[k], bins) < ratio*base {
+			if ConditionalMIWS(rows[i], rows[j], rows[k], ws) < ratio*base {
 				remove[e] = true
 				break
 			}

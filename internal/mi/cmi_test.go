@@ -137,3 +137,32 @@ func BenchmarkConditionalMI1000(b *testing.B) {
 		ConditionalMI(x, y, z, 6)
 	}
 }
+
+// TestWorkspaceReuseParity: the workspace-reusing entry points must be
+// bitwise-identical to the allocating ones, including when one dirty
+// workspace serves many calls in sequence — the reuse pattern of the
+// parallel CMI filter's workers.
+func TestWorkspaceReuseParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const bins = 7
+	ws := NewCMIWorkspace(bins)
+	for trial := 0; trial < 20; trial++ {
+		m := 30 + rng.Intn(40)
+		x, y, z := make([]float32, m), make([]float32, m), make([]float32, m)
+		for i := 0; i < m; i++ {
+			x[i], y[i], z[i] = rng.Float32(), rng.Float32(), rng.Float32()
+		}
+		if got, want := ConditionalMIWS(x, y, z, ws), ConditionalMI(x, y, z, bins); got != want {
+			t.Fatalf("trial %d: ConditionalMIWS = %v, ConditionalMI = %v", trial, got, want)
+		}
+		if got, want := BinningMIWS(x, y, ws), BinningMI(x, y, bins); got != want {
+			t.Fatalf("trial %d: BinningMIWS = %v, BinningMI = %v", trial, got, want)
+		}
+	}
+	if ws.Bins() != bins {
+		t.Fatalf("Bins() = %d", ws.Bins())
+	}
+	if ws.Bytes() <= 0 {
+		t.Fatal("Bytes() not positive")
+	}
+}

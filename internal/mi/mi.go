@@ -628,55 +628,11 @@ func PairReference(basis *bspline.Basis, xi, xj []float32) float64 {
 // BinningMI is the plain equal-width histogram MI baseline (no spline
 // smoothing): values in [0,1] are hard-assigned to bins. It is what the
 // B-spline estimator degenerates to at order 1 and what naive
-// implementations use.
+// implementations use. Allocates per call — hot loops should hold a
+// CMIWorkspace and use BinningMIWS.
 func BinningMI(xi, xj []float32, bins int) float64 {
-	if len(xi) != len(xj) {
-		panic(fmt.Sprintf("mi: BinningMI length mismatch %d vs %d", len(xi), len(xj)))
-	}
 	if bins <= 0 {
 		panic("mi: BinningMI non-positive bins")
 	}
-	m := len(xi)
-	if m == 0 {
-		return 0
-	}
-	joint := make([]float64, bins*bins)
-	pi := make([]float64, bins)
-	pj := make([]float64, bins)
-	bin := func(x float32) int {
-		b := int(float64(x) * float64(bins))
-		if b < 0 {
-			b = 0
-		}
-		if b >= bins {
-			b = bins - 1
-		}
-		return b
-	}
-	for s := 0; s < m; s++ {
-		u, v := bin(xi[s]), bin(xj[s])
-		joint[u*bins+v]++
-		pi[u]++
-		pj[v]++
-	}
-	inv := 1 / float64(m)
-	var hx, hy, hxy float64
-	for u := 0; u < bins; u++ {
-		if p := pi[u] * inv; p > 0 {
-			hx -= p * math.Log2(p)
-		}
-		if p := pj[u] * inv; p > 0 {
-			hy -= p * math.Log2(p)
-		}
-	}
-	for _, c := range joint {
-		if p := c * inv; p > 0 {
-			hxy -= p * math.Log2(p)
-		}
-	}
-	mi := hx + hy - hxy
-	if mi < 0 {
-		mi = 0
-	}
-	return mi
+	return BinningMIWS(xi, xj, NewCMIWorkspace(bins))
 }

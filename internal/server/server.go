@@ -7,7 +7,8 @@
 //
 //	POST   /jobs            TSV expression matrix in the body; config
 //	                        via query params (permutations, alpha, dpi,
-//	                        engine, seed, workers, nullpairs, ...).
+//	                        dpitolerance, cmi, cmiratio, engine, seed,
+//	                        workers, nullpairs, ...).
 //	                        Returns 202 with {"id": ...}, 429 with a
 //	                        Retry-After header when the admission queue
 //	                        is full, 503 while draining for shutdown.
@@ -149,6 +150,7 @@ type Server struct {
 	mRankFailures, mRecoveryRuns     *metrics.Counter
 	mRecoveredTiles                  *metrics.Counter
 	mFaultDelayed, mFaultDropped     *metrics.Counter
+	mDPIRemoved, mCMIRemoved         *metrics.Counter
 	mTerminal                        map[JobState]*metrics.Counter
 	hJobSeconds                      *metrics.Histogram
 }
@@ -204,6 +206,8 @@ func (s *Server) init() {
 		s.mRecoveredTiles = r.Counter("tinge_recovered_tiles_total", "Pair tiles redistributed to surviving ranks.", nil)
 		s.mFaultDelayed = r.Counter("tinge_fault_delayed_messages_total", "Messages delayed by fault injection.", nil)
 		s.mFaultDropped = r.Counter("tinge_fault_dropped_messages_total", "Messages dropped by fault injection.", nil)
+		s.mDPIRemoved = r.Counter("tinge_dpi_edges_removed_total", "Edges pruned by the DPI filter.", nil)
+		s.mCMIRemoved = r.Counter("tinge_cmi_edges_removed_total", "Edges pruned by the CMI successor filter.", nil)
 		s.hJobSeconds = r.Histogram("tinge_job_seconds", "Job wall time from start to terminal state.",
 			nil, []float64{0.1, 0.5, 1, 5, 15, 60, 300, 1800, 7200})
 		for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
@@ -278,7 +282,10 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 // parseConfig builds a core.Config from query parameters.
 func parseConfig(r *http.Request) (core.Config, error) {
 	q := r.URL.Query()
-	cfg := core.Config{}
+	// DPITolerance's zero value means strict DPI; the query default must
+	// stay the paper's 0.1, so start from the unset sentinel and let an
+	// explicit dpitolerance=0 request strictness.
+	cfg := core.Config{DPITolerance: -1}
 	intParam := func(name string, dst *int) error {
 		if v := q.Get(name); v != "" {
 			n, err := strconv.Atoi(v)
@@ -312,12 +319,24 @@ func parseConfig(r *http.Request) (core.Config, error) {
 		}
 		cfg.MemoryBudget = b
 	}
-	if v := q.Get("alpha"); v != "" {
-		a, err := strconv.ParseFloat(v, 64)
-		if err != nil {
-			return cfg, fmt.Errorf("bad alpha: %v", err)
+	floatParam := func(name string, dst *float64) error {
+		if v := q.Get(name); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return fmt.Errorf("bad %s: %v", name, err)
+			}
+			*dst = f
 		}
-		cfg.Alpha = a
+		return nil
+	}
+	for name, dst := range map[string]*float64{
+		"alpha":        &cfg.Alpha,
+		"dpitolerance": &cfg.DPITolerance,
+		"cmiratio":     &cfg.CMIRatio,
+	} {
+		if err := floatParam(name, dst); err != nil {
+			return cfg, err
+		}
 	}
 	if v := q.Get("seed"); v != "" {
 		sd, err := strconv.ParseUint(v, 10, 64)
@@ -328,6 +347,9 @@ func parseConfig(r *http.Request) (core.Config, error) {
 	}
 	if v := q.Get("dpi"); v == "1" || v == "true" {
 		cfg.DPI = true
+	}
+	if v := q.Get("cmi"); v == "1" || v == "true" {
+		cfg.CMIFilter = true
 	}
 	if v := q.Get("prescreen"); v == "1" || v == "true" {
 		cfg.Prescreen = true
@@ -361,10 +383,10 @@ func parseConfig(r *http.Request) (core.Config, error) {
 func jobKey(body []byte, cfg core.Config) string {
 	h := sha256.New()
 	h.Write(body)
-	fmt.Fprintf(h, "|%d|%d|%d|%d|%d|%v|%d|%v|%v|%v|%v|%v",
+	fmt.Fprintf(h, "|%d|%d|%d|%d|%d|%v|%d|%v|%v|%v|%v|%v|%v|%v|%v",
 		cfg.Order, cfg.Bins, cfg.Permutations, cfg.NullSamplePairs,
 		cfg.TileSize, cfg.Alpha, cfg.Seed, cfg.Engine, cfg.DPI, cfg.Kernel,
-		cfg.Precision, cfg.Prescreen)
+		cfg.Precision, cfg.Prescreen, cfg.DPITolerance, cfg.CMIFilter, cfg.CMIRatio)
 	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
@@ -527,6 +549,8 @@ func (s *Server) finish(j *job, st JobState, errMsg string, res *core.Result) {
 		s.mRecoveredTiles.Add(float64(res.RecoveredTiles))
 		s.mFaultDelayed.Add(float64(res.FaultDelayedMessages))
 		s.mFaultDropped.Add(float64(res.FaultDroppedMessages))
+		s.mDPIRemoved.Add(float64(res.DPIEdgesRemoved))
+		s.mCMIRemoved.Add(float64(res.CMIEdgesRemoved))
 		for phase, secs := range res.Timer.Seconds() {
 			s.Metrics.Counter("tinge_phase_seconds_total",
 				"Pipeline wall seconds by phase, summed over jobs.",
@@ -626,19 +650,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // statusResponse is the job-status JSON shape.
 type statusResponse struct {
-	ID        string   `json:"id"`
-	State     JobState `json:"state"`
-	Progress  float64  `json:"progress"`
-	Error     string   `json:"error,omitempty"`
-	Created   string   `json:"created,omitempty"`
-	Finished  string   `json:"finished,omitempty"`
-	Edges     int      `json:"edges,omitempty"`
-	RawEdges  int      `json:"rawEdges,omitempty"`
-	Threshold float64  `json:"threshold,omitempty"`
-	Evals     int64    `json:"evaluations,omitempty"`
-	PermEvals int64    `json:"permEvaluations,omitempty"`
-	Screened  int64    `json:"pairsScreenedOut,omitempty"`
-	SimSecs   float64  `json:"simSeconds,omitempty"`
+	ID         string   `json:"id"`
+	State      JobState `json:"state"`
+	Progress   float64  `json:"progress"`
+	Error      string   `json:"error,omitempty"`
+	Created    string   `json:"created,omitempty"`
+	Finished   string   `json:"finished,omitempty"`
+	Edges      int      `json:"edges,omitempty"`
+	RawEdges   int      `json:"rawEdges,omitempty"`
+	Threshold  float64  `json:"threshold,omitempty"`
+	Evals      int64    `json:"evaluations,omitempty"`
+	PermEvals  int64    `json:"permEvaluations,omitempty"`
+	Screened   int64    `json:"pairsScreenedOut,omitempty"`
+	DPIRemoved int      `json:"dpiEdgesRemoved,omitempty"`
+	CMIRemoved int      `json:"cmiEdgesRemoved,omitempty"`
+	SimSecs    float64  `json:"simSeconds,omitempty"`
 }
 
 // status snapshots a job into the response shape. Callers must not
@@ -660,6 +686,8 @@ func (j *job) status() statusResponse {
 		resp.Evals = j.result.PairsEvaluated
 		resp.PermEvals = j.result.PermEvaluations
 		resp.Screened = j.result.PairsScreenedOut
+		resp.DPIRemoved = j.result.DPIEdgesRemoved
+		resp.CMIRemoved = j.result.CMIEdgesRemoved
 		resp.SimSecs = j.result.SimSeconds
 	}
 	return resp

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/core"
 	"repro/internal/expr"
 )
 
@@ -635,5 +636,51 @@ func TestGracefulShutdownCheckpointResume(t *testing.T) {
 	// A completed job deletes its checkpoint.
 	if _, err := os.Stat(ckptPath); !os.IsNotExist(err) {
 		t.Fatalf("checkpoint not removed after completion: %v", err)
+	}
+}
+
+// TestParseConfigFilterParams pins the filter query-param contract:
+// an explicit dpitolerance=0 must survive as strict DPI all the way
+// through Validate, an absent parameter must resolve to the paper
+// default, and the CMI flags must round-trip.
+func TestParseConfigFilterParams(t *testing.T) {
+	req := httptest.NewRequest("POST", "/jobs?dpi=1&dpitolerance=0&cmi=1&cmiratio=0.5", nil)
+	cfg, err := parseConfig(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DPITolerance != 0 || !cfg.CMIFilter || cfg.CMIRatio != 0.5 {
+		t.Fatalf("parsed %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DPITolerance != 0 {
+		t.Fatalf("strict tolerance coerced to %v", cfg.DPITolerance)
+	}
+
+	req = httptest.NewRequest("POST", "/jobs?dpi=1", nil)
+	if cfg, err = parseConfig(req); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DPITolerance != core.DefaultDPITolerance {
+		t.Fatalf("default tolerance = %v, want %v", cfg.DPITolerance, core.DefaultDPITolerance)
+	}
+	if cfg.CMIFilter {
+		t.Fatal("cmi on by default")
+	}
+
+	for _, bad := range []string{"dpitolerance=x", "cmiratio=y", "dpitolerance=2"} {
+		req = httptest.NewRequest("POST", "/jobs?"+bad, nil)
+		cfg, err = parseConfig(req)
+		if err == nil {
+			err = cfg.Validate()
+		}
+		if err == nil {
+			t.Fatalf("%s accepted", bad)
+		}
 	}
 }

@@ -13,7 +13,7 @@ func ExampleInferDataset() {
 		Genes: 20, Experiments: 100, AvgRegulators: 1, Noise: 0.05, Seed: 3,
 	})
 	res, err := tinge.InferDataset(data, tinge.Config{
-		Seed: 3, Permutations: 10, Workers: 1, DPI: true,
+		Seed: 3, Permutations: 10, Workers: 1, DPI: true, DPITolerance: 0.1,
 	})
 	if err != nil {
 		fmt.Println("error:", err)

@@ -20,7 +20,7 @@
 // Quickstart:
 //
 //	data := tinge.MustGenerate(tinge.GenConfig{Genes: 500, Experiments: 300, Seed: 1})
-//	res, err := tinge.InferDataset(data, tinge.Config{DPI: true})
+//	res, err := tinge.InferDataset(data, tinge.Config{DPI: true, DPITolerance: 0.1})
 //	...
 //	score := res.Network.ScoreAgainst(data.TrueEdgeSet())
 package tinge
@@ -78,6 +78,26 @@ type (
 	Edge = grn.Edge
 	// Score holds precision/recall/F1 against a ground truth.
 	Score = grn.Score
+	// FilterOpts parameterizes the parallel DPI/CMI filters
+	// (tolerance, workers, adjacency memory budget, spill dir).
+	FilterOpts = grn.FilterOpts
+	// FilterStats reports filter work: edges removed and adjacency
+	// shard cache traffic.
+	FilterStats = grn.FilterStats
+	// RowFunc supplies rank-normalized expression rows to the CMI
+	// filter.
+	RowFunc = grn.RowFunc
+)
+
+// Filter defaults. Config.DPITolerance's zero value means strict DPI
+// (tolerance 0); pass a negative value (or DefaultDPITolerance) for
+// the paper's near-tie slack. Config.CMIRatio's zero value means
+// DefaultCMIRatio.
+const (
+	// DefaultDPITolerance is the paper's DPI near-tie tolerance.
+	DefaultDPITolerance = core.DefaultDPITolerance
+	// DefaultCMIRatio is the default CMI/MI removal threshold.
+	DefaultCMIRatio = core.DefaultCMIRatio
 )
 
 // Data types.

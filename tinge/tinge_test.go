@@ -13,7 +13,7 @@ func TestQuickstartFlow(t *testing.T) {
 		Genes: 30, Experiments: 120, AvgRegulators: 1, Noise: 0.05, Seed: 1,
 	})
 	res, err := tinge.InferDataset(data, tinge.Config{
-		Seed: 1, Permutations: 10, Workers: 2, DPI: true,
+		Seed: 1, Permutations: 10, Workers: 2, DPI: true, DPITolerance: 0.1,
 	})
 	if err != nil {
 		t.Fatal(err)
