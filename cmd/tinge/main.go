@@ -320,6 +320,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tinge: fault injection: %d message(s) delayed, %d dropped\n",
 			res.FaultDelayedMessages, res.FaultDroppedMessages)
 	}
+	if res.CheckpointRecoveries > 0 {
+		fmt.Fprintf(os.Stderr, "tinge: discarded %d corrupt checkpoint(s) and started fresh\n",
+			res.CheckpointRecoveries)
+	}
+	if res.SpillReadRetries > 0 {
+		fmt.Fprintf(os.Stderr, "tinge: %d spill read(s) failed verification once and succeeded on retry\n",
+			res.SpillReadRetries)
+	}
 	if *truth != "" {
 		tf, err := os.Open(*truth)
 		if err != nil {

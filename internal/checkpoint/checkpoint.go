@@ -8,16 +8,33 @@
 //
 // A Fingerprint of the run parameters guards against resuming with a
 // different dataset or configuration, which would silently corrupt the
-// result. Files are written atomically (temp file + rename).
+// result.
+//
+// On disk a checkpoint is a v2 frame: magic "TNGC", format version,
+// payload length, and a CRC32C over the gob payload, so a torn or
+// bit-flipped file is detected on load instead of silently resuming
+// wrong state. Files are published atomically — the frame is written
+// to a temp file in one write, fsynced, renamed over the target, and
+// the parent directory fsynced — and the previous snapshot is rotated
+// to a ".prev" last-good copy that Load falls back to when the primary
+// is corrupt. Only when both copies fail does LoadFile return a
+// *CorruptError; engines treat that as "start fresh and count it",
+// never as a fatal run error. Legacy v1 files (bare gob, no frame)
+// remain readable.
 package checkpoint
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
 
+	"repro/internal/diskfault"
 	"repro/internal/grn"
 )
 
@@ -127,23 +144,88 @@ func (s *State) Validate(fp Fingerprint, nTiles int) error {
 	return nil
 }
 
-// Save writes the state to w.
-func Save(w io.Writer, s *State) error {
-	if err := gob.NewEncoder(w).Encode(s); err != nil {
-		return fmt.Errorf("checkpoint: encode: %w", err)
-	}
-	return nil
+// v2 frame layout: magic, format version, reserved padding, payload
+// length, CRC32C over the payload, then the gob payload itself.
+const (
+	fileMagic   = "TNGC"
+	fileVersion = 2
+	headerLen   = 4 + 2 + 2 + 8 + 4
+	// maxPayload bounds the declared payload length so a corrupt header
+	// cannot drive a huge allocation. Real states are a few MB at most.
+	maxPayload = 1 << 32
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// CorruptError reports that a checkpoint file (and its ".prev"
+// fallback, when loading through LoadFile) failed integrity or decode
+// checks. It wraps diskfault.ErrCorrupt, so
+// errors.Is(err, diskfault.ErrCorrupt) identifies corruption
+// regardless of which layer surfaced it.
+type CorruptError struct {
+	Path string
+	Err  error
 }
 
-// Load reads a state from r.
-func Load(r io.Reader) (*State, error) {
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("checkpoint: corrupt checkpoint %s: %v", e.Path, e.Err)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+func corrupt(path string, err error) error {
+	if !errors.Is(err, diskfault.ErrCorrupt) {
+		err = fmt.Errorf("%w: %w", diskfault.ErrCorrupt, err)
+	}
+	return &CorruptError{Path: path, Err: err}
+}
+
+// PrevPath returns the last-good rotation path beside path.
+func PrevPath(path string) string { return path + ".prev" }
+
+// Encode serializes the state as a v2 frame.
+func Encode(s *State) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(s); err != nil {
+		return nil, fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	frame := make([]byte, headerLen, headerLen+payload.Len())
+	copy(frame, fileMagic)
+	binary.LittleEndian.PutUint16(frame[4:], fileVersion)
+	binary.LittleEndian.PutUint64(frame[8:], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(frame[16:], crc32.Checksum(payload.Bytes(), crcTable))
+	return append(frame, payload.Bytes()...), nil
+}
+
+// Decode parses a checkpoint from raw file bytes: a v2 frame, or a
+// legacy v1 bare-gob file. Every failure wraps diskfault.ErrCorrupt.
+func Decode(data []byte) (*State, error) {
+	payload := data
+	if len(data) >= len(fileMagic) && string(data[:len(fileMagic)]) == string(fileMagic) {
+		if len(data) < headerLen {
+			return nil, fmt.Errorf("%w: truncated header: %d bytes", diskfault.ErrCorrupt, len(data))
+		}
+		if v := binary.LittleEndian.Uint16(data[4:]); v != fileVersion {
+			return nil, fmt.Errorf("%w: unsupported format version %d", diskfault.ErrCorrupt, v)
+		}
+		n := binary.LittleEndian.Uint64(data[8:])
+		if n > maxPayload || int(n) != len(data)-headerLen {
+			return nil, fmt.Errorf("%w: payload length %d does not match file size %d",
+				diskfault.ErrCorrupt, n, len(data))
+		}
+		payload = data[headerLen:]
+		if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(data[16:]); got != want {
+			return nil, fmt.Errorf("%w: CRC32C mismatch: computed %08x, stored %08x",
+				diskfault.ErrCorrupt, got, want)
+		}
+	}
 	var s State
-	if err := gob.NewDecoder(r).Decode(&s); err != nil {
-		return nil, fmt.Errorf("checkpoint: decode: %w", err)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("%w: decode: %w", diskfault.ErrCorrupt, err)
 	}
 	if len(s.Done) != len(s.EvalsPerTile) {
-		return nil, fmt.Errorf("checkpoint: inconsistent state: %d done flags, %d eval counts",
-			len(s.Done), len(s.EvalsPerTile))
+		return nil, fmt.Errorf("%w: inconsistent state: %d done flags, %d eval counts",
+			diskfault.ErrCorrupt, len(s.Done), len(s.EvalsPerTile))
 	}
 	// Files written before the pair/permutation counter split carry no
 	// per-tile split arrays; normalize them to zeros so resumed runs see
@@ -155,42 +237,161 @@ func Load(r io.Reader) (*State, error) {
 		s.ScreenedPerTile = make([]int64, len(s.Done))
 	}
 	if len(s.PairEvalsPerTile) != len(s.Done) || len(s.ScreenedPerTile) != len(s.Done) {
-		return nil, fmt.Errorf("checkpoint: inconsistent state: %d done flags, %d/%d split counts",
-			len(s.Done), len(s.PairEvalsPerTile), len(s.ScreenedPerTile))
+		return nil, fmt.Errorf("%w: inconsistent state: %d done flags, %d/%d split counts",
+			diskfault.ErrCorrupt, len(s.Done), len(s.PairEvalsPerTile), len(s.ScreenedPerTile))
 	}
 	return &s, nil
 }
 
-// SaveFile writes the state atomically to path.
-func SaveFile(path string, s *State) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
+// Save writes the state to w as a v2 frame.
+func Save(w io.Writer, s *State) error {
+	frame, err := Encode(s)
 	if err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	defer os.Remove(tmp.Name())
-	if err := Save(tmp, s); err != nil {
-		tmp.Close()
 		return err
 	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("checkpoint: write: %w", err)
 	}
 	return nil
 }
 
-// LoadFile reads a state from path. A missing file returns
-// (nil, nil) — a fresh run, not an error.
-func LoadFile(path string) (*State, error) {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return nil, nil
+// Load reads a state from r (v2 frame or legacy v1 bare gob).
+func Load(r io.Reader) (*State, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read: %w", err)
 	}
+	s, err := Decode(data)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
+	return s, nil
+}
+
+// SaveFile writes the state atomically and durably to path. See
+// SaveFileFS.
+func SaveFile(path string, s *State) error {
+	return SaveFileFS(diskfault.OS, path, s)
+}
+
+// SaveFileFS writes the state to path through fsys (nil: the real
+// filesystem): the v2 frame lands in a temp file with a single write,
+// is fsynced and renamed over path, and the parent directory is
+// fsynced so the rename survives a power cut. An existing snapshot at
+// path is first rotated to PrevPath(path); a crash at any single
+// boundary therefore leaves either the new file, the previous
+// last-good file, or nothing published — never a torn visible
+// checkpoint.
+func SaveFileFS(fsys diskfault.FS, path string, s *State) (err error) {
+	fsys = diskfault.OrOS(fsys)
+	frame, err := Encode(s)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := fsys.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	published := false
+	defer func() {
+		if !published {
+			fsys.Remove(tmpName)
+		}
+	}()
+	if _, werr := tmp.Write(frame); werr != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: write: %w", werr)
+	}
+	if serr := tmp.Sync(); serr != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: sync: %w", serr)
+	}
+	if cerr := tmp.Close(); cerr != nil {
+		return fmt.Errorf("checkpoint: %w", cerr)
+	}
+	// Rotate the current snapshot to the last-good slot before
+	// publishing the new one. A crash between the two renames leaves
+	// only .prev — still a valid resume point.
+	if rerr := fsys.Rename(path, PrevPath(path)); rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+		return fmt.Errorf("checkpoint: rotate: %w", rerr)
+	}
+	if rerr := fsys.Rename(tmpName, path); rerr != nil {
+		return fmt.Errorf("checkpoint: publish: %w", rerr)
+	}
+	published = true
+	if derr := fsys.SyncDir(dir); derr != nil {
+		return fmt.Errorf("checkpoint: sync dir: %w", derr)
+	}
+	return nil
+}
+
+// LoadFile reads a state from path, falling back to the ".prev"
+// rotation. See LoadFileFS.
+func LoadFile(path string) (*State, error) {
+	return LoadFileFS(diskfault.OS, path)
+}
+
+// LoadFileFS reads a state from path through fsys (nil: the real
+// filesystem). A corrupt or unreadable primary falls back to
+// PrevPath(path) — the rotation SaveFileFS maintains. Both files
+// missing returns (nil, nil): a fresh run, not an error. A *CorruptError
+// is returned only when a copy exists but none passes its integrity
+// checks.
+func LoadFileFS(fsys diskfault.FS, path string) (*State, error) {
+	fsys = diskfault.OrOS(fsys)
+	s, primaryErr := loadOne(fsys, path)
+	if primaryErr == nil {
+		return s, nil
+	}
+	s, prevErr := loadOne(fsys, PrevPath(path))
+	if prevErr == nil {
+		return s, nil
+	}
+	if errors.Is(primaryErr, os.ErrNotExist) {
+		if errors.Is(prevErr, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, corrupt(PrevPath(path), prevErr)
+	}
+	if errors.Is(prevErr, os.ErrNotExist) {
+		return nil, corrupt(path, primaryErr)
+	}
+	return nil, corrupt(path, fmt.Errorf("%w (fallback %s: %v)", primaryErr, PrevPath(path), prevErr))
+}
+
+// loadOne reads and decodes a single file. Missing files surface as
+// os.ErrNotExist for the caller's fallback logic.
+func loadOne(fsys diskfault.FS, path string) (*State, error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return nil, err
+	}
 	defer f.Close()
-	return Load(f)
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("read: %w", err)
+	}
+	return Decode(data)
+}
+
+// Remove deletes the checkpoint at path and its ".prev" rotation.
+// Missing files are not an error. See RemoveFS.
+func Remove(path string) error {
+	return RemoveFS(diskfault.OS, path)
+}
+
+// RemoveFS deletes the checkpoint at path and its ".prev" rotation
+// through fsys (nil: the real filesystem), returning the first real
+// error; missing files are ignored.
+func RemoveFS(fsys diskfault.FS, path string) error {
+	fsys = diskfault.OrOS(fsys)
+	var first error
+	for _, p := range []string{path, PrevPath(path)} {
+		if err := fsys.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) && first == nil {
+			first = err
+		}
+	}
+	return first
 }

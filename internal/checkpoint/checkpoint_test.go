@@ -2,11 +2,16 @@ package checkpoint
 
 import (
 	"bytes"
+	"encoding/gob"
+	"errors"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"syscall"
 	"testing"
 
+	"repro/internal/diskfault"
 	"repro/internal/grn"
 )
 
@@ -126,16 +131,12 @@ func TestFileRoundTripAndMissing(t *testing.T) {
 		t.Fatalf("reloaded state = %+v", back)
 	}
 
-	// Atomic write: no temp litter left behind.
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(entries) != 1 {
-		t.Fatalf("directory has %d entries, want 1", len(entries))
-	}
+	// Atomic write: no temp litter left behind (first save has nothing
+	// to rotate, so the checkpoint itself is the only entry).
+	assertEntries(t, dir, "run.ckpt")
 
-	// Overwrite with progress keeps the file loadable.
+	// Overwrite with progress keeps the file loadable and rotates the
+	// old snapshot to the last-good slot.
 	s.Done[0] = true
 	if err := SaveFile(path, s); err != nil {
 		t.Fatal(err)
@@ -144,10 +145,224 @@ func TestFileRoundTripAndMissing(t *testing.T) {
 	if err != nil || back.Remaining() != 0 {
 		t.Fatalf("after overwrite: %+v, %v", back, err)
 	}
+	assertEntries(t, dir, "run.ckpt", "run.ckpt.prev")
+
+	// The rotated copy is the previous snapshot.
+	prev, err := LoadFileFS(nil, PrevPath(path))
+	if err != nil || prev == nil || prev.Remaining() != 1 {
+		t.Fatalf("rotated snapshot: %+v, %v", prev, err)
+	}
+
+	// Remove clears both copies.
+	if err := Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	assertEntries(t, dir)
+	if err := Remove(path); err != nil {
+		t.Fatalf("Remove on missing files: %v", err)
+	}
+}
+
+// assertEntries checks dir holds exactly the named files.
+func assertEntries(t *testing.T, dir string, want ...string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	sort.Strings(want)
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("directory entries = %v, want %v", names, want)
+	}
 }
 
 func TestSaveFileBadDir(t *testing.T) {
 	if err := SaveFile("/nonexistent-dir-xyz/run.ckpt", NewState(testFP(), 1)); err == nil {
 		t.Fatal("unwritable directory should error")
+	}
+}
+
+func TestFrameFormat(t *testing.T) {
+	s := NewState(testFP(), 2)
+	frame, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(frame[:4]) != "TNGC" {
+		t.Fatalf("magic = %q", frame[:4])
+	}
+	back, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(testFP(), 2); err != nil {
+		t.Fatal(err)
+	}
+	// Any single flipped bit in the frame must fail decode.
+	for _, off := range []int{0, 5, 10, 17, headerLen, len(frame) - 1} {
+		bad := append([]byte(nil), frame...)
+		bad[off] ^= 0x40
+		if _, err := Decode(bad); !errors.Is(err, diskfault.ErrCorrupt) {
+			t.Fatalf("flip at %d: got %v, want ErrCorrupt", off, err)
+		}
+	}
+	// Truncations at every boundary fail, never panic.
+	for n := 0; n < len(frame); n++ {
+		if _, err := Decode(frame[:n]); !errors.Is(err, diskfault.ErrCorrupt) {
+			t.Fatalf("truncate to %d: got %v, want ErrCorrupt", n, err)
+		}
+	}
+}
+
+func TestLoadLegacyV1(t *testing.T) {
+	// A pre-v2 checkpoint is a bare gob stream with no frame; it must
+	// stay readable.
+	s := NewState(testFP(), 3)
+	s.Done[2] = true
+	s.Threshold = 0.5
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "legacy.ckpt")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back == nil || !back.Done[2] || back.Threshold != 0.5 {
+		t.Fatalf("legacy state = %+v", back)
+	}
+}
+
+func TestLoadFileCorruptFallsBackToPrev(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	s := NewState(testFP(), 2)
+	if err := SaveFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	s.Done[0] = true
+	if err := SaveFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the primary: load silently falls back to the rotation.
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("fallback load: %v", err)
+	}
+	if back == nil || back.Remaining() != 2 {
+		t.Fatalf("fallback state = %+v, want the pre-rotation snapshot", back)
+	}
+
+	// Corrupt the rotation too: now a typed CorruptError.
+	if err := os.WriteFile(PrevPath(path), []byte("also garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadFile(path)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want *CorruptError", err)
+	}
+	if !errors.Is(err, diskfault.ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt in chain", err)
+	}
+
+	// Missing primary with a valid rotation still resumes.
+	valid, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(PrevPath(path), valid, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err = LoadFile(path)
+	if err != nil || back == nil || back.Remaining() != 1 {
+		t.Fatalf("prev-only load: %+v, %v", back, err)
+	}
+}
+
+// TestSaveFileFaultFreshOrValid crash-stops SaveFileFS at every write,
+// sync, and rename boundary in turn and checks the published state is
+// always fresh-or-valid: either copy loads, or the load is a clean
+// fresh start — never a torn file accepted as truth.
+func TestSaveFileFaultFreshOrValid(t *testing.T) {
+	prior := NewState(testFP(), 2)
+	next := NewState(testFP(), 2)
+	next.Done[0] = true
+
+	for _, torn := range []int{1, 2, 3} { // the save issues few writes; over-count just never fires
+		for _, tornBytes := range []int{0, 1, 7} {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "run.ckpt")
+			if err := SaveFile(path, prior); err != nil {
+				t.Fatal(err)
+			}
+			plan := &diskfault.Plan{Torn: &diskfault.TornSpec{K: int64(torn), Bytes: tornBytes}}
+			err := SaveFileFS(plan.FS(nil), path, next)
+			if plan.Crashed() {
+				if err == nil {
+					t.Fatalf("torn=%d: crash-stopped save reported success", torn)
+				}
+				if !errors.Is(err, diskfault.ErrInjected) {
+					t.Fatalf("torn=%d: got %v, want injected error", torn, err)
+				}
+			} else if err != nil {
+				t.Fatalf("torn=%d bytes=%d: %v", torn, tornBytes, err)
+			}
+			back, lerr := LoadFile(path)
+			if lerr != nil {
+				t.Fatalf("torn=%d bytes=%d: post-crash load: %v", torn, tornBytes, lerr)
+			}
+			if back == nil {
+				t.Fatalf("torn=%d bytes=%d: prior snapshot lost", torn, tornBytes)
+			}
+		}
+	}
+
+	// Same sweep against rename faults: the prior snapshot must survive.
+	for k := int64(1); k <= 2; k++ {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "run.ckpt")
+		if err := SaveFile(path, prior); err != nil {
+			t.Fatal(err)
+		}
+		plan := &diskfault.Plan{Fail: &diskfault.FailSpec{Op: diskfault.OpRename, K: k}}
+		if err := SaveFileFS(plan.FS(nil), path, next); err == nil {
+			t.Fatalf("rename fault %d: save should fail", k)
+		}
+		back, err := LoadFile(path)
+		if err != nil || back == nil {
+			t.Fatalf("rename fault %d: post-fault load: %+v, %v", k, back, err)
+		}
+	}
+}
+
+func TestSaveFileENOSPCLeavesNoTornCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	plan := &diskfault.Plan{Fail: &diskfault.FailSpec{Op: diskfault.OpWrite, K: 1, Err: syscall.ENOSPC}}
+	err := SaveFileFS(plan.FS(nil), path, NewState(testFP(), 2))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("got %v, want ENOSPC", err)
+	}
+	// Nothing published, temp file cleaned up.
+	assertEntries(t, dir)
+	if back, err := LoadFile(path); err != nil || back != nil {
+		t.Fatalf("after ENOSPC: %+v, %v", back, err)
 	}
 }

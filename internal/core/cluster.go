@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/bspline"
 	"repro/internal/checkpoint"
+	"repro/internal/diskfault"
 	"repro/internal/grn"
 	"repro/internal/mpi"
 	"repro/internal/perm"
@@ -37,6 +38,7 @@ type clusterRecorder struct {
 
 	thresholdDone bool
 
+	fsys      diskfault.FS
 	path      string
 	every     int
 	sinceSave int
@@ -96,7 +98,7 @@ func (r *clusterRecorder) tileDone(ti int, pairEvals, permEvals, screened, skipp
 }
 
 func (r *clusterRecorder) saveLocked() {
-	if err := checkpoint.SaveFile(r.path, r.state); err != nil && r.saveErr == nil {
+	if err := checkpoint.SaveFileFS(r.fsys, r.path, r.state); err != nil && r.saveErr == nil {
 		r.saveErr = err
 	}
 	r.sinceSave = 0
@@ -164,17 +166,12 @@ func runCluster(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *
 	state := checkpoint.NewState(fingerprint(wm, cfg), len(tiles))
 	resumed := false
 	if cfg.CheckpointPath != "" {
-		loaded, err := checkpoint.LoadFile(cfg.CheckpointPath)
+		loaded, res2, err := loadResumeState(cfg, state.Fingerprint, len(tiles), res)
 		if err != nil {
 			return err
 		}
-		if loaded != nil {
-			if err := loaded.Validate(state.Fingerprint, len(tiles)); err != nil {
-				return err
-			}
-			state = loaded
-			resumed = true
-		}
+		state = loaded
+		resumed = res2
 	}
 	rec := &clusterRecorder{
 		state:   state,
@@ -182,6 +179,7 @@ func runCluster(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *
 		// A resumed checkpoint was saved after phase 3 completed, so its
 		// threshold is authoritative.
 		thresholdDone: resumed,
+		fsys:          cfg.FS,
 		path:          cfg.CheckpointPath,
 		every:         cfg.CheckpointEvery,
 	}

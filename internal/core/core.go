@@ -35,6 +35,7 @@ import (
 	"runtime"
 
 	"repro/internal/bspline"
+	"repro/internal/diskfault"
 	"repro/internal/grn"
 	"repro/internal/mat"
 	"repro/internal/mi"
@@ -228,7 +229,10 @@ type Config struct {
 	// run resumes from it (a parameter mismatch is an error); progress
 	// is saved there every CheckpointEvery completed tiles and at the
 	// end of the scan, so an interrupted whole-genome run loses at most
-	// one save interval. Host and Phi engines only.
+	// one save interval. Saves are checksummed and published atomically
+	// with a ".prev" last-good rotation; a checkpoint whose every copy
+	// is corrupt starts the scan fresh (Result.CheckpointRecoveries)
+	// instead of failing the run.
 	CheckpointPath string
 	// CheckpointEvery is the save interval in completed tiles
 	// (default 64).
@@ -276,6 +280,11 @@ type Config struct {
 	// MPI world for chaos testing (see mpi.FaultPlan); nil disables
 	// injection. Ignored by the other engines.
 	Fault *mpi.FaultPlan
+	// FS is the filesystem seam every persistence path of the run goes
+	// through — checkpoint files, panel-store spills, and adjacency
+	// spills (nil: the real filesystem). The disk-fault tests inject a
+	// diskfault.Plan here; production runs leave it nil.
+	FS diskfault.FS
 }
 
 // Validate fills defaults and rejects inconsistent settings.
@@ -513,6 +522,17 @@ type Result struct {
 	// FaultDelayedMessages and FaultDroppedMessages report what an
 	// injected Config.Fault plan actually did to the message stream.
 	FaultDelayedMessages, FaultDroppedMessages int64
+	// CheckpointRecoveries counts checkpoint loads that failed integrity
+	// checks on every copy (primary and ".prev" rotation) and were
+	// handled by starting the scan fresh instead of failing the run. A
+	// fallback to a valid ".prev" is silent and not counted — no work
+	// beyond one save interval is lost there.
+	CheckpointRecoveries int64
+	// SpillReadRetries counts spill-file reads (panel store and
+	// adjacency shards) that failed integrity or I/O checks once and
+	// were re-read; loads that fail twice abort the run with a typed
+	// corruption error instead of computing on bad bytes.
+	SpillReadRetries int64
 }
 
 // Infer runs the pipeline on the expression matrix (rows = genes,
@@ -558,7 +578,7 @@ func InferContext(ctx context.Context, exprMat *mat.Dense, cfg Config) (*Result,
 				// budget floor produce the explanatory sizing error.
 				ingestBudget = 0
 			}
-			store, err = panelstore.New(cfg.SpillDir, exprMat.Cols(), cfg.PanelRows, ingestBudget)
+			store, err = panelstore.NewFS(cfg.FS, cfg.SpillDir, exprMat.Cols(), cfg.PanelRows, ingestBudget)
 			if err != nil {
 				return
 			}

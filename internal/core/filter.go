@@ -19,6 +19,7 @@ func applyFilters(cfg Config, res *Result, rows grn.RowFunc) error {
 		Tolerance: cfg.DPITolerance,
 		Workers:   cfg.Workers,
 		SpillDir:  cfg.SpillDir,
+		FS:        cfg.FS,
 	}
 	if cfg.Engine == OutOfCore || (cfg.Engine == Host && cfg.MemoryBudget > 0) {
 		opts.MemoryBudget = cfg.MemoryBudget
@@ -58,6 +59,7 @@ func applyFilters(cfg Config, res *Result, rows grn.RowFunc) error {
 	res.FilterShardEvictions = shard.ShardEvictions
 	res.FilterShardBytesSpilled = shard.ShardBytesSpilled
 	res.FilterShardBytesLoaded = shard.ShardBytesLoaded
+	res.SpillReadRetries += shard.ShardReadRetries
 	return nil
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/bspline"
 	"repro/internal/checkpoint"
+	"repro/internal/diskfault"
 	"repro/internal/grn"
 	"repro/internal/perm"
 	"repro/internal/tile"
@@ -19,6 +21,7 @@ import (
 // scan end, so an interrupted run loses at most one interval.
 type ckptManager struct {
 	mu        sync.Mutex
+	fsys      diskfault.FS
 	path      string
 	every     int
 	state     *checkpoint.State
@@ -45,7 +48,7 @@ func (m *ckptManager) tileDone(ti int, pairEvals, permEvals, screened int64, edg
 }
 
 func (m *ckptManager) saveLocked() {
-	if err := checkpoint.SaveFile(m.path, m.state); err != nil && m.saveErr == nil {
+	if err := checkpoint.SaveFileFS(m.fsys, m.path, m.state); err != nil && m.saveErr == nil {
 		m.saveErr = err
 	}
 	m.sinceSave = 0
@@ -61,6 +64,33 @@ func (m *ckptManager) flush() error {
 
 func fingerprint(wm *bspline.WeightMatrix, cfg Config) checkpoint.Fingerprint {
 	return fingerprintDims(wm.Genes, wm.Samples, cfg)
+}
+
+// loadResumeState is the corruption-tolerant checkpoint load every
+// engine shares. A valid checkpoint (primary or its ".prev" rotation)
+// resumes the scan; a missing one starts fresh; a checkpoint whose
+// every copy fails integrity checks ALSO starts fresh — counted in
+// res.CheckpointRecoveries, never a run failure, because losing a
+// resume point costs recomputation while refusing the job costs the
+// result. A fingerprint mismatch on a VALID checkpoint stays a hard
+// error: that is a configuration conflict, not disk damage.
+func loadResumeState(cfg Config, fp checkpoint.Fingerprint, nTiles int, res *Result) (state *checkpoint.State, resumed bool, err error) {
+	state, err = checkpoint.LoadFileFS(cfg.FS, cfg.CheckpointPath)
+	var ce *checkpoint.CorruptError
+	if errors.As(err, &ce) {
+		res.CheckpointRecoveries++
+		state, err = nil, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	if state != nil {
+		if verr := state.Validate(fp, nTiles); verr != nil {
+			return nil, false, verr
+		}
+		return state, true, nil
+	}
+	return checkpoint.NewState(fp, nTiles), false, nil
 }
 
 // fingerprintDims is the checkpoint fingerprint from bare dimensions.
@@ -100,20 +130,12 @@ func hostScan(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Re
 	var ck *ckptManager
 	resumed := false
 	if cfg.CheckpointPath != "" {
-		fp := fingerprint(wm, cfg)
-		state, err := checkpoint.LoadFile(cfg.CheckpointPath)
+		state, res2, err := loadResumeState(cfg, fingerprint(wm, cfg), len(tiles), res)
 		if err != nil {
 			return nil, nil, err
 		}
-		if state != nil {
-			if err := state.Validate(fp, len(tiles)); err != nil {
-				return nil, nil, err
-			}
-			resumed = true
-		} else {
-			state = checkpoint.NewState(fp, len(tiles))
-		}
-		ck = &ckptManager{path: cfg.CheckpointPath, every: cfg.CheckpointEvery, state: state}
+		resumed = res2
+		ck = &ckptManager{fsys: cfg.FS, path: cfg.CheckpointPath, every: cfg.CheckpointEvery, state: state}
 	}
 
 	// Phase 3: pooled-null threshold, parallel over sampled pairs.

@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"repro/internal/bspline"
-	"repro/internal/checkpoint"
 	"repro/internal/grn"
 	"repro/internal/mat"
 	"repro/internal/mi"
@@ -241,20 +240,12 @@ func oocScan(ctx context.Context, store *panelstore.Store, cfg Config, res *Resu
 	var ck *ckptManager
 	resumed := false
 	if cfg.CheckpointPath != "" {
-		fp := fingerprintDims(n, m, cfg)
-		state, err := checkpoint.LoadFile(cfg.CheckpointPath)
+		state, res2, err := loadResumeState(cfg, fingerprintDims(n, m, cfg), len(tiles), res)
 		if err != nil {
 			return err
 		}
-		if state != nil {
-			if err := state.Validate(fp, len(tiles)); err != nil {
-				return err
-			}
-			resumed = true
-		} else {
-			state = checkpoint.NewState(fp, len(tiles))
-		}
-		ck = &ckptManager{path: cfg.CheckpointPath, every: cfg.CheckpointEvery, state: state}
+		resumed = res2
+		ck = &ckptManager{fsys: cfg.FS, path: cfg.CheckpointPath, every: cfg.CheckpointEvery, state: state}
 	}
 
 	// Phase 3: pooled-null threshold over sampled pairs. Each permuted
@@ -480,6 +471,7 @@ func oocScan(ctx context.Context, store *panelstore.Store, cfg Config, res *Resu
 	res.PanelEvictions = st.Evictions
 	res.PanelBytesSpilled = st.BytesSpilled
 	res.PanelBytesLoaded = st.BytesLoaded
+	res.SpillReadRetries += st.LoadRetries
 	res.StorePeakBytes = st.PeakBytes
 	// The true ceiling is the larger of the two phase peaks: resident
 	// panels plus the store's own buffers during ingest, resident panels

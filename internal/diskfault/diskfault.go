@@ -1,0 +1,436 @@
+// Package diskfault is the injectable filesystem seam under the
+// persistence layers (checkpoint files, panel-store spills, adjacency
+// spills) and the deterministic disk-fault injector that drives their
+// crash-consistency and corruption tests.
+//
+// The seam is deliberately narrow: exactly the operations the
+// persistence code uses (Create/CreateTemp/Open, Write/WriteAt,
+// Read/ReadAt, Sync, Rename, Remove, and directory fsync). Production
+// code runs on the passthrough OS implementation; tests wrap it with a
+// Plan — the disk counterpart of mpi.FaultPlan — that injects an error
+// on the k-th operation of a kind, tears a write short and crash-stops
+// the filesystem (modeling a power cut), reports ENOSPC, or flips
+// seeded bits in read buffers (modeling silent media corruption). A
+// plan's decisions depend only on its seed and per-kind operation
+// counters, so a fault schedule replays identically run over run.
+package diskfault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"syscall"
+)
+
+// ErrInjected marks failures raised by a Plan; tests and recovery
+// logic detect injected faults with errors.Is.
+var ErrInjected = errors.New("injected disk fault")
+
+// ErrCrashed is returned by every operation after a torn write
+// crash-stopped the plan — the filesystem equivalent of the process
+// dying mid-write. It wraps ErrInjected.
+var ErrCrashed = fmt.Errorf("filesystem crash-stopped after torn write: %w", ErrInjected)
+
+// ErrCorrupt marks integrity-check failures surfaced by the
+// persistence layers: a checkpoint, panel, or adjacency shard whose
+// checksum does not match its payload. Callers branch on it with
+// errors.Is to distinguish "the bytes are wrong" from transient I/O
+// errors.
+var ErrCorrupt = errors.New("corrupt on-disk data")
+
+// File is the subset of *os.File the persistence layers use.
+type File interface {
+	io.Reader
+	io.Writer
+	io.WriterAt
+	io.ReaderAt
+	io.Closer
+	// Sync flushes the file's dirty pages to stable storage.
+	Sync() error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS is the filesystem seam. OS is the passthrough default; Plan.FS
+// wraps any FS with deterministic fault injection.
+type FS interface {
+	// Create creates (or truncates) the named file for writing.
+	Create(name string) (File, error)
+	// CreateTemp creates a new temp file in dir (os.TempDir when empty)
+	// with a name built from pattern, as os.CreateTemp does.
+	CreateTemp(dir, pattern string) (File, error)
+	// Open opens the named file for reading.
+	Open(name string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// SyncDir fsyncs the directory itself, making preceding renames and
+	// creates in it durable. Filesystems that do not support directory
+	// fsync are treated as a no-op success.
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough filesystem.
+var OS FS = osFS{}
+
+// OrOS returns fs, or the passthrough OS filesystem when fs is nil —
+// the idiom for optional FS configuration fields.
+func OrOS(fs FS) FS {
+	if fs == nil {
+		return OS
+	}
+	return fs
+}
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error)             { return os.Create(name) }
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+func (osFS) Open(name string) (File, error)               { return os.Open(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	// Some filesystems reject fsync on directories; durability of the
+	// rename is then the filesystem's problem, not a caller error.
+	if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+		return nil
+	}
+	return err
+}
+
+// Op identifies a filesystem operation kind for fault targeting and
+// accounting.
+type Op uint8
+
+// Operation kinds.
+const (
+	OpCreate Op = iota // Create and CreateTemp
+	OpOpen
+	OpWrite // Write and WriteAt
+	OpRead  // Read and ReadAt
+	OpSync  // file Sync and SyncDir
+	OpRename
+	OpRemove
+	opCount
+)
+
+// String names the operation kind.
+func (o Op) String() string {
+	switch o {
+	case OpCreate:
+		return "create"
+	case OpOpen:
+		return "open"
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	case OpSync:
+		return "sync"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// FailSpec errors the K-th operation (1-based) of kind Op, once. Err
+// is what the operation returns (wrapped so errors.Is(err, ErrInjected)
+// holds); nil defaults to a generic injected error. Use
+// Err: syscall.ENOSPC on OpWrite to model a full disk.
+type FailSpec struct {
+	Op  Op
+	K   int64
+	Err error
+}
+
+// TornSpec tears the K-th write (1-based) short after Bytes bytes and
+// then crash-stops the plan: the partial bytes land, the write returns
+// ErrCrashed, and every subsequent operation fails with ErrCrashed —
+// the on-disk state a power cut mid-write leaves behind.
+type TornSpec struct {
+	K     int64
+	Bytes int
+}
+
+// Plan describes deterministic disk faults. The zero value injects
+// nothing. A plan carries its own counters: per-kind operation
+// sequence numbers drive every decision, so a schedule replays
+// identically for a deterministic caller. Plans must not be reused
+// across runs that should see independent fault schedules — build a
+// fresh one per run, the way the crash-consistency harness does.
+type Plan struct {
+	// Seed drives the bit-flip decisions; equal seeds flip equal bits.
+	Seed uint64
+	// Fail, when non-nil, errors one operation (once, ever).
+	Fail *FailSpec
+	// Torn, when non-nil, tears one write and crash-stops the plan.
+	Torn *TornSpec
+	// FlipProb is the per-read probability of flipping one seeded bit
+	// of the returned data — silent media corruption. The read itself
+	// succeeds; only an integrity check can catch it.
+	FlipProb float64
+	// FlipMax caps total flipped reads (0: unlimited).
+	FlipMax int64
+
+	ops       [opCount]int64
+	crashed   int32
+	failFired int32
+	torn      int64
+	flipped   int64
+	failed    int64
+}
+
+// Stats reports what a plan actually injected.
+type Stats struct {
+	// Failed counts operations errored by Fail.
+	Failed int64
+	// TornWrites is 1 once the torn-write crash has fired.
+	TornWrites int64
+	// FlippedReads counts reads whose buffer had a bit flipped.
+	FlippedReads int64
+	// Ops is the per-kind operation count the plan observed.
+	Ops [opCount]int64
+}
+
+// Stats snapshots the plan's counters.
+func (p *Plan) Stats() Stats {
+	if p == nil {
+		return Stats{}
+	}
+	s := Stats{
+		Failed:       atomic.LoadInt64(&p.failed),
+		TornWrites:   atomic.LoadInt64(&p.torn),
+		FlippedReads: atomic.LoadInt64(&p.flipped),
+	}
+	for i := range s.Ops {
+		s.Ops[i] = atomic.LoadInt64(&p.ops[i])
+	}
+	return s
+}
+
+// Crashed reports whether the torn-write crash has fired.
+func (p *Plan) Crashed() bool {
+	return p != nil && atomic.LoadInt32(&p.crashed) != 0
+}
+
+// FS wraps inner (nil: the passthrough OS filesystem) with the plan's
+// fault injection.
+func (p *Plan) FS(inner FS) FS {
+	return &faultFS{plan: p, inner: OrOS(inner)}
+}
+
+// step assigns the next 1-based sequence number of kind op, honoring
+// the crash-stop, and applies a matching FailSpec. It returns the
+// sequence number and the injected error, if any.
+func (p *Plan) step(op Op) (int64, error) {
+	if atomic.LoadInt32(&p.crashed) != 0 {
+		return 0, ErrCrashed
+	}
+	seq := atomic.AddInt64(&p.ops[op], 1)
+	if f := p.Fail; f != nil && f.Op == op && f.K == seq &&
+		atomic.CompareAndSwapInt32(&p.failFired, 0, 1) {
+		atomic.AddInt64(&p.failed, 1)
+		if f.Err != nil {
+			return seq, fmt.Errorf("diskfault: %s #%d: %w (%w)", op, seq, f.Err, ErrInjected)
+		}
+		return seq, fmt.Errorf("diskfault: %s #%d failed: %w", op, seq, ErrInjected)
+	}
+	return seq, nil
+}
+
+// tearWrite reports whether write seq is the torn one; firing it
+// crash-stops the plan.
+func (p *Plan) tearWrite(seq int64) bool {
+	if t := p.Torn; t != nil && t.K == seq &&
+		atomic.CompareAndSwapInt32(&p.crashed, 0, 1) {
+		atomic.AddInt64(&p.torn, 1)
+		return true
+	}
+	return false
+}
+
+// flip applies the seeded bit-flip decision for read seq to buf.
+func (p *Plan) flip(seq int64, buf []byte) {
+	if p.FlipProb <= 0 || len(buf) == 0 {
+		return
+	}
+	h := faultHash(p.Seed, uint64(seq), 0x9E3779B97F4A7C15)
+	if unitFloat(h) >= p.FlipProb {
+		return
+	}
+	if p.FlipMax > 0 && atomic.LoadInt64(&p.flipped) >= p.FlipMax {
+		return
+	}
+	atomic.AddInt64(&p.flipped, 1)
+	j := faultHash(p.Seed, uint64(seq), 0xBF58476D1CE4E5B9)
+	buf[j%uint64(len(buf))] ^= 1 << (j >> 32 % 8)
+}
+
+// faultHash mixes (seed, sequence, salt) with splitmix64 — stateless,
+// so decisions replay for equal counters.
+func faultHash(seed, seq, salt uint64) uint64 {
+	z := seed ^ salt ^ seq*0xE7037ED1A0B428DB
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// unitFloat maps a hash to [0, 1).
+func unitFloat(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// faultFS routes every operation through the plan.
+type faultFS struct {
+	plan  *Plan
+	inner FS
+}
+
+func (f *faultFS) Create(name string) (File, error) {
+	if _, err := f.plan.step(OpCreate); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{plan: f.plan, inner: file}, nil
+}
+
+func (f *faultFS) CreateTemp(dir, pattern string) (File, error) {
+	if _, err := f.plan.step(OpCreate); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{plan: f.plan, inner: file}, nil
+}
+
+func (f *faultFS) Open(name string) (File, error) {
+	if _, err := f.plan.step(OpOpen); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{plan: f.plan, inner: file}, nil
+}
+
+func (f *faultFS) Rename(oldpath, newpath string) error {
+	if _, err := f.plan.step(OpRename); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *faultFS) Remove(name string) error {
+	if _, err := f.plan.step(OpRemove); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *faultFS) SyncDir(dir string) error {
+	if _, err := f.plan.step(OpSync); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile routes file I/O through the plan. Closing stays allowed
+// after a crash-stop (a dying process still releases descriptors) but
+// reports ErrCrashed so callers do not mistake it for clean shutdown.
+type faultFile struct {
+	plan  *Plan
+	inner File
+}
+
+func (f *faultFile) Name() string { return f.inner.Name() }
+
+func (f *faultFile) Write(b []byte) (int, error) {
+	seq, err := f.plan.step(OpWrite)
+	if err != nil {
+		return 0, err
+	}
+	if f.plan.tearWrite(seq) {
+		n := f.plan.Torn.Bytes
+		if n > len(b) {
+			n = len(b)
+		}
+		n, _ = f.inner.Write(b[:n])
+		return n, ErrCrashed
+	}
+	return f.inner.Write(b)
+}
+
+func (f *faultFile) WriteAt(b []byte, off int64) (int, error) {
+	seq, err := f.plan.step(OpWrite)
+	if err != nil {
+		return 0, err
+	}
+	if f.plan.tearWrite(seq) {
+		n := f.plan.Torn.Bytes
+		if n > len(b) {
+			n = len(b)
+		}
+		n, _ = f.inner.WriteAt(b[:n], off)
+		return n, ErrCrashed
+	}
+	return f.inner.WriteAt(b, off)
+}
+
+func (f *faultFile) Read(b []byte) (int, error) {
+	seq, err := f.plan.step(OpRead)
+	if err != nil {
+		return 0, err
+	}
+	n, err := f.inner.Read(b)
+	if n > 0 {
+		f.plan.flip(seq, b[:n])
+	}
+	return n, err
+}
+
+func (f *faultFile) ReadAt(b []byte, off int64) (int, error) {
+	seq, err := f.plan.step(OpRead)
+	if err != nil {
+		return 0, err
+	}
+	n, err := f.inner.ReadAt(b, off)
+	if n > 0 {
+		f.plan.flip(seq, b[:n])
+	}
+	return n, err
+}
+
+func (f *faultFile) Sync() error {
+	if _, err := f.plan.step(OpSync); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error {
+	err := f.inner.Close()
+	if f.plan.Crashed() {
+		return ErrCrashed
+	}
+	return err
+}

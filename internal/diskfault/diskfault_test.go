@@ -1,0 +1,239 @@
+package diskfault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestOSPassthroughRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.bin")
+	f, err := OS.Create(path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, err := f.WriteAt([]byte("H"), 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := OS.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	moved := filepath.Join(dir, "g.bin")
+	if err := OS.Rename(path, moved); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	r, err := OS.Open(moved)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	r.Close()
+	if string(got) != "Hello" {
+		t.Fatalf("got %q, want %q", got, "Hello")
+	}
+	if err := OS.Remove(moved); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if OrOS(nil) != OS {
+		t.Fatal("OrOS(nil) should be OS")
+	}
+	if OrOS(OS) != OS {
+		t.Fatal("OrOS(OS) should be OS")
+	}
+}
+
+func TestFaultFailKthWrite(t *testing.T) {
+	plan := &Plan{Fail: &FailSpec{Op: OpWrite, K: 2}}
+	fs := plan.FS(nil)
+	f, err := fs.Create(filepath.Join(t.TempDir(), "f"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("a")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := f.Write([]byte("b")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2: got %v, want ErrInjected", err)
+	}
+	// Fires once: the third write succeeds again.
+	if _, err := f.Write([]byte("c")); err != nil {
+		t.Fatalf("write 3: %v", err)
+	}
+	st := plan.Stats()
+	if st.Failed != 1 || st.Ops[OpWrite] != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestFaultENOSPC(t *testing.T) {
+	plan := &Plan{Fail: &FailSpec{Op: OpWrite, K: 1, Err: syscall.ENOSPC}}
+	f, err := plan.FS(nil).Create(filepath.Join(t.TempDir(), "f"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer f.Close()
+	_, err = f.Write([]byte("x"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("got %v, want ENOSPC", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected too", err)
+	}
+}
+
+func TestFaultTornWriteCrashStops(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	plan := &Plan{Torn: &TornSpec{K: 2, Bytes: 3}}
+	fs := plan.FS(nil)
+	f, err := fs.Create(path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := f.Write([]byte("first")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	n, err := f.Write([]byte("second"))
+	if !errors.Is(err, ErrCrashed) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2: got %v, want ErrCrashed", err)
+	}
+	if n != 3 {
+		t.Fatalf("torn write landed %d bytes, want 3", n)
+	}
+	if !plan.Crashed() {
+		t.Fatal("plan should be crash-stopped")
+	}
+	// Every subsequent op fails, including via fresh handles.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: got %v", err)
+	}
+	if err := f.Close(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash close: got %v", err)
+	}
+	if _, err := fs.Open(path); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open: got %v", err)
+	}
+	if err := fs.Rename(path, path+".2"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename: got %v", err)
+	}
+	// The partial bytes really landed before the crash.
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if string(got) != "firstsec" {
+		t.Fatalf("on-disk bytes %q, want %q", got, "firstsec")
+	}
+	if st := plan.Stats(); st.TornWrites != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestFaultBitFlipDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	payload := bytes.Repeat([]byte{0xAA}, 256)
+	if err := os.WriteFile(path, payload, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	read := func(plan *Plan) []byte {
+		t.Helper()
+		f, err := plan.FS(nil).Open(path)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		defer f.Close()
+		buf := make([]byte, len(payload))
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			t.Fatalf("ReadAt: %v", err)
+		}
+		return buf
+	}
+	a := read(&Plan{Seed: 7, FlipProb: 1})
+	b := read(&Plan{Seed: 7, FlipProb: 1})
+	if bytes.Equal(a, payload) {
+		t.Fatal("FlipProb=1 flipped nothing")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("equal seeds must flip equal bits")
+	}
+	c := read(&Plan{Seed: 8, FlipProb: 1})
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds should flip different bits (vanishingly unlikely to collide)")
+	}
+	clean := read(&Plan{Seed: 7})
+	if !bytes.Equal(clean, payload) {
+		t.Fatal("zero FlipProb must not corrupt reads")
+	}
+	capped := &Plan{Seed: 7, FlipProb: 1, FlipMax: 1}
+	fs := capped.FS(nil)
+	f, err := fs.Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer f.Close()
+	buf := make([]byte, len(payload))
+	for i := 0; i < 4; i++ {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			t.Fatalf("ReadAt: %v", err)
+		}
+	}
+	if st := capped.Stats(); st.FlippedReads != 1 {
+		t.Fatalf("FlipMax=1 should cap flips, got %+v", st)
+	}
+}
+
+func TestFaultFailOpenAndSync(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	plan := &Plan{Fail: &FailSpec{Op: OpOpen, K: 1}}
+	if _, err := plan.FS(nil).Open(path); !errors.Is(err, ErrInjected) {
+		t.Fatalf("open: got %v, want ErrInjected", err)
+	}
+	plan = &Plan{Fail: &FailSpec{Op: OpSync, K: 1}}
+	fs := plan.FS(nil)
+	f, err := fs.Create(filepath.Join(dir, "g"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer f.Close()
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync: got %v, want ErrInjected", err)
+	}
+	// SyncDir shares the sync counter; the spec fired once already.
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir after fired spec: %v", err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpCreate: "create", OpOpen: "open", OpWrite: "write", OpRead: "read",
+		OpSync: "sync", OpRename: "rename", OpRemove: "remove",
+	} {
+		if op.String() != want {
+			t.Fatalf("Op(%d).String() = %q, want %q", op, op.String(), want)
+		}
+	}
+}

@@ -3,16 +3,26 @@ package grn
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math"
-	"os"
 	"sort"
 	"sync"
+
+	"repro/internal/diskfault"
 )
 
 // adjEntryBytes is the payload cost of one directed adjacency entry:
 // a neighbor id (int32), an edge id into the network's edge list
 // (int32), and the edge weight (float64).
 const adjEntryBytes = 4 + 4 + 8
+
+// adjTrailerBytes is the per-shard integrity trailer in the spill
+// file: payload length (uint32 LE) + CRC32C of the payload (uint32
+// LE). Every shard read verifies it, so a flipped bit in a spilled
+// adjacency row fails loudly instead of silently rewiring the network.
+const adjTrailerBytes = 8
+
+var adjCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
 // adjShard is one block of consecutive genes' CSR adjacency rows: for
 // every gene g in [lo, hi) the neighbors, their edge ids, and their
@@ -74,7 +84,8 @@ type adjStore struct {
 	budget   int64 // effective payload budget; 0 = unbudgeted
 	resident int64
 	clock    int64
-	file     *os.File
+	fsys     diskfault.FS
+	file     diskfault.File
 	fileOff  []int64
 	iobuf    []byte
 	stats    FilterStats
@@ -91,7 +102,16 @@ const defaultShardRows = 256
 // blocks that fit the budget, each batch taking one pass over the edge
 // list before being written to the spill file and freed, so the build
 // peak matches the sweep's ceiling instead of the whole adjacency.
-func buildAdjStore(g *Network, opts FilterOpts, workers int) (*adjStore, error) {
+func buildAdjStore(g *Network, opts FilterOpts, workers int) (st *adjStore, err error) {
+	// The spill temp file must not outlive a failed build: every error
+	// return after CreateTemp — present or future — funnels through this
+	// cleanup instead of trusting each path to remember it.
+	defer func() {
+		if err != nil && st != nil {
+			st.close()
+			st = nil
+		}
+	}()
 	if len(g.edges) > math.MaxInt32 {
 		return nil, fmt.Errorf("grn: %d edges exceed the filter's int32 edge-id space", len(g.edges))
 	}
@@ -105,7 +125,7 @@ func buildAdjStore(g *Network, opts FilterOpts, workers int) (*adjStore, error) 
 	if rows < 1 {
 		rows = 1
 	}
-	st := &adjStore{n: g.n, rows: rows}
+	st = &adjStore{n: g.n, rows: rows, fsys: diskfault.OrOS(opts.FS)}
 	numShards := (g.n + rows - 1) / rows
 
 	deg := make([]int32, g.n)
@@ -164,7 +184,7 @@ func buildAdjStore(g *Network, opts FilterOpts, workers int) (*adjStore, error) 
 		return st, nil
 	}
 
-	f, err := os.CreateTemp(opts.SpillDir, "tinge-adj-*.spill")
+	f, err := st.fsys.CreateTemp(opts.SpillDir, "tinge-adj-*.spill")
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +193,7 @@ func buildAdjStore(g *Network, opts FilterOpts, workers int) (*adjStore, error) 
 	var off int64
 	for si, s := range st.shards {
 		st.fileOff[si] = off
-		off += s.payloadBytes()
+		off += s.payloadBytes() + adjTrailerBytes
 	}
 
 	for lo := 0; lo < numShards; {
@@ -199,9 +219,8 @@ func buildAdjStore(g *Network, opts FilterOpts, workers int) (*adjStore, error) 
 		for si := lo; si < hi; si++ {
 			s := st.shards[si]
 			sortShardRows(s)
-			if err := st.writeShardLocked(si); err != nil {
-				st.close()
-				return nil, err
+			if werr := st.writeShardLocked(si); werr != nil {
+				return st, werr
 			}
 			st.freeLocked(s)
 		}
@@ -335,7 +354,8 @@ func (st *adjStore) evictLocked() {
 }
 
 // writeShardLocked serializes shard si's payload to its fixed spill
-// region: the nbr array, then eid, then wt, little-endian.
+// slot: the nbr array, then eid, then wt, little-endian, followed by
+// the integrity trailer — all in one write.
 func (st *adjStore) writeShardLocked(si int) error {
 	s := st.shards[si]
 	buf := st.encodeBuf(s)
@@ -352,6 +372,8 @@ func (st *adjStore) writeShardLocked(si int) error {
 		binary.LittleEndian.PutUint64(buf[p:], math.Float64bits(v))
 		p += 8
 	}
+	binary.LittleEndian.PutUint32(buf[p:], uint32(p))
+	binary.LittleEndian.PutUint32(buf[p+4:], crc32.Checksum(buf[:p], adjCRCTable))
 	if _, err := st.file.WriteAt(buf, st.fileOff[si]); err != nil {
 		return fmt.Errorf("grn: adjacency spill write: %w", err)
 	}
@@ -359,12 +381,21 @@ func (st *adjStore) writeShardLocked(si int) error {
 	return nil
 }
 
+// readShardLocked loads shard si from its spill slot and verifies the
+// trailer. A failed read or checksum is retried once — transient I/O
+// errors recover, genuine corruption fails both attempts and surfaces
+// a typed error wrapping diskfault.ErrCorrupt.
 func (st *adjStore) readShardLocked(si int) error {
-	s := st.shards[si]
-	buf := st.encodeBuf(s)
-	if _, err := st.file.ReadAt(buf, st.fileOff[si]); err != nil {
-		return fmt.Errorf("grn: adjacency spill read: %w", err)
+	err := st.readVerifyLocked(si)
+	if err != nil {
+		st.stats.ShardReadRetries++
+		err = st.readVerifyLocked(si)
 	}
+	if err != nil {
+		return err
+	}
+	s := st.shards[si]
+	buf := st.iobuf
 	p := 0
 	for i := range s.nbr {
 		s.nbr[i] = int32(binary.LittleEndian.Uint32(buf[p:]))
@@ -381,10 +412,32 @@ func (st *adjStore) readShardLocked(si int) error {
 	return nil
 }
 
+// readVerifyLocked reads shard si's slot into st.iobuf and checks the
+// trailer against the payload.
+func (st *adjStore) readVerifyLocked(si int) error {
+	s := st.shards[si]
+	buf := st.encodeBuf(s)
+	if _, err := st.file.ReadAt(buf, st.fileOff[si]); err != nil {
+		return fmt.Errorf("grn: adjacency spill read shard %d: %w", si, err)
+	}
+	payload := int(s.payloadBytes())
+	if n := binary.LittleEndian.Uint32(buf[payload:]); n != uint32(payload) {
+		return fmt.Errorf("grn: adjacency shard %d trailer length %d, want %d: %w",
+			si, n, payload, diskfault.ErrCorrupt)
+	}
+	got := crc32.Checksum(buf[:payload], adjCRCTable)
+	if want := binary.LittleEndian.Uint32(buf[payload+4:]); got != want {
+		return fmt.Errorf("grn: adjacency shard %d CRC32C mismatch: computed %08x, stored %08x: %w",
+			si, got, want, diskfault.ErrCorrupt)
+	}
+	return nil
+}
+
 // encodeBuf returns the store's reusable IO buffer grown to the
-// shard's payload size. Callers hold st.mu, which serializes spill IO.
+// shard's slot size (payload + trailer). Callers hold st.mu, which
+// serializes spill IO.
 func (st *adjStore) encodeBuf(s *adjShard) []byte {
-	n := int(s.payloadBytes())
+	n := int(s.payloadBytes()) + adjTrailerBytes
 	if cap(st.iobuf) < n {
 		st.iobuf = make([]byte, n)
 	}
@@ -395,7 +448,7 @@ func (st *adjStore) close() {
 	if st.file != nil {
 		name := st.file.Name()
 		st.file.Close()
-		os.Remove(name)
+		st.fsys.Remove(name)
 		st.file = nil
 	}
 }

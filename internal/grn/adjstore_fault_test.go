@@ -1,0 +1,92 @@
+package grn
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"repro/internal/diskfault"
+)
+
+// budgetedOpts forces the filter through the spill path: a 1-byte
+// budget (raised to the pinned floor) with small shards guarantees
+// shard writes, evictions, and re-reads.
+func budgetedOpts(dir string, fsys diskfault.FS) FilterOpts {
+	return FilterOpts{
+		Tolerance: 0.1, Workers: 1, ShardRows: 8,
+		MemoryBudget: 1, SpillDir: dir, FS: fsys,
+	}
+}
+
+// TestAdjStoreBitFlipCorruptDetected: a bit flipped in a spilled
+// adjacency shard must fail the CRC on re-read — after the bounded
+// retry — and abort the filter with a typed corruption error, never a
+// silently different network.
+func TestAdjStoreBitFlipCorruptDetected(t *testing.T) {
+	g := randNetwork(120, 0.2, 7)
+	plan := &diskfault.Plan{Seed: 3, FlipProb: 1}
+	_, _, err := g.DPIParallel(budgetedOpts(t.TempDir(), plan.FS(nil)))
+	if err == nil {
+		t.Fatal("flipped shard reads passed the checksum")
+	}
+	if !errors.Is(err, diskfault.ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+	if plan.Stats().FlippedReads == 0 {
+		t.Fatal("plan never flipped a read")
+	}
+}
+
+// TestAdjStoreTransientReadFaultRetries: a read error that fires once
+// is absorbed by the bounded retry and the filter's result is
+// bit-identical to the clean run.
+func TestAdjStoreTransientReadFaultRetries(t *testing.T) {
+	g := randNetwork(120, 0.2, 7)
+	want, _, err := g.DPIParallel(FilterOpts{Tolerance: 0.1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &diskfault.Plan{Fail: &diskfault.FailSpec{Op: diskfault.OpRead, K: 1}}
+	got, st, err := g.DPIParallel(budgetedOpts(t.TempDir(), plan.FS(nil)))
+	if err != nil {
+		t.Fatalf("transient read fault should be retried away: %v", err)
+	}
+	identicalEdges(t, "retried run", got, want)
+	if st.ShardReadRetries != 1 {
+		t.Fatalf("ShardReadRetries = %d, want 1", st.ShardReadRetries)
+	}
+}
+
+// TestAdjStoreBuildFaultCleansSpillFile pins the construction-failure
+// contract: when the build dies mid-spill (here: an injected write
+// error), the temp spill file must not be left behind in SpillDir.
+func TestAdjStoreBuildFaultCleansSpillFile(t *testing.T) {
+	g := randNetwork(120, 0.2, 7)
+	dir := t.TempDir()
+	for k := int64(1); k <= 3; k++ {
+		plan := &diskfault.Plan{Fail: &diskfault.FailSpec{Op: diskfault.OpWrite, K: k}}
+		out, _, err := g.DPIParallel(budgetedOpts(dir, plan.FS(nil)))
+		if err == nil || out != nil {
+			t.Fatalf("write fault %d: filter should fail, got network=%v err=%v", k, out, err)
+		}
+		if !errors.Is(err, diskfault.ErrInjected) {
+			t.Fatalf("write fault %d: got %v, want ErrInjected", k, err)
+		}
+		entries, derr := os.ReadDir(dir)
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		if len(entries) != 0 {
+			t.Fatalf("write fault %d: spill temp file leaked: %v", k, entries)
+		}
+	}
+
+	// Same contract when the spill file cannot even be created.
+	plan := &diskfault.Plan{Fail: &diskfault.FailSpec{Op: diskfault.OpCreate, K: 1}}
+	if out, _, err := g.DPIParallel(budgetedOpts(dir, plan.FS(nil))); err == nil || out != nil {
+		t.Fatalf("create fault: filter should fail, got network=%v err=%v", out, err)
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != 0 {
+		t.Fatalf("create fault: spill dir not empty: %v", entries)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/diskfault"
 	"repro/internal/mi"
 )
 
@@ -39,6 +40,9 @@ type FilterOpts struct {
 	SpillDir string
 	// ShardRows is the shard height in genes (default 256).
 	ShardRows int
+	// FS is the filesystem seam the shard spill file goes through
+	// (nil: the real filesystem) — the disk-fault tests' injection hook.
+	FS diskfault.FS
 }
 
 // FilterStats reports what a filter pass did: edges removed, and the
@@ -58,6 +62,10 @@ type FilterStats struct {
 	// ShardBytesSpilled / ShardBytesLoaded are cumulative spill-file
 	// traffic.
 	ShardBytesSpilled, ShardBytesLoaded int64
+	// ShardReadRetries counts shard loads whose first read failed the
+	// integrity trailer or I/O and were re-read once before succeeding
+	// or surfacing a corruption error.
+	ShardReadRetries int64
 }
 
 // RowFunc supplies gene g's rank-normalized expression row to the CMI
@@ -79,6 +87,7 @@ func (s *FilterStats) Merge(o FilterStats) {
 	s.ShardEvictions += o.ShardEvictions
 	s.ShardBytesSpilled += o.ShardBytesSpilled
 	s.ShardBytesLoaded += o.ShardBytesLoaded
+	s.ShardReadRetries += o.ShardReadRetries
 }
 
 func (o FilterOpts) workers() int {

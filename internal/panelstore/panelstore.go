@@ -12,6 +12,11 @@
 // the layout a sample-sharded reader needs — the ROADMAP's multi-node
 // sharded ingest streams sample ranges of a panel without striding the
 // whole panel — and it costs one small transpose per spill/load.
+// Each panel slot ends with an 8-byte integrity trailer (payload
+// length + CRC32C); every load verifies it, retrying the read once
+// before surfacing a typed corruption error, so a flipped bit in the
+// spill file can change an MI kernel's input only by first failing the
+// checksum — never silently.
 //
 // Concurrency: all state transitions (append, pin, release, evict) are
 // mutex-guarded. A pinned panel's row data is immutable until every
@@ -21,15 +26,23 @@ package panelstore
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
-	"os"
 	"path/filepath"
 	"sync"
 
+	"repro/internal/diskfault"
 	"repro/internal/mat"
 )
+
+// trailerBytes is the per-panel integrity trailer: payload length
+// (uint32 LE) + CRC32C of the payload (uint32 LE).
+const trailerBytes = 8
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Stats is a point-in-time account of store activity.
 type Stats struct {
@@ -38,8 +51,12 @@ type Stats struct {
 	Hits, Misses int64
 	// Evictions counts panels dropped from memory to stay under budget.
 	Evictions int64
-	// BytesSpilled and BytesLoaded are cumulative spill-file traffic.
+	// BytesSpilled and BytesLoaded are cumulative spill-file traffic
+	// (including the per-panel integrity trailers).
 	BytesSpilled, BytesLoaded int64
+	// LoadRetries counts panel loads whose first read failed integrity
+	// or I/O checks and were re-read once before succeeding or erroring.
+	LoadRetries int64
 	// ResidentBytes is the current in-memory panel footprint;
 	// PeakBytes is its high-water mark — the store's true ceiling.
 	ResidentBytes, PeakBytes int64
@@ -104,7 +121,8 @@ type Store struct {
 	height int // rows per panel (the last panel may be shorter)
 	budget int64
 
-	file    *os.File
+	fsys    diskfault.FS
+	file    diskfault.File
 	path    string
 	panels  []*panel
 	rows    int
@@ -122,6 +140,13 @@ type Store struct {
 // the panel height in rows, budget the in-memory panel byte budget
 // (pins may force the store above it; PeakBytes records the truth).
 func New(dir string, cols, height int, budget int64) (*Store, error) {
+	return NewFS(nil, dir, cols, height, budget)
+}
+
+// NewFS is New with an explicit filesystem seam (nil: the real
+// filesystem) — the hook the disk-fault tests inject through.
+func NewFS(fsys diskfault.FS, dir string, cols, height int, budget int64) (*Store, error) {
+	fsys = diskfault.OrOS(fsys)
 	if cols < 1 {
 		return nil, fmt.Errorf("panelstore: non-positive cols %d", cols)
 	}
@@ -131,19 +156,23 @@ func New(dir string, cols, height int, budget int64) (*Store, error) {
 	if budget < 0 {
 		return nil, fmt.Errorf("panelstore: negative budget %d", budget)
 	}
-	f, err := os.CreateTemp(dir, "panelstore-*.spill")
+	f, err := fsys.CreateTemp(dir, "panelstore-*.spill")
 	if err != nil {
 		return nil, err
 	}
+	// Nothing below can fail, so the temp file cannot leak here (the
+	// adjstore construction-failure leak had no counterpart in this
+	// shape); any later failure is the caller's Close to clean up.
 	return &Store{
 		cols:    cols,
 		height:  height,
 		budget:  budget,
+		fsys:    fsys,
 		file:    f,
 		path:    f.Name(),
 		staging: mat.NewMatrix32Hint(cols, height),
 		tbuf:    make([]float32, height*cols),
-		iobuf:   make([]byte, height*cols*4),
+		iobuf:   make([]byte, height*cols*4+trailerBytes),
 	}, nil
 }
 
@@ -240,14 +269,19 @@ func (s *Store) flushStagingLocked() error {
 		copy(p.data[r*s.cols:(r+1)*s.cols], s.staging.Row(r))
 	}
 
-	// Sample-major on disk: dst[c*nr+r] = staging[r][c].
+	// Sample-major on disk: dst[c*nr+r] = staging[r][c]. The payload is
+	// followed by its integrity trailer, and both land in one write at
+	// the panel's fixed slot offset.
 	tb := s.tbuf[:nr*s.cols]
 	s.staging.TransposeTileInto(tb, 0, nr, 0, s.cols)
-	buf := s.iobuf[:nr*s.cols*4]
+	payload := nr * s.cols * 4
+	buf := s.iobuf[:payload+trailerBytes]
 	for i, v := range tb {
 		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
 	}
-	off := int64(len(s.panels)) * int64(s.height) * int64(s.cols) * 4
+	binary.LittleEndian.PutUint32(buf[payload:], uint32(payload))
+	binary.LittleEndian.PutUint32(buf[payload+4:], crc32.Checksum(buf[:payload], crcTable))
+	off := int64(len(s.panels)) * s.slotBytes()
 	if _, err := s.file.WriteAt(buf, off); err != nil {
 		return fmt.Errorf("panelstore: spill panel %d: %w", len(s.panels), err)
 	}
@@ -296,18 +330,29 @@ func (s *Store) Panel(i int) (*Panel, error) {
 	return &Panel{s: s, p: p, idx: i}, nil
 }
 
-// loadLocked re-reads panel i from the spill file and de-transposes it
-// back to row-major.
+// slotBytes returns the on-disk stride of a full-height panel slot:
+// payload plus integrity trailer.
+func (s *Store) slotBytes() int64 {
+	return int64(s.height)*int64(s.cols)*4 + trailerBytes
+}
+
+// loadLocked re-reads panel i from the spill file, verifies its
+// integrity trailer, and de-transposes it back to row-major. A failed
+// read or checksum is retried once (transient I/O errors recover;
+// genuine corruption fails both attempts) before surfacing a typed
+// error wrapping diskfault.ErrCorrupt.
 func (s *Store) loadLocked(i int, p *panel) error {
-	nr := p.hi - p.lo
-	buf := s.iobuf[:nr*s.cols*4]
-	off := int64(i) * int64(s.height) * int64(s.cols) * 4
-	if _, err := s.file.ReadAt(buf, off); err != nil {
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return fmt.Errorf("panelstore: spill file truncated at panel %d: %w", i, err)
-		}
-		return fmt.Errorf("panelstore: load panel %d: %w", i, err)
+	err := s.readVerifyLocked(i, p)
+	if err != nil {
+		s.stats.LoadRetries++
+		err = s.readVerifyLocked(i, p)
 	}
+	if err != nil {
+		return err
+	}
+	nr := p.hi - p.lo
+	payload := nr * s.cols * 4
+	buf := s.iobuf[:payload]
 	tb := s.tbuf[:nr*s.cols]
 	for x := range tb {
 		tb[x] = math.Float32frombits(binary.LittleEndian.Uint32(buf[x*4:]))
@@ -320,10 +365,36 @@ func (s *Store) loadLocked(i int, p *panel) error {
 		}
 	}
 	p.data = data
-	s.stats.BytesLoaded += int64(len(buf))
+	s.stats.BytesLoaded += int64(payload + trailerBytes)
 	s.stats.ResidentBytes += int64(len(data)) * 4
 	if s.stats.ResidentBytes > s.stats.PeakBytes {
 		s.stats.PeakBytes = s.stats.ResidentBytes
+	}
+	return nil
+}
+
+// readVerifyLocked reads panel i's slot (payload + trailer) into
+// s.iobuf and checks the trailer. On success s.iobuf holds the
+// verified payload.
+func (s *Store) readVerifyLocked(i int, p *panel) error {
+	nr := p.hi - p.lo
+	payload := nr * s.cols * 4
+	buf := s.iobuf[:payload+trailerBytes]
+	off := int64(i) * s.slotBytes()
+	if _, err := s.file.ReadAt(buf, off); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("panelstore: spill file truncated at panel %d: %w: %w", i, diskfault.ErrCorrupt, err)
+		}
+		return fmt.Errorf("panelstore: load panel %d: %w", i, err)
+	}
+	if n := binary.LittleEndian.Uint32(buf[payload:]); n != uint32(payload) {
+		return fmt.Errorf("panelstore: panel %d trailer length %d, want %d: %w",
+			i, n, payload, diskfault.ErrCorrupt)
+	}
+	got := crc32.Checksum(buf[:payload], crcTable)
+	if want := binary.LittleEndian.Uint32(buf[payload+4:]); got != want {
+		return fmt.Errorf("panelstore: panel %d CRC32C mismatch: computed %08x, stored %08x: %w",
+			i, got, want, diskfault.ErrCorrupt)
 	}
 	return nil
 }
@@ -423,7 +494,7 @@ func (s *Store) Close() error {
 	}
 	s.closed = true
 	err := s.file.Close()
-	if rerr := os.Remove(s.path); err == nil {
+	if rerr := s.fsys.Remove(s.path); err == nil {
 		err = rerr
 	}
 	return err

@@ -1,6 +1,7 @@
 package panelstore
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -8,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/diskfault"
 )
 
 // buildStore spills n rows of m deterministic floats (including NaN and
@@ -243,7 +246,7 @@ func TestStoreTruncatedSpill(t *testing.T) {
 	defer s.Close()
 
 	s.SetBudget(0) // evict everything so reads must hit the file
-	if err := os.Truncate(s.SpillPath(), int64(height*m*4)+7); err != nil {
+	if err := os.Truncate(s.SpillPath(), s.slotBytes()+7); err != nil {
 		t.Fatal(err)
 	}
 	p0, err := s.Panel(0)
@@ -257,6 +260,90 @@ func TestStoreTruncatedSpill(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "truncated") {
 		t.Fatalf("error %q does not report truncation", err)
+	}
+}
+
+// TestStoreBitFlipCorruptDetected: a flipped bit anywhere in a spill
+// slot must fail the CRC on load — after the one bounded re-read — and
+// surface as a typed corruption error, never as silently different
+// panel data.
+func TestStoreBitFlipCorruptDetected(t *testing.T) {
+	const n, m, height = 16, 8, 4
+	plan := &diskfault.Plan{Seed: 11, FlipProb: 1}
+	s, err := NewFS(plan.FS(nil), t.TempDir(), m, height, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(5))
+	for g := 0; g < n; g++ {
+		row := make([]float32, m)
+		for c := range row {
+			row[c] = float32(rng.NormFloat64())
+		}
+		if err := s.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	s.SetBudget(0) // force every pin through the corrupting read path
+	for i := 0; i < s.NumPanels(); i++ {
+		p, err := s.Panel(i)
+		if err == nil {
+			p.Release()
+			t.Fatalf("panel %d: flipped read passed the checksum", i)
+		}
+		if !errors.Is(err, diskfault.ErrCorrupt) {
+			t.Fatalf("panel %d: got %v, want ErrCorrupt", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.LoadRetries != int64(s.NumPanels()) {
+		t.Fatalf("LoadRetries = %d, want one per panel (%d)", st.LoadRetries, s.NumPanels())
+	}
+}
+
+// TestStoreTransientReadFaultRetries: a read error that fires once —
+// a transient I/O hiccup — is absorbed by the bounded retry and the
+// panel loads bit-exactly.
+func TestStoreTransientReadFaultRetries(t *testing.T) {
+	const n, m, height = 16, 8, 4
+	plan := &diskfault.Plan{Fail: &diskfault.FailSpec{Op: diskfault.OpRead, K: 1}}
+	s, err := NewFS(plan.FS(nil), t.TempDir(), m, height, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	oracle := make([][]float32, n)
+	rng := rand.New(rand.NewSource(6))
+	for g := 0; g < n; g++ {
+		row := make([]float32, m)
+		for c := range row {
+			row[c] = float32(rng.NormFloat64())
+		}
+		oracle[g] = row
+		if err := s.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	s.SetBudget(0)
+	p, err := s.Panel(0)
+	if err != nil {
+		t.Fatalf("transient fault should be retried away: %v", err)
+	}
+	for g := p.Lo(); g < p.Hi(); g++ {
+		if !sameBits(p.Row(g), oracle[g]) {
+			t.Fatalf("row %d diverged after retried load", g)
+		}
+	}
+	p.Release()
+	if st := s.Stats(); st.LoadRetries != 1 {
+		t.Fatalf("LoadRetries = %d, want 1", st.LoadRetries)
 	}
 }
 
@@ -285,10 +372,10 @@ func FuzzPanelStore(f *testing.F) {
 		}
 		s.SetBudget(0)
 
-		panelBytes := int64(h) * int64(m) * 4
 		for i := 0; i < s.NumPanels(); i++ {
 			lo, hi := s.PanelRange(i)
-			need := int64(i)*panelBytes + int64(hi-lo)*int64(m)*4
+			// A panel is readable only when its payload AND trailer survive.
+			need := int64(i)*s.slotBytes() + int64(hi-lo)*int64(m)*4 + trailerBytes
 			p, err := s.Panel(i)
 			if need > cut {
 				if err == nil {

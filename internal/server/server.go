@@ -46,13 +46,13 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
-	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/expr"
 	"repro/internal/grn"
@@ -149,6 +149,7 @@ type Server struct {
 	mPermEvals, mScreened            *metrics.Counter
 	mRankFailures, mRecoveryRuns     *metrics.Counter
 	mRecoveredTiles                  *metrics.Counter
+	mCkptCorrupt, mSpillRetries      *metrics.Counter
 	mFaultDelayed, mFaultDropped     *metrics.Counter
 	mDPIRemoved, mCMIRemoved         *metrics.Counter
 	mTerminal                        map[JobState]*metrics.Counter
@@ -204,6 +205,8 @@ func (s *Server) init() {
 		s.mRankFailures = r.Counter("tinge_rank_failures_total", "Cluster ranks lost to faults across jobs.", nil)
 		s.mRecoveryRuns = r.Counter("tinge_recovery_runs_total", "Cluster recovery re-runs after a rank failure.", nil)
 		s.mRecoveredTiles = r.Counter("tinge_recovered_tiles_total", "Pair tiles redistributed to surviving ranks.", nil)
+		s.mCkptCorrupt = r.Counter("tinge_checkpoint_corrupt_total", "Corrupt checkpoints handled by starting the job fresh.", nil)
+		s.mSpillRetries = r.Counter("tinge_spill_read_retries_total", "Spill reads that failed verification once and succeeded on retry.", nil)
 		s.mFaultDelayed = r.Counter("tinge_fault_delayed_messages_total", "Messages delayed by fault injection.", nil)
 		s.mFaultDropped = r.Counter("tinge_fault_dropped_messages_total", "Messages dropped by fault injection.", nil)
 		s.mDPIRemoved = r.Counter("tinge_dpi_edges_removed_total", "Edges pruned by the DPI filter.", nil)
@@ -547,6 +550,8 @@ func (s *Server) finish(j *job, st JobState, errMsg string, res *core.Result) {
 		s.mRankFailures.Add(float64(res.RankFailures))
 		s.mRecoveryRuns.Add(float64(res.RecoveryRuns))
 		s.mRecoveredTiles.Add(float64(res.RecoveredTiles))
+		s.mCkptCorrupt.Add(float64(res.CheckpointRecoveries))
+		s.mSpillRetries.Add(float64(res.SpillReadRetries))
 		s.mFaultDelayed.Add(float64(res.FaultDelayedMessages))
 		s.mFaultDropped.Add(float64(res.FaultDroppedMessages))
 		s.mDPIRemoved.Add(float64(res.DPIEdgesRemoved))
@@ -556,9 +561,10 @@ func (s *Server) finish(j *job, st JobState, errMsg string, res *core.Result) {
 				"Pipeline wall seconds by phase, summed over jobs.",
 				metrics.Labels{"phase": phase}).Add(secs)
 		}
-		// A finished network supersedes its checkpoint.
+		// A finished network supersedes its checkpoint (and the
+		// rotated last-good copy beside it).
 		if j.ckptPath != "" {
-			os.Remove(j.ckptPath)
+			checkpoint.Remove(j.ckptPath)
 		}
 	}
 	attrs := []any{"job", j.id, "state", string(st), "wall_s", wall}
@@ -665,6 +671,7 @@ type statusResponse struct {
 	DPIRemoved int      `json:"dpiEdgesRemoved,omitempty"`
 	CMIRemoved int      `json:"cmiEdgesRemoved,omitempty"`
 	SimSecs    float64  `json:"simSeconds,omitempty"`
+	CkptRecov  int64    `json:"checkpointRecoveries,omitempty"`
 }
 
 // status snapshots a job into the response shape. Callers must not
@@ -689,6 +696,7 @@ func (j *job) status() statusResponse {
 		resp.DPIRemoved = j.result.DPIEdgesRemoved
 		resp.CMIRemoved = j.result.CMIEdgesRemoved
 		resp.SimSecs = j.result.SimSeconds
+		resp.CkptRecov = j.result.CheckpointRecoveries
 	}
 	return resp
 }

@@ -590,15 +590,25 @@ func TestGracefulShutdownCheckpointResume(t *testing.T) {
 		t.Fatalf("interrupted job state = %s, want canceled", st.State)
 	}
 
-	// The checkpoint holds partial progress.
+	// The checkpoint holds partial progress. Rotation may leave the
+	// previous snapshot beside the current one, but nothing else.
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 1 {
-		t.Fatalf("checkpoint dir has %d entries, want 1", len(entries))
+	ckptPath := ""
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".prev") {
+			continue
+		}
+		if ckptPath != "" {
+			t.Fatalf("checkpoint dir has more than one checkpoint: %v", entries)
+		}
+		ckptPath = filepath.Join(dir, e.Name())
 	}
-	ckptPath := filepath.Join(dir, entries[0].Name())
+	if ckptPath == "" {
+		t.Fatalf("checkpoint dir has no checkpoint: %v", entries)
+	}
 	state, err := checkpoint.LoadFile(ckptPath)
 	if err != nil {
 		t.Fatal(err)
@@ -633,9 +643,117 @@ func TestGracefulShutdownCheckpointResume(t *testing.T) {
 			t.Fatalf("edge %d differs: %q vs %q", i, net2[i], refNet[i])
 		}
 	}
-	// A completed job deletes its checkpoint.
+	// A completed job deletes its checkpoint and the rotated copy.
 	if _, err := os.Stat(ckptPath); !os.IsNotExist(err) {
 		t.Fatalf("checkpoint not removed after completion: %v", err)
+	}
+	if _, err := os.Stat(checkpoint.PrevPath(ckptPath)); !os.IsNotExist(err) {
+		t.Fatalf("rotated checkpoint not removed after completion: %v", err)
+	}
+}
+
+// TestResumeCorruptCheckpointStartsFresh pins the corruption-tolerant
+// resume contract at the HTTP layer: a resubmission whose on-disk
+// checkpoint (and rotated fallback) fail verification must not fail
+// the job — it recomputes from scratch, produces the reference
+// network, reports the recovery in its status, and bumps the
+// corruption counter.
+func TestResumeCorruptCheckpointStartsFresh(t *testing.T) {
+	const params = "permutations=50&seed=7&workers=2&tile=8&ckptevery=1"
+	body := tsvBody(t, 60, 100).Bytes()
+
+	// Reference run, no checkpointing.
+	ref := New()
+	refTS := httptest.NewServer(ref.Handler())
+	defer refTS.Close()
+	refID := startJob(t, refTS, bytes.NewReader(body), params)
+	refSt := waitFor(t, refTS, refID, StateDone)
+	refNet := fetchNetworkLines(t, refTS, refID)
+
+	// Interrupt a checkpointed run mid-scan so a partial checkpoint
+	// exists on disk.
+	dir := t.TempDir()
+	s1 := New()
+	s1.CheckpointDir = dir
+	ts1 := httptest.NewServer(s1.Handler())
+	defer ts1.Close()
+	id1 := startJob(t, ts1, bytes.NewReader(body), params)
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		st := getStatus(t, ts1, id1)
+		if st.State == StateRunning && st.Progress > 0 && st.Progress < 0.9 {
+			break
+		}
+		if st.State.terminal() {
+			t.Fatalf("job finished before shutdown could interrupt it (state %s); grow the workload", st.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never made partial progress")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt every checkpoint file in the directory — current and
+	// rotated alike — by flipping a payload byte.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no checkpoint written before shutdown")
+	}
+	for _, e := range entries {
+		p := filepath.Join(dir, e.Name())
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0x40
+		if err := os.WriteFile(p, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Restart: the identical resubmission must succeed from scratch.
+	s2 := New()
+	s2.CheckpointDir = dir
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	id2 := startJob(t, ts2, bytes.NewReader(body), params)
+	st2 := waitFor(t, ts2, id2, StateDone)
+
+	if st2.CkptRecov == 0 {
+		t.Fatal("status does not report the checkpoint recovery")
+	}
+	if st2.Evals != refSt.Evals {
+		t.Fatalf("recovered run evaluated %d pairs, reference %d — corrupt state was not discarded",
+			st2.Evals, refSt.Evals)
+	}
+	net2 := fetchNetworkLines(t, ts2, id2)
+	if len(net2) != len(refNet) {
+		t.Fatalf("recovered network has %d edges, reference %d", len(net2), len(refNet))
+	}
+	for i := range net2 {
+		if net2[i] != refNet[i] {
+			t.Fatalf("edge %d differs: %q vs %q", i, net2[i], refNet[i])
+		}
+	}
+	resp, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metricValue(t, string(scrape), "tinge_checkpoint_corrupt_total"); got < 1 {
+		t.Fatalf("tinge_checkpoint_corrupt_total = %v, want >= 1", got)
 	}
 }
 

@@ -29,7 +29,9 @@ import (
 	"context"
 	"io"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/diskfault"
 	"repro/internal/expr"
 	"repro/internal/grn"
 	"repro/internal/mat"
@@ -68,6 +70,28 @@ type (
 	KillSpec = mpi.KillSpec
 	// AbortError attributes a world failure to a rank and cause.
 	AbortError = mpi.AbortError
+)
+
+// Durability types (disk persistence). A DiskFaultPlan's FS wrapper
+// assigned to Config.FS injects deterministic disk faults — failed or
+// torn writes, ENOSPC, seeded bit flips on read — into checkpoint and
+// spill I/O for crash-consistency testing. All persisted formats are
+// checksummed; a checkpoint that fails verification surfaces as a
+// CheckpointCorruptError from the checkpoint layer and as a counted
+// fresh start (Result.CheckpointRecoveries) from the engines.
+type (
+	// DiskFS is the filesystem seam persistence goes through
+	// (diskfault.OS is the passthrough default).
+	DiskFS = diskfault.FS
+	// DiskFaultPlan deterministically injects disk faults.
+	DiskFaultPlan = diskfault.Plan
+	// DiskFailSpec makes the k-th operation of a kind fail.
+	DiskFailSpec = diskfault.FailSpec
+	// DiskTornSpec truncates the k-th write and crash-stops.
+	DiskTornSpec = diskfault.TornSpec
+	// CheckpointCorruptError reports a checkpoint (and its rotated
+	// fallback) that failed checksum verification.
+	CheckpointCorruptError = checkpoint.CorruptError
 )
 
 // Network types.
