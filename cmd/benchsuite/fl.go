@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/fleet"
+	"repro/internal/server"
+)
+
+// fl measures the fleet coordinator's content-addressed cache: the
+// wall-clock latency of a cold scan fanned out over 3 in-process
+// workers versus a resubmission of the identical (matrix, config)
+// landing a cache hit. Every cold scan's merged network is checked
+// bit-identical (threshold and edge list) against the single-process
+// reference before its latency counts.
+func (s *suite) fl() {
+	const workers = 3
+	sizes := [][2]int{{64, 48}, {128, 64}}
+	if s.quick {
+		sizes = [][2]int{{48, 32}}
+	}
+
+	ws := make([]*httptest.Server, workers)
+	urls := make([]string, workers)
+	for i := range ws {
+		srv := server.New()
+		srv.MaxRunning = 2
+		srv.MaxQueued = 64
+		ws[i] = httptest.NewServer(srv.Handler())
+		urls[i] = ws[i].URL
+		defer ws[i].Close()
+	}
+	c := fleet.New(urls)
+	c.PollInterval = 2 * time.Millisecond
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		c.Shutdown(ctx)
+	}()
+
+	coldReps, hitReps := 3, 7
+	fmt.Printf("\nFL: fleet result cache — cold 3-worker scan vs content-address hit (median of %d/%d)\n", coldReps, hitReps)
+	fmt.Println("  n      m      perms  chunks  cold (ms)  hit (ms)  speedup")
+	for _, sz := range sizes {
+		n, m := sz[0], sz[1]
+		d := expr.MustGenerate(expr.GenConfig{
+			Genes: n, Experiments: m, AvgRegulators: 1, Noise: 0.05, Seed: s.seed,
+		})
+		var buf bytes.Buffer
+		if err := d.WriteTSV(&buf); err != nil {
+			log.Fatalf("FL: %v", err)
+		}
+		body := buf.Bytes()
+
+		// Distinct scan seeds give distinct content addresses, so every
+		// cold reading really is cold; rep 0's config is the one reused
+		// for the cache-hit readings.
+		cold := make([]float64, 0, coldReps)
+		var hitCfg core.Config
+		for rep := 0; rep < coldReps; rep++ {
+			cfg := core.Config{
+				Permutations: 16, TileSize: 8, DPI: true, DPITolerance: -1,
+				Seed: s.seed + uint64(rep),
+			}
+			if err := cfg.Validate(); err != nil {
+				log.Fatalf("FL: %v", err)
+			}
+			if rep == 0 {
+				hitCfg = cfg
+			}
+			got, dur := s.flSubmit(c, body, cfg)
+			want, err := core.Infer(d.Expr, cfg)
+			if err != nil {
+				log.Fatalf("FL reference: %v", err)
+			}
+			if got.Threshold != want.Threshold || got.Network.Len() != want.Network.Len() {
+				log.Fatalf("FL: fleet scan diverged from single-process (n=%d rep=%d): threshold %v/%v edges %d/%d",
+					n, rep, got.Threshold, want.Threshold, got.Network.Len(), want.Network.Len())
+			}
+			ge, we := got.Network.Edges(), want.Network.Edges()
+			for i := range ge {
+				if ge[i] != we[i] {
+					log.Fatalf("FL: edge %d differs (n=%d rep=%d): %+v vs %+v", i, n, rep, ge[i], we[i])
+				}
+			}
+			cold = append(cold, dur)
+		}
+		hits := make([]float64, 0, hitReps)
+		for rep := 0; rep < hitReps; rep++ {
+			_, dur := s.flSubmit(c, body, hitCfg)
+			hits = append(hits, dur)
+		}
+		cm, hm := median(cold), median(hits)
+		chunks := len(fleet.PlanChunks(n, hitCfg.TileSize, 2*workers))
+		fmt.Printf("  %-6d %-6d %-6d %-7d %-10.1f %-9.3f %.0fx\n",
+			n, m, hitCfg.Permutations, chunks, cm*1e3, hm*1e3, cm/hm)
+	}
+}
+
+// flSubmit runs one submission to completion and returns the merged
+// result and the submit-to-done wall-clock seconds.
+func (s *suite) flSubmit(c *fleet.Coordinator, body []byte, cfg core.Config) (*core.Result, float64) {
+	start := time.Now()
+	id, _, err := c.Submit(body, cfg)
+	if err != nil {
+		log.Fatalf("FL submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	res, err := c.Wait(ctx, id)
+	if err != nil {
+		log.Fatalf("FL wait: %v", err)
+	}
+	return res, time.Since(start).Seconds()
+}
+
+func median(xs []float64) float64 {
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	return ys[len(ys)/2]
+}

@@ -28,6 +28,9 @@
 //	DP  parallel tiled DPI filter: worker and memory-budget scaling on
 //	    a >=1e5-edge network, bit-identity vs the sequential reference
 //	    enforced (writes BENCH_dpi.json)
+//	FL  fleet coordinator result cache: cold 3-worker fan-out scan vs
+//	    content-addressed cache hit, bit-identity vs single-process
+//	    enforced on every cold scan
 //
 // Usage:
 //
@@ -91,7 +94,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchsuite: ")
 	var (
-		expFlag    = flag.String("exp", "all", "comma-separated experiment ids (T1,T2,F1..F9,T3,A1,A2,PS,FS,OOC,SC,DP) or 'all'")
+		expFlag    = flag.String("exp", "all", "comma-separated experiment ids (T1,T2,F1..F9,T3,A1,A2,PS,FS,OOC,SC,DP,FL) or 'all'")
 		seed       = flag.Uint64("seed", 1, "run seed")
 		quick      = flag.Bool("quick", false, "smaller sizes for a fast pass")
 		compare    = flag.String("compare", "", "baseline BENCH_permsweep*.json: after PS, fail if any matched row's speedup regressed >15%")
@@ -102,7 +105,7 @@ func main() {
 	flag.Parse()
 
 	s := &suite{seed: *seed, quick: *quick, compare: *compare, compareOOC: *compareOOC, compareSC: *compareSC, compareDP: *compareDP}
-	all := []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "T3", "A1", "A2", "PS", "FS", "OOC", "SC", "DP"}
+	all := []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "T3", "A1", "A2", "PS", "FS", "OOC", "SC", "DP", "FL"}
 	var ids []string
 	if *expFlag == "all" {
 		ids = all
@@ -115,7 +118,7 @@ func main() {
 		"T1": s.t1, "T2": s.t2, "F1": s.f1, "F2": s.f2, "F3": s.f3,
 		"F4": s.f4, "F5": s.f5, "F6": s.f6, "F7": s.f7, "F8": s.f8,
 		"T3": s.t3, "A1": s.a1, "A2": s.a2, "F9": s.f9, "PS": s.ps,
-		"FS": s.fs, "OOC": s.ooc, "SC": s.sc, "DP": s.dp,
+		"FS": s.fs, "OOC": s.ooc, "SC": s.sc, "DP": s.dp, "FL": s.fl,
 	}
 	for _, id := range ids {
 		run, ok := runners[id]

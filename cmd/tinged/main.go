@@ -16,6 +16,18 @@
 // progress to a checkpoint, so resubmitting the same job to a restarted
 // server resumes instead of recomputing; without it, the running job is
 // allowed to finish (up to -shutdown-timeout).
+//
+// With -coordinator, tinged serves the same API but executes nothing
+// locally: each scan is split into pair-tile chunks and fanned out to
+// the worker tinged instances named by -workers (stock tinged — no
+// special worker mode), merged bit-identically, cached by content
+// address, and resumable through -checkpoint-dir:
+//
+//	tinged -addr :8081 &            # worker 1
+//	tinged -addr :8082 &            # worker 2
+//	tinged -coordinator -workers http://localhost:8081,http://localhost:8082 -addr :8080
+//	curl -s -X POST --data-binary @expr.tsv 'localhost:8080/jobs?permutations=30&dpi=1'
+//	curl -s -N localhost:8080/jobs/fl-1/events   # SSE progress stream
 package main
 
 import (
@@ -26,9 +38,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/server"
 )
 
@@ -41,6 +55,13 @@ func main() {
 	maxJobs := flag.Int("max-jobs", 256, "registry size cap (oldest finished jobs evicted early)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 2*time.Minute, "drain budget after SIGTERM")
 	logJSON := flag.Bool("log-json", false, "emit JSON logs instead of text")
+
+	coordinator := flag.Bool("coordinator", false, "run as a fleet coordinator instead of a scan server")
+	workers := flag.String("workers", "", "comma-separated worker base URLs (coordinator mode)")
+	chunksPerScan := flag.Int("chunks-per-scan", 0, "chunk jobs per scan (coordinator mode; 0: 2x worker count)")
+	chunkRetries := flag.Int("chunk-retries", 5, "attempts per chunk before the scan fails (coordinator mode)")
+	chunkTimeout := flag.Duration("chunk-timeout", 10*time.Minute, "per-chunk-attempt deadline (coordinator mode)")
+	cacheTTL := flag.Duration("cache-ttl", 15*time.Minute, "content-addressed result cache lifetime (coordinator mode)")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -49,7 +70,11 @@ func main() {
 	} else {
 		handler = slog.NewTextHandler(os.Stderr, nil)
 	}
-	logger := slog.New(handler).With("service", "tinged")
+	service := "tinged"
+	if *coordinator {
+		service = "tinged-coordinator"
+	}
+	logger := slog.New(handler).With("service", service)
 
 	if *checkpointDir != "" {
 		if err := os.MkdirAll(*checkpointDir, 0o755); err != nil {
@@ -58,17 +83,48 @@ func main() {
 		}
 	}
 
-	srv := server.New()
-	srv.CheckpointDir = *checkpointDir
-	srv.MaxRunning = *maxRunning
-	srv.MaxQueued = *maxQueued
-	srv.TTL = *jobTTL
-	srv.MaxJobs = *maxJobs
-	srv.Logger = logger
+	var apiHandler http.Handler
+	var drain func(context.Context) error
+
+	if *coordinator {
+		var urls []string
+		for _, u := range strings.Split(*workers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, strings.TrimRight(u, "/"))
+			}
+		}
+		if len(urls) == 0 {
+			logger.Error("coordinator mode needs -workers")
+			os.Exit(1)
+		}
+		co := fleet.New(urls)
+		co.ChunksPerScan = *chunksPerScan
+		co.MaxChunkRetries = *chunkRetries
+		co.ChunkTimeout = *chunkTimeout
+		co.CacheTTL = *cacheTTL
+		co.TTL = *jobTTL
+		co.MaxJobs = *maxJobs
+		co.MaxActiveScans = *maxRunning + *maxQueued
+		co.CheckpointDir = *checkpointDir
+		co.Logger = logger
+		apiHandler = co.Handler()
+		drain = co.Shutdown
+		logger.Info("fleet", "workers", urls)
+	} else {
+		srv := server.New()
+		srv.CheckpointDir = *checkpointDir
+		srv.MaxRunning = *maxRunning
+		srv.MaxQueued = *maxQueued
+		srv.TTL = *jobTTL
+		srv.MaxJobs = *maxJobs
+		srv.Logger = logger
+		apiHandler = srv.Handler()
+		drain = srv.Shutdown
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           apiHandler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -93,7 +149,7 @@ func main() {
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Warn("http shutdown", "error", err)
 	}
-	if err := srv.Shutdown(drainCtx); err != nil {
+	if err := drain(drainCtx); err != nil {
 		logger.Error("job drain incomplete", "error", err)
 		os.Exit(1)
 	}

@@ -238,6 +238,18 @@ type Config struct {
 	// (default 64).
 	CheckpointEvery int
 
+	// ChunkStart and ChunkTiles restrict phase 4 to the contiguous
+	// tile-index range [ChunkStart, ChunkStart+ChunkTiles) of the
+	// tile.Decompose order — the fleet coordinator's unit of fan-out.
+	// ChunkTiles == 0 scans every tile (the default). Phase 3's pooled
+	// null is seed-deterministic and independent of the chunk range, so
+	// every chunk of one submission computes the identical threshold and
+	// the union of the chunks' edge sets is bit-identical to an
+	// unchunked scan. Host engine only (no memory budget): the fleet
+	// fans chunks out to plain host workers.
+	ChunkStart int
+	ChunkTiles int
+
 	// MemoryBudget caps the out-of-core scan's total in-memory working
 	// set in bytes: resident store panels plus every worker's scratch
 	// (workspace, permuted-row cache arena, panel weight matrix, and
@@ -348,6 +360,20 @@ func (c *Config) Validate() error {
 	}
 	if c.CheckpointEvery < 1 {
 		return fmt.Errorf("core: non-positive checkpoint interval %d", c.CheckpointEvery)
+	}
+	if c.ChunkStart < 0 || c.ChunkTiles < 0 {
+		return fmt.Errorf("core: negative chunk range [%d,+%d)", c.ChunkStart, c.ChunkTiles)
+	}
+	if c.ChunkStart > 0 && c.ChunkTiles == 0 {
+		return fmt.Errorf("core: chunk start %d without a chunk tile count", c.ChunkStart)
+	}
+	if c.ChunkTiles > 0 {
+		if c.Engine != Host {
+			return fmt.Errorf("core: chunked scans require the host engine, have %v", c.Engine)
+		}
+		if c.MemoryBudget > 0 {
+			return fmt.Errorf("core: chunked scans do not compose with a memory budget")
+		}
 	}
 	if c.Engine == Phi || c.Engine == Hybrid {
 		if c.Device.Cores == 0 {

@@ -63,11 +63,27 @@ func applyFilters(cfg Config, res *Result, rows grn.RowFunc) error {
 	return nil
 }
 
+// ApplyFilters runs the phase-5 filters on an externally assembled
+// result — the fleet coordinator's merge path: chunk scans run
+// filter-free on the workers (DPI and CMI are whole-network passes, so
+// filtering per chunk would change the result), and the coordinator
+// prunes the merged network exactly once, keeping a fleet scan
+// bit-identical to a single-process scan. cfg must have passed
+// Validate; res.Network and res.Timer must be set; rows supplies
+// rank-normalized expression rows when cfg.CMIFilter is on.
+func ApplyFilters(cfg Config, res *Result, rows grn.RowFunc) error {
+	return applyFilters(cfg, res, rows)
+}
+
 // residentRows adapts the resident engines' rank-normalized matrix
 // into the CMI filter's row source.
 func residentRows(norm *mat.Dense) grn.RowFunc {
 	return func(g int) ([]float32, error) { return norm.Row(g), nil }
 }
+
+// ResidentRows is residentRows for external callers (the fleet
+// coordinator's CMI merge path).
+func ResidentRows(norm *mat.Dense) grn.RowFunc { return residentRows(norm) }
 
 // storeRows adapts the panel store: each fetch pins the gene's panel,
 // copies the raw row, and rank-normalizes the copy — the same

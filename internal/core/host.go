@@ -191,9 +191,17 @@ func hostScan(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Re
 	}
 	k.thresh = res.Threshold
 
-	// Phase 4: tile scan over the pending tiles.
-	pending := make([]int, 0, len(tiles))
-	for i := range tiles {
+	// Phase 4: tile scan over the pending tiles — the whole triangle, or
+	// just the configured chunk range when the scan is one fleet chunk.
+	lo, hi := 0, len(tiles)
+	if cfg.ChunkTiles > 0 {
+		lo, hi = cfg.ChunkStart, cfg.ChunkStart+cfg.ChunkTiles
+		if hi > len(tiles) {
+			return nil, nil, fmt.Errorf("core: chunk range [%d,%d) exceeds %d tiles", lo, hi, len(tiles))
+		}
+	}
+	pending := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
 		if ck == nil || !ck.state.Done[i] {
 			pending = append(pending, i)
 		}

@@ -1,0 +1,143 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/server"
+)
+
+// workerStatus is the slice of the worker's job-status JSON the
+// coordinator polls on.
+type workerStatus struct {
+	ID       string          `json:"id"`
+	State    server.JobState `json:"state"`
+	Progress float64         `json:"progress"`
+	Error    string          `json:"error"`
+}
+
+// runChunk executes one chunk attempt on worker w: submit the chunk
+// job (the scan config restricted to the chunk's tile range, filters
+// stripped — DPI/CMI are whole-network passes that run once at merge),
+// poll until terminal, fetch the full-precision result. Any failure —
+// connection refused, shed load, worker-side error, a worker that goes
+// quiet past ChunkTimeout — returns an error; the caller requeues the
+// chunk.
+func (c *Coordinator) runChunk(s *scan, w *workerState, ch Chunk) (*server.ResultResponse, error) {
+	ctx, cancel := context.WithTimeout(s.ctx, c.ChunkTimeout)
+	defer cancel()
+
+	workerCfg := s.cfg
+	workerCfg.DPI = false
+	workerCfg.CMIFilter = false
+	workerCfg.ChunkStart = ch.TileStart
+	workerCfg.ChunkTiles = ch.TileCount
+	url := w.base + "/jobs?" + server.ConfigParams(workerCfg).Encode()
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(s.body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "text/tab-separated-values")
+	var submit struct {
+		ID string `json:"id"`
+	}
+	if err := c.doJSON(req, http.StatusAccepted, &submit); err != nil {
+		return nil, fmt.Errorf("submit: %w", err)
+	}
+	jobURL := w.base + "/jobs/" + submit.ID
+
+	// Poll to terminal. A canceled context here is either the scan
+	// ending (caller checks s.ctx) or the chunk deadline — both abandon
+	// the attempt, and a best-effort DELETE stops the orphaned worker
+	// job from burning fleet capacity.
+	ticker := time.NewTicker(c.PollInterval)
+	defer ticker.Stop()
+	for {
+		var st workerStatus
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, jobURL, nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.doJSON(req, http.StatusOK, &st); err != nil {
+			c.abandon(jobURL)
+			return nil, fmt.Errorf("poll: %w", err)
+		}
+		switch st.State {
+		case server.StateDone:
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, jobURL+"/result", nil)
+			if err != nil {
+				return nil, err
+			}
+			var res server.ResultResponse
+			if err := c.doJSON(req, http.StatusOK, &res); err != nil {
+				return nil, fmt.Errorf("fetch result: %w", err)
+			}
+			return &res, nil
+		case server.StateFailed, server.StateCanceled:
+			return nil, fmt.Errorf("worker job %s: %s", st.State, st.Error)
+		}
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			c.abandon(jobURL)
+			if s.ctx.Err() == nil {
+				return nil, fmt.Errorf("chunk timed out after %v on %s", c.ChunkTimeout, w.base)
+			}
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// doJSON performs req, requires the given status, and decodes the body
+// into out. Other statuses become errors carrying the body text.
+func (c *Coordinator) doJSON(req *http.Request, want int, out any) error {
+	resp, err := c.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<26))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != want {
+		return fmt.Errorf("%s %s: %s: %s", req.Method, req.URL.Path, resp.Status, truncate(body, 200))
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("decode %s: %w", req.URL.Path, err)
+	}
+	return nil
+}
+
+// abandon best-effort cancels an orphaned worker job. It deliberately
+// uses a fresh short-lived context: the chunk's context is typically
+// already dead when abandon is called.
+func (c *Coordinator) abandon(jobURL string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, jobURL, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := c.Client.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+func truncate(b []byte, n int) string {
+	s := string(bytes.TrimSpace(b))
+	if len(s) > n {
+		s = s[:n] + "..."
+	}
+	return s
+}

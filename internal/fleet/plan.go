@@ -1,0 +1,78 @@
+// Package fleet turns N independent tinged processes into one
+// coordinated inference service — the scale-out step the single-server
+// deployment cannot take: one tinged sheds load at -max-running, while
+// the pair-block decomposition of the MI scan (the same combn(n,2)
+// chunking the ARACNE-style pipelines use) is embarrassingly
+// splittable. The coordinator splits a submitted scan into contiguous
+// pair-tile chunk jobs, fans them out to worker tinged instances over
+// the existing job HTTP API (workers run stock tinged — a chunk job is
+// just a job with a tile range), merges the partial adjacency results
+// into one network bit-identical to a single-process scan, and
+// reassigns a dead or timed-out worker's chunks to the survivors with
+// bounded retries, reusing the checkpoint.State pending-tile recovery
+// ledger the cluster engine introduced.
+//
+// Every scan is keyed by its content address (server.JobKey: matrix
+// bytes × scan config), which buys two things under heavy traffic:
+// single-flight dedupe (identical concurrent submissions collapse to
+// one fleet scan plus N watchers) and a content-addressed result cache
+// (identical submissions after completion serve from memory until TTL
+// eviction).
+package fleet
+
+import (
+	"repro/internal/tile"
+)
+
+// Chunk is one unit of fleet fan-out: a contiguous range of pair tiles
+// in tile.Decompose order. A chunk maps 1:1 onto a worker job with
+// tilestart/tilecount query parameters.
+type Chunk struct {
+	// Index is the chunk's position in the plan (the ledger slot).
+	Index int
+	// TileStart and TileCount delimit the tile-index range
+	// [TileStart, TileStart+TileCount).
+	TileStart, TileCount int
+	// Pairs is the number of gene pairs the chunk covers.
+	Pairs int
+}
+
+// PlanChunks splits the n-gene pair triangle (tiled at tileSize) into
+// at most `chunks` contiguous tile ranges with near-equal pair counts.
+// The returned chunks partition combn(n,2) exactly: every tile — and
+// therefore every pair (i<j) — belongs to exactly one chunk
+// (FuzzChunkPlan pins this for arbitrary geometry). Fewer chunks are
+// returned when there are fewer tiles than requested; nil when n < 2.
+func PlanChunks(n, tileSize, chunks int) []Chunk {
+	tiles := tile.Decompose(n, tileSize)
+	if len(tiles) == 0 {
+		return nil
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	if chunks > len(tiles) {
+		chunks = len(tiles)
+	}
+	total := 0
+	for _, t := range tiles {
+		total += t.Pairs()
+	}
+	out := make([]Chunk, 0, chunks)
+	start, done := 0, 0
+	for k := 0; k < chunks; k++ {
+		// Greedy cut: extend the chunk until the cumulative pair count
+		// reaches the k-th proportional target, always leaving at least
+		// one tile for each remaining chunk.
+		end := start + 1
+		acc := tiles[start].Pairs()
+		for end < len(tiles)-(chunks-k-1) && (done+acc)*chunks < total*(k+1) {
+			acc += tiles[end].Pairs()
+			end++
+		}
+		out = append(out, Chunk{Index: k, TileStart: start, TileCount: end - start, Pairs: acc})
+		done += acc
+		start = end
+	}
+	return out
+}

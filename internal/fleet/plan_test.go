@@ -1,0 +1,129 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/tile"
+)
+
+// checkPartition asserts the chunk plan partitions the tile list (and
+// therefore combn(n,2)) exactly: contiguous, no gap, no overlap, pair
+// counts consistent.
+func checkPartition(t *testing.T, n, tileSize, chunks int) {
+	t.Helper()
+	plan := PlanChunks(n, tileSize, chunks)
+	tiles := tile.Decompose(n, tileSize)
+	if len(tiles) == 0 {
+		if plan != nil {
+			t.Fatalf("PlanChunks(%d,%d,%d) = %v for empty tile list", n, tileSize, chunks, plan)
+		}
+		return
+	}
+	if len(plan) == 0 || len(plan) > chunks && chunks >= 1 {
+		t.Fatalf("PlanChunks(%d,%d,%d) returned %d chunks", n, tileSize, chunks, len(plan))
+	}
+	next, pairs := 0, 0
+	for k, ch := range plan {
+		if ch.Index != k {
+			t.Fatalf("chunk %d has Index %d", k, ch.Index)
+		}
+		if ch.TileStart != next {
+			t.Fatalf("chunk %d starts at tile %d, want %d (gap or overlap)", k, ch.TileStart, next)
+		}
+		if ch.TileCount < 1 {
+			t.Fatalf("chunk %d has %d tiles", k, ch.TileCount)
+		}
+		sum := 0
+		for i := ch.TileStart; i < ch.TileStart+ch.TileCount; i++ {
+			sum += tiles[i].Pairs()
+		}
+		if sum != ch.Pairs {
+			t.Fatalf("chunk %d declares %d pairs, tiles hold %d", k, ch.Pairs, sum)
+		}
+		next = ch.TileStart + ch.TileCount
+		pairs += ch.Pairs
+	}
+	if next != len(tiles) {
+		t.Fatalf("plan covers %d of %d tiles", next, len(tiles))
+	}
+	if want := tile.TotalPairs(n); pairs != want {
+		t.Fatalf("plan covers %d pairs, want combn(%d,2) = %d", pairs, n, want)
+	}
+}
+
+func TestPlanChunksPartition(t *testing.T) {
+	for _, tc := range []struct{ n, size, chunks int }{
+		{2, 32, 1}, {2, 32, 8}, {3, 1, 2}, {16, 4, 3}, {64, 32, 6},
+		{100, 7, 10}, {100, 7, 1000}, {257, 32, 4}, {33, 32, 2},
+	} {
+		checkPartition(t, tc.n, tc.size, tc.chunks)
+	}
+}
+
+func TestPlanChunksDegenerate(t *testing.T) {
+	if got := PlanChunks(0, 32, 4); got != nil {
+		t.Fatalf("PlanChunks(0) = %v", got)
+	}
+	if got := PlanChunks(1, 32, 4); got != nil {
+		t.Fatalf("PlanChunks(1) = %v", got)
+	}
+	if got := PlanChunks(10, 4, 0); len(got) != 1 {
+		t.Fatalf("chunks=0 should clamp to 1, got %d", len(got))
+	}
+}
+
+// TestPlanChunksBalance pins the point of the greedy cut: with many
+// more tiles than chunks, no chunk should carry a wildly
+// disproportionate pair share.
+func TestPlanChunksBalance(t *testing.T) {
+	const n, size, chunks = 512, 8, 8
+	plan := PlanChunks(n, size, chunks)
+	if len(plan) != chunks {
+		t.Fatalf("got %d chunks, want %d", len(plan), chunks)
+	}
+	ideal := float64(tile.TotalPairs(n)) / chunks
+	for _, ch := range plan {
+		if r := float64(ch.Pairs) / ideal; r < 0.5 || r > 1.5 {
+			t.Fatalf("chunk %d carries %d pairs, %.2fx the ideal share %.0f", ch.Index, ch.Pairs, r, ideal)
+		}
+	}
+}
+
+// FuzzChunkPlan drives the partition invariant over arbitrary
+// geometry: for every (n, tileSize, chunks) the plan must cover each
+// pair (i<j) exactly once.
+func FuzzChunkPlan(f *testing.F) {
+	f.Add(16, 4, 3)
+	f.Add(2, 32, 1)
+	f.Add(100, 7, 10)
+	f.Add(33, 32, 64)
+	f.Add(257, 13, 5)
+	f.Fuzz(func(t *testing.T, n, tileSize, chunks int) {
+		if n < 0 || n > 300 || tileSize < 1 || tileSize > 300 || chunks < -2 || chunks > 400 {
+			t.Skip()
+		}
+		checkPartition(t, n, tileSize, chunks)
+		// Per-pair coverage, the invariant stated directly: walk every
+		// chunk's tiles and mark each pair; every (i<j) must be marked
+		// exactly once.
+		if n < 2 {
+			return
+		}
+		tiles := tile.Decompose(n, tileSize)
+		seen := make(map[[2]int]int)
+		for _, ch := range PlanChunks(n, tileSize, chunks) {
+			for i := ch.TileStart; i < ch.TileStart+ch.TileCount; i++ {
+				tiles[i].ForEachPair(func(a, b int) {
+					seen[[2]int{a, b}]++
+				})
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if c := seen[[2]int{i, j}]; c != 1 {
+					t.Fatalf("pair (%d,%d) covered %d times", i, j, c)
+				}
+			}
+		}
+	})
+}

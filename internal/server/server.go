@@ -46,6 +46,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"net/url"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -76,10 +77,18 @@ func (s JobState) terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCanceled
 }
 
+// Terminal reports whether s is a final state — exported for the fleet
+// coordinator, which reuses JobState for its scan lifecycle.
+func (s JobState) Terminal() bool { return s.terminal() }
+
 type job struct {
 	id     string
 	ctx    context.Context
 	cancel context.CancelFunc
+	// key is the scan's content address (JobKey) — returned with 410
+	// Gone after the job is evicted so late pollers can resubmit and hit
+	// a cache or checkpoint.
+	key string
 	// ckptPath is the job's checkpoint file ("" when checkpointing is
 	// off or the engine does not support it).
 	ckptPath string
@@ -130,16 +139,24 @@ type Server struct {
 	Logger *slog.Logger
 	// Metrics is the exported registry (default: a fresh one).
 	Metrics *metrics.Registry
+	// EventPoll is the /jobs/{id}/events snapshot interval (default
+	// 50ms; tests shrink it).
+	EventPoll time.Duration
 
 	initOnce sync.Once
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	order    []string // job ids, oldest first
-	nextID   int64
-	draining bool
-	sem      chan struct{}
-	wg       sync.WaitGroup
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // job ids, oldest first
+	// gone maps evicted job ids to their content key (JobKey) so a late
+	// GET — an SSE reconnect racing TTL eviction — gets 410 Gone plus
+	// the key instead of an indistinguishable 404. Bounded FIFO.
+	gone      map[string]string
+	goneOrder []string
+	nextID    int64
+	draining  bool
+	sem       chan struct{}
+	wg        sync.WaitGroup
 	// now is the lifecycle clock (a test seam; defaults to time.Now).
 	now func() time.Time
 
@@ -166,6 +183,7 @@ func New() *Server {
 		MaxJobs:      256,
 		RetryAfter:   time.Second,
 		jobs:         make(map[string]*job),
+		gone:         make(map[string]string),
 		now:          time.Now,
 	}
 }
@@ -181,6 +199,9 @@ func (s *Server) init() {
 			s.MaxQueued = 0
 		}
 		s.sem = make(chan struct{}, s.MaxRunning)
+		if s.EventPoll <= 0 {
+			s.EventPoll = 50 * time.Millisecond
+		}
 		if s.Logger == nil {
 			s.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 		}
@@ -251,6 +272,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.instrument("/jobs", s.handleList))
 	mux.HandleFunc("GET /jobs/{id}", s.instrument("/jobs/{id}", s.handleStatus))
 	mux.HandleFunc("GET /jobs/{id}/network", s.instrument("/jobs/{id}/network", s.handleNetwork))
+	mux.HandleFunc("GET /jobs/{id}/result", s.instrument("/jobs/{id}/result", s.handleResult))
+	mux.HandleFunc("GET /jobs/{id}/events", s.instrument("/jobs/{id}/events", s.handleEvents))
 	mux.HandleFunc("DELETE /jobs/{id}", s.instrument("/jobs/{id}", s.handleCancel))
 	mux.Handle("GET /metrics", s.Metrics.Handler())
 	return mux
@@ -265,6 +288,14 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying Flusher so SSE streaming works
+// through the instrumentation wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps a handler with structured request logging and a
@@ -282,9 +313,16 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// parseConfig builds a core.Config from query parameters.
-func parseConfig(r *http.Request) (core.Config, error) {
-	q := r.URL.Query()
+// ParseConfig builds a core.Config from a request's query parameters.
+// It is exported because the fleet coordinator accepts the identical
+// parameter surface and re-serializes it (ConfigParams) when fanning
+// chunk jobs out to workers.
+func ParseConfig(r *http.Request) (core.Config, error) {
+	return ParseConfigValues(r.URL.Query())
+}
+
+// ParseConfigValues is ParseConfig over bare query values.
+func ParseConfigValues(q url.Values) (core.Config, error) {
 	// DPITolerance's zero value means strict DPI; the query default must
 	// stay the paper's 0.1, so start from the unset sentinel and let an
 	// explicit dpitolerance=0 request strictness.
@@ -310,6 +348,8 @@ func parseConfig(r *http.Request) (core.Config, error) {
 		"ckptevery":     &cfg.CheckpointEvery,
 		"maxrecoveries": &cfg.MaxRecoveries,
 		"panelrows":     &cfg.PanelRows,
+		"tilestart":     &cfg.ChunkStart,
+		"tilecount":     &cfg.ChunkTiles,
 	} {
 		if err := intParam(name, dst); err != nil {
 			return cfg, err
@@ -377,24 +417,92 @@ func parseConfig(r *http.Request) (core.Config, error) {
 	default:
 		return cfg, fmt.Errorf("unknown precision %q", v)
 	}
+	switch v := q.Get("kernel"); v {
+	case "", "bucketed":
+		cfg.Kernel = core.KernelBucketed
+	case "vec":
+		cfg.Kernel = core.KernelVec
+	case "scalar":
+		cfg.Kernel = core.KernelScalar
+	default:
+		return cfg, fmt.Errorf("unknown kernel %q", v)
+	}
 	return cfg, nil
 }
 
-// jobKey fingerprints (matrix bytes, scan-affecting config) into the
-// checkpoint file stem, so an identical resubmission maps to the same
-// checkpoint and resumes.
-func jobKey(body []byte, cfg core.Config) string {
+// ConfigParams serializes every scan-defining field of cfg back into
+// the query-parameter surface ParseConfig reads — the wire format the
+// fleet coordinator uses to hand a chunk job to an unmodified worker.
+// Round-trip invariant (tested): JobKey(body, parsed(ConfigParams(cfg)))
+// == JobKey(body, cfg) for any validated cfg. Scheduling-only knobs
+// (workers, checkpoint interval, budgets) are deliberately omitted so
+// each worker applies its own machine-local defaults.
+func ConfigParams(cfg core.Config) url.Values {
+	q := url.Values{}
+	setInt := func(name string, v int) {
+		if v != 0 {
+			q.Set(name, strconv.Itoa(v))
+		}
+	}
+	setInt("order", cfg.Order)
+	setInt("bins", cfg.Bins)
+	setInt("permutations", cfg.Permutations)
+	setInt("nullpairs", cfg.NullSamplePairs)
+	setInt("tile", cfg.TileSize)
+	setInt("tilestart", cfg.ChunkStart)
+	setInt("tilecount", cfg.ChunkTiles)
+	if cfg.Alpha != 0 {
+		q.Set("alpha", strconv.FormatFloat(cfg.Alpha, 'g', -1, 64))
+	}
+	if cfg.Seed != 0 {
+		q.Set("seed", strconv.FormatUint(cfg.Seed, 10))
+	}
+	q.Set("engine", cfg.Engine.String())
+	if cfg.Precision == core.Float32 {
+		q.Set("precision", "float32")
+	}
+	if cfg.Kernel != core.KernelBucketed {
+		q.Set("kernel", cfg.Kernel.String())
+	}
+	if cfg.Prescreen {
+		q.Set("prescreen", "1")
+	}
+	if cfg.DPI {
+		q.Set("dpi", "1")
+	}
+	if cfg.CMIFilter {
+		q.Set("cmi", "1")
+	}
+	// DPITolerance: emit explicitly (0 means strict DPI; the parse
+	// default is the unset sentinel, so silence would change meaning).
+	q.Set("dpitolerance", strconv.FormatFloat(cfg.DPITolerance, 'g', -1, 64))
+	if cfg.CMIRatio != 0 {
+		q.Set("cmiratio", strconv.FormatFloat(cfg.CMIRatio, 'g', -1, 64))
+	}
+	return q
+}
+
+// JobKey fingerprints (matrix bytes, scan-affecting config) — the
+// content address of a scan. The server uses it as the checkpoint file
+// stem, so an identical resubmission maps to the same checkpoint and
+// resumes; the fleet coordinator uses the same key for its
+// content-addressed result cache and single-flight dedupe, and returns
+// it with 410 Gone so a late client can re-hit the cache.
+func JobKey(body []byte, cfg core.Config) string {
 	h := sha256.New()
 	h.Write(body)
 	fmt.Fprintf(h, "|%d|%d|%d|%d|%d|%v|%d|%v|%v|%v|%v|%v|%v|%v|%v",
 		cfg.Order, cfg.Bins, cfg.Permutations, cfg.NullSamplePairs,
 		cfg.TileSize, cfg.Alpha, cfg.Seed, cfg.Engine, cfg.DPI, cfg.Kernel,
 		cfg.Precision, cfg.Prescreen, cfg.DPITolerance, cfg.CMIFilter, cfg.CMIRatio)
+	if cfg.ChunkTiles > 0 {
+		fmt.Fprintf(h, "|chunk %d+%d", cfg.ChunkStart, cfg.ChunkTiles)
+	}
 	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	cfg, err := parseConfig(r)
+	cfg, err := ParseConfig(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -414,13 +522,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	// Every engine checkpoints now — the cluster engine also uses the
 	// same state for rank recovery.
+	key := JobKey(body, cfg)
 	if s.CheckpointDir != "" {
-		cfg.CheckpointPath = filepath.Join(s.CheckpointDir, jobKey(body, cfg)+".ckpt")
+		cfg.CheckpointPath = filepath.Join(s.CheckpointDir, key+".ckpt")
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
-		ctx: ctx, cancel: cancel, ckptPath: cfg.CheckpointPath,
+		ctx: ctx, cancel: cancel, key: key, ckptPath: cfg.CheckpointPath,
 		state: StateQueued, geneNames: data.Genes,
 	}
 
@@ -591,6 +700,7 @@ func (s *Server) evictLocked() {
 	kept := s.order[:0]
 	for _, id := range s.order {
 		if evict(s.jobs[id]) {
+			s.tombstoneLocked(id)
 			delete(s.jobs, id)
 			s.mEvicted.Inc()
 		} else {
@@ -603,6 +713,7 @@ func (s *Server) evictLocked() {
 		over := len(s.order) - s.MaxJobs
 		for _, id := range s.order {
 			if over > 0 && s.jobs[id].snapshotState().terminal() {
+				s.tombstoneLocked(id)
 				delete(s.jobs, id)
 				s.mEvicted.Inc()
 				over--
@@ -611,6 +722,30 @@ func (s *Server) evictLocked() {
 			}
 		}
 		s.order = kept
+	}
+}
+
+// tombstoneLocked remembers an evicted job's content key so late reads
+// get 410 Gone plus the key. The tombstone list is a FIFO capped at
+// MaxJobs entries (256 when unset) — it must stay bounded under the
+// same sustained traffic the registry cap exists for. Callers hold
+// s.mu.
+func (s *Server) tombstoneLocked(id string) {
+	j := s.jobs[id]
+	if j == nil {
+		return
+	}
+	limit := s.MaxJobs
+	if limit <= 0 {
+		limit = 256
+	}
+	if _, dup := s.gone[id]; !dup {
+		s.gone[id] = j.key
+		s.goneOrder = append(s.goneOrder, id)
+	}
+	for len(s.goneOrder) > limit {
+		delete(s.gone, s.goneOrder[0])
+		s.goneOrder = s.goneOrder[1:]
 	}
 }
 
@@ -706,8 +841,21 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
 	s.mu.Lock()
 	s.evictLocked()
 	j := s.jobs[id]
+	key, evicted := s.gone[id]
 	s.mu.Unlock()
 	if j == nil {
+		if evicted {
+			// TTL eviction raced a late poll (typically an SSE reconnect):
+			// the job existed, its result is gone. 410 plus the content key
+			// lets the client resubmit the identical scan and hit the
+			// coordinator cache or checkpoint instead of starting blind.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusGone)
+			json.NewEncoder(w).Encode(map[string]string{
+				"error": "job evicted", "key": key,
+			})
+			return nil
+		}
 		http.Error(w, "unknown job", http.StatusNotFound)
 	}
 	return j
@@ -761,6 +909,126 @@ func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
 		// Response already started; nothing useful to send.
 		return
 	}
+}
+
+// ResultResponse is the machine-readable scan result served at
+// GET /jobs/{id}/result. The network TSV rounds weights to 6
+// significant digits — fine for humans, fatal for the fleet
+// coordinator's bit-identity merge — while JSON float64s round-trip
+// exactly (Go emits the shortest representation that parses back to
+// the same bits). Edges are [i, j, weight] triples in sorted order.
+type ResultResponse struct {
+	ID                   string       `json:"id"`
+	Key                  string       `json:"key"`
+	Threshold            float64      `json:"threshold"`
+	NullSize             int          `json:"nullSize"`
+	RawEdges             int          `json:"rawEdges"`
+	Edges                [][3]float64 `json:"edges"`
+	PairsEvaluated       int64        `json:"pairsEvaluated"`
+	PermEvaluations      int64        `json:"permEvaluations"`
+	PairsScreenedOut     int64        `json:"pairsScreenedOut"`
+	PermutationsSkipped  int64        `json:"permutationsSkipped"`
+	PermCacheHits        int64        `json:"permCacheHits"`
+	PermCacheMisses      int64        `json:"permCacheMisses"`
+	CheckpointRecoveries int64        `json:"checkpointRecoveries"`
+	SpillReadRetries     int64        `json:"spillReadRetries"`
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	state := j.state
+	res := j.result
+	j.mu.Unlock()
+	if state != StateDone || res == nil {
+		http.Error(w, fmt.Sprintf("job is %s", state), http.StatusConflict)
+		return
+	}
+	out := ResultResponse{
+		ID:                   j.id,
+		Key:                  j.key,
+		Threshold:            res.Threshold,
+		NullSize:             res.NullSize,
+		RawEdges:             res.RawEdges,
+		Edges:                make([][3]float64, 0, res.Network.Len()),
+		PairsEvaluated:       res.PairsEvaluated,
+		PermEvaluations:      res.PermEvaluations,
+		PairsScreenedOut:     res.PairsScreenedOut,
+		PermutationsSkipped:  res.PermutationsSkipped,
+		PermCacheHits:        res.PermCacheHits,
+		PermCacheMisses:      res.PermCacheMisses,
+		CheckpointRecoveries: res.CheckpointRecoveries,
+		SpillReadRetries:     res.SpillReadRetries,
+	}
+	for _, e := range res.Network.Edges() {
+		out.Edges = append(out.Edges, [3]float64{float64(e.I), float64(e.J), e.Weight})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// handleEvents streams job progress as Server-Sent Events: a
+// "progress" event whenever the status snapshot changes, then a single
+// terminal "done"/"failed"/"canceled" event, after which the stream
+// closes. Clients that would otherwise hammer GET /jobs/{id} hold one
+// connection instead; on disconnect they reconnect here (or fall back
+// to polling — a late reconnect after eviction gets 410 with the
+// content key).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ticker := time.NewTicker(s.EventPoll)
+	defer ticker.Stop()
+	var last statusResponse
+	sent := false
+	for {
+		st := j.status()
+		if !sent || st != last {
+			name := "progress"
+			if st.State.terminal() {
+				name = string(st.State)
+			}
+			if err := writeEvent(w, name, st); err != nil {
+				return
+			}
+			fl.Flush()
+			last, sent = st, true
+		}
+		if st.State.terminal() {
+			return
+		}
+		select {
+		case <-ticker.C:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeEvent emits one SSE frame with a JSON payload.
+func writeEvent(w io.Writer, name string, payload any) error {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, data)
+	return err
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -338,15 +338,16 @@ func TestTTLEvictionAndRetentionCap(t *testing.T) {
 	if st := getStatus(t, ts, id); st.State != StateDone {
 		t.Fatalf("state = %s", st.State)
 	}
-	// Past TTL it is evicted on the next registry access.
+	// Past TTL it is evicted on the next registry access: 410 Gone with
+	// the content key (not 404 — the job existed; see TestEvictedJobGone).
 	clk.advance(31 * time.Second)
 	resp, err := http.Get(ts.URL + "/jobs/" + id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("evicted job status = %d, want 404", resp.StatusCode)
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("evicted job status = %d, want 410", resp.StatusCode)
 	}
 
 	// Retention cap: with MaxJobs=2, finishing a third job evicts the
@@ -363,8 +364,8 @@ func TestTTLEvictionAndRetentionCap(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("capped-out job status = %d, want 404", resp.StatusCode)
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("capped-out job status = %d, want 410", resp.StatusCode)
 	}
 	if st := getStatus(t, ts, ids[2]); st.State != StateDone {
 		t.Fatalf("newest job state = %s", st.State)
@@ -763,7 +764,7 @@ func TestResumeCorruptCheckpointStartsFresh(t *testing.T) {
 // default, and the CMI flags must round-trip.
 func TestParseConfigFilterParams(t *testing.T) {
 	req := httptest.NewRequest("POST", "/jobs?dpi=1&dpitolerance=0&cmi=1&cmiratio=0.5", nil)
-	cfg, err := parseConfig(req)
+	cfg, err := ParseConfig(req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -778,7 +779,7 @@ func TestParseConfigFilterParams(t *testing.T) {
 	}
 
 	req = httptest.NewRequest("POST", "/jobs?dpi=1", nil)
-	if cfg, err = parseConfig(req); err != nil {
+	if cfg, err = ParseConfig(req); err != nil {
 		t.Fatal(err)
 	}
 	if err := cfg.Validate(); err != nil {
@@ -793,7 +794,7 @@ func TestParseConfigFilterParams(t *testing.T) {
 
 	for _, bad := range []string{"dpitolerance=x", "cmiratio=y", "dpitolerance=2"} {
 		req = httptest.NewRequest("POST", "/jobs?"+bad, nil)
-		cfg, err = parseConfig(req)
+		cfg, err = ParseConfig(req)
 		if err == nil {
 			err = cfg.Validate()
 		}

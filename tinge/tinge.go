@@ -33,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diskfault"
 	"repro/internal/expr"
+	"repro/internal/fleet"
 	"repro/internal/grn"
 	"repro/internal/mat"
 	"repro/internal/mi"
@@ -406,3 +407,23 @@ func NewNetwork(n int) *Network { return grn.New(n) }
 // CommunitySizes returns the member counts of a Communities labeling,
 // sorted descending.
 func CommunitySizes(labels []int) []int { return grn.CommunitySizes(labels) }
+
+// FleetCoordinator fans scans out over a fleet of worker tinged
+// instances, merging chunk results bit-identically to a single-process
+// scan and caching completed scans by content address. See
+// internal/fleet.
+type FleetCoordinator = fleet.Coordinator
+
+// FleetChunk is one unit of fleet fan-out: a contiguous pair-tile
+// range of the scan.
+type FleetChunk = fleet.Chunk
+
+// NewFleet returns a coordinator over the given worker base URLs.
+func NewFleet(workers []string) *FleetCoordinator { return fleet.New(workers) }
+
+// PlanFleetChunks splits the n-gene pair triangle (tiled at tileSize)
+// into at most chunks contiguous tile ranges with near-equal pair
+// counts; the ranges partition combn(n,2) exactly.
+func PlanFleetChunks(n, tileSize, chunks int) []FleetChunk {
+	return fleet.PlanChunks(n, tileSize, chunks)
+}
