@@ -31,6 +31,9 @@
 //	FL  fleet coordinator result cache: cold 3-worker fan-out scan vs
 //	    content-addressed cache hit, bit-identity vs single-process
 //	    enforced on every cold scan
+//	EN  bootstrap consensus ensemble: one B-bootstrap ensemble run vs B
+//	    naive independent scans, support tables checked bit-identical
+//	    (writes BENCH_ensemble.json)
 //
 // Usage:
 //
@@ -52,7 +55,8 @@
 // grew by more than 25% over the baseline's. -compare-sc FILE gates the
 // SC experiment: a matched row fails if its prescreen speedup dropped
 // by more than 15%. -compare-dp FILE gates the DP experiment the same
-// way on the parallel-DPI speedup.
+// way on the parallel-DPI speedup. -compare-en FILE gates the EN
+// experiment on the ensemble-vs-naive speedup.
 //
 // Results are deterministic for a fixed -seed except for wall-clock
 // columns.
@@ -88,24 +92,26 @@ type suite struct {
 	compareOOC string
 	compareSC  string
 	compareDP  string
+	compareEN  string
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchsuite: ")
 	var (
-		expFlag    = flag.String("exp", "all", "comma-separated experiment ids (T1,T2,F1..F9,T3,A1,A2,PS,FS,OOC,SC,DP,FL) or 'all'")
+		expFlag    = flag.String("exp", "all", "comma-separated experiment ids (T1,T2,F1..F9,T3,A1,A2,PS,FS,OOC,SC,DP,FL,EN) or 'all'")
 		seed       = flag.Uint64("seed", 1, "run seed")
 		quick      = flag.Bool("quick", false, "smaller sizes for a fast pass")
 		compare    = flag.String("compare", "", "baseline BENCH_permsweep*.json: after PS, fail if any matched row's speedup regressed >15%")
 		compareOOC = flag.String("compare-ooc", "", "baseline BENCH_ooc*.json: after OOC, fail if any matched row's overhead grew >25%")
 		compareSC  = flag.String("compare-sc", "", "baseline BENCH_prescreen*.json: after SC, fail if any matched row's speedup regressed >15%")
 		compareDP  = flag.String("compare-dp", "", "baseline BENCH_dpi*.json: after DP, fail if any matched row's speedup regressed >15%")
+		compareEN  = flag.String("compare-en", "", "baseline BENCH_ensemble*.json: after EN, fail if any matched row's speedup regressed >15%")
 	)
 	flag.Parse()
 
-	s := &suite{seed: *seed, quick: *quick, compare: *compare, compareOOC: *compareOOC, compareSC: *compareSC, compareDP: *compareDP}
-	all := []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "T3", "A1", "A2", "PS", "FS", "OOC", "SC", "DP", "FL"}
+	s := &suite{seed: *seed, quick: *quick, compare: *compare, compareOOC: *compareOOC, compareSC: *compareSC, compareDP: *compareDP, compareEN: *compareEN}
+	all := []string{"T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "T3", "A1", "A2", "PS", "FS", "OOC", "SC", "DP", "FL", "EN"}
 	var ids []string
 	if *expFlag == "all" {
 		ids = all
@@ -119,6 +125,7 @@ func main() {
 		"F4": s.f4, "F5": s.f5, "F6": s.f6, "F7": s.f7, "F8": s.f8,
 		"T3": s.t3, "A1": s.a1, "A2": s.a2, "F9": s.f9, "PS": s.ps,
 		"FS": s.fs, "OOC": s.ooc, "SC": s.sc, "DP": s.dp, "FL": s.fl,
+		"EN": s.en,
 	}
 	for _, id := range ids {
 		run, ok := runners[id]

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/tinge"
 )
@@ -24,20 +26,28 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("netstat: ")
 	var (
-		in     = flag.String("in", "", "input edge TSV (required)")
-		n      = flag.Int("n", 0, "gene universe size (required)")
-		truth  = flag.String("truth", "", "optional ground-truth edge TSV for scoring")
-		hubs   = flag.Int("hubs", 10, "number of top-degree genes to list")
-		dpi    = flag.Bool("dpi", false, "apply DPI pruning before analysis")
-		dpiTol = flag.Float64("dpi-tolerance", 0.1, "DPI near-tie tolerance (0 = strict)")
-		dpiWrk = flag.Int("workers", 0, "DPI worker goroutines (0 = GOMAXPROCS)")
-		alpha  = flag.Int("alpha-dmin", 2, "minimum degree for the power-law fit")
-		dot    = flag.String("dot", "", "write the network as Graphviz DOT to this file")
+		in      = flag.String("in", "", "input edge TSV (required)")
+		n       = flag.Int("n", 0, "gene universe size (required)")
+		truth   = flag.String("truth", "", "optional ground-truth edge TSV for scoring")
+		hubs    = flag.Int("hubs", 10, "number of top-degree genes to list")
+		dpi     = flag.Bool("dpi", false, "apply DPI pruning before analysis")
+		dpiTol  = flag.Float64("dpi-tolerance", 0.1, "DPI near-tie tolerance (0 = strict)")
+		dpiWrk  = flag.Int("workers", 0, "DPI worker goroutines (0 = GOMAXPROCS)")
+		alpha   = flag.Int("alpha-dmin", 2, "minimum degree for the power-law fit")
+		dot     = flag.String("dot", "", "write the network as Graphviz DOT to this file")
+		supIn   = flag.String("support", "", "ensemble support table TSV (tinge -ensemble-out); prints support-frequency analysis")
+		supCuts = flag.String("support-cutoffs", "0.25,0.5,0.75,1", "comma-separated consensus cutoffs for the support analysis")
 	)
 	flag.Parse()
-	if *in == "" || *n <= 0 {
+	if (*in == "" && *supIn == "") || *n <= 0 {
 		flag.Usage()
-		log.Fatal("missing -in or -n")
+		log.Fatal("missing -in/-support or -n")
+	}
+	if *supIn != "" {
+		supportReport(*supIn, *n, *truth, *supCuts)
+		if *in == "" {
+			return
+		}
 	}
 
 	net := readNet(*in, *n)
@@ -110,6 +120,62 @@ func main() {
 		topK := net.TopK(len(tset)).ScoreAgainst(tset)
 		fmt.Printf("vs truth at top-%d budget: precision %.3f, recall %.3f, F1 %.3f\n",
 			len(tset), topK.Precision, topK.Recall, topK.F1)
+	}
+}
+
+// supportReport summarizes an ensemble support table: the support
+// distribution and the consensus network size (scored against truth
+// when given) at each requested cutoff.
+func supportReport(path string, n int, truth, cutoffs string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ens, err := tinge.ReadSupportTSV(f, n)
+	f.Close()
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	b := ens.Bootstraps()
+	fmt.Printf("support table: %d bootstraps, %d distinct edges\n", b, ens.Len())
+	if b == 0 {
+		return
+	}
+	hist := make([]int, b+1)
+	for _, e := range ens.Edges() {
+		if e.Support <= b {
+			hist[e.Support]++
+		}
+	}
+	fmt.Printf("support distribution (support: edges):")
+	for s := 1; s <= b; s++ {
+		if hist[s] > 0 {
+			fmt.Printf("  %d/%d: %d", s, b, hist[s])
+		}
+	}
+	fmt.Println()
+
+	var tset map[int64]bool
+	if truth != "" {
+		tnet := readNet(truth, n)
+		tset = make(map[int64]bool)
+		for _, e := range tnet.Edges() {
+			tset[int64(e.I)*int64(n)+int64(e.J)] = true
+		}
+	}
+	for _, fld := range strings.Split(cutoffs, ",") {
+		cut, err := strconv.ParseFloat(strings.TrimSpace(fld), 64)
+		if err != nil || cut <= 0 || cut > 1 {
+			log.Fatalf("bad support cutoff %q", fld)
+		}
+		cons := ens.Consensus(cut)
+		if tset == nil {
+			fmt.Printf("consensus at support >= %g: %d edges\n", cut, cons.Len())
+			continue
+		}
+		sc := cons.ScoreAgainst(tset)
+		fmt.Printf("consensus at support >= %g: %d edges, precision %.3f, recall %.3f, F1 %.3f\n",
+			cut, cons.Len(), sc.Precision, sc.Recall, sc.F1)
 	}
 }
 

@@ -55,6 +55,13 @@ func main() {
 		ckptIvl  = flag.Int("checkpoint-every", 64, "tiles between checkpoint saves")
 		maxGenes = flag.Int("max-genes", 0, "keep only the first N genes (0 = all)")
 
+		// Ensemble consensus mode.
+		bootstraps = flag.Int("bootstraps", 0, "infer an ensemble of B networks over seeded sample subsets and emit the consensus (0 = single network)")
+		subsample  = flag.Float64("subsample", 0, "fraction of experiments each bootstrap samples (0 = default 0.8)")
+		support    = flag.Float64("support", 0, "consensus support cutoff: keep edges in >= cutoff*B bootstraps (0 = default 0.5)")
+		eseed      = flag.Uint64("eseed", 0, "ensemble subsampling seed (independent of -seed)")
+		ensOut     = flag.String("ensemble-out", "", "write the per-edge support/frequency table TSV here")
+
 		// Out-of-core scan (engine ooc, or host with a budget).
 		memBudget = flag.Int64("memory-budget", 0, "out-of-core memory budget in bytes: resident panels + all worker scratch (0 = resident scan; ooc engine defaults to 64 MiB)")
 		panelRows = flag.Int("panel-rows", 0, "spill-store panel height in gene rows (0 = tile size; must be a multiple of it)")
@@ -150,6 +157,12 @@ func main() {
 		MemoryBudget:    *memBudget,
 		PanelRows:       *panelRows,
 		SpillDir:        *spillDir,
+		Ensemble: tinge.EnsembleConfig{
+			Bootstraps:    *bootstraps,
+			SubsampleFrac: *subsample,
+			Seed:          *eseed,
+			SupportCutoff: *support,
+		},
 	}
 	if *faultKillRank >= 0 || *faultDelayProb > 0 {
 		plan := &tinge.FaultPlan{
@@ -263,6 +276,21 @@ func main() {
 	if err := res.Network.WriteTSV(w, nameList); err != nil {
 		log.Fatal(err)
 	}
+	if *ensOut != "" {
+		if res.Ensemble == nil {
+			log.Fatal("-ensemble-out needs -bootstraps")
+		}
+		ef, err := os.Create(*ensOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.Ensemble.WriteSupportTSV(ef, nameList); err != nil {
+			log.Fatal(err)
+		}
+		if err := ef.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	nGenes, mExps := len(geneNames), 0
 	if store != nil {
@@ -275,6 +303,20 @@ func main() {
 		res.Threshold, res.NullSize, res.Network.Len(), res.RawEdges)
 	fmt.Fprintf(os.Stderr, "tinge: MI evaluations=%d (+%d permutation), imbalance=%.3f\n",
 		res.PairsEvaluated, res.PermEvaluations, res.Imbalance)
+	if res.Ensemble != nil {
+		frac, cut := cfg.Ensemble.SubsampleFrac, cfg.Ensemble.SupportCutoff
+		if frac == 0 {
+			frac = tinge.DefaultSubsampleFrac
+		}
+		if cut == 0 {
+			cut = tinge.DefaultSupportCutoff
+		}
+		fmt.Fprintf(os.Stderr, "tinge: ensemble: %d bootstraps (subsample %g, eseed %d), %d distinct edges, consensus %d at support >= %g\n",
+			res.Ensemble.Bootstraps(), frac, cfg.Ensemble.Seed,
+			res.Ensemble.Len(), res.Network.Len(), cut)
+		fmt.Fprintf(os.Stderr, "tinge: ensemble sharing: %d stencils reused, %d perm-cache hits\n",
+			res.EnsembleStencilsReused, res.PermCacheHits)
+	}
 	if *prescrn {
 		pairs := res.PairsEvaluated + res.PairsScreenedOut
 		frac := 0.0

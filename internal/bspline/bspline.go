@@ -303,6 +303,50 @@ func (wm *WeightMatrix) FillPanel(rows [][]float32) {
 	}
 }
 
+// FillView recomputes the weight matrix in place as a sample-index
+// view of src: view sample t is src sample idx[t], for every gene. No
+// basis evaluation happens — stencil offsets, sparse weights, and dense
+// rows are column-gathered from src's precompute, which is what lets an
+// ensemble run share one whole-genome precompute across all bootstrap
+// subsamples. Gathered weights are bitwise the weights a fresh
+// Precompute over the gathered normalized values would produce
+// (basis.Weights is a pure function of the sample value), so kernels on
+// the view are bit-identical to kernels on a from-scratch subsample
+// matrix. idx must be sorted ascending with in-range entries, len(idx)
+// must equal the view's Samples, and src must share the receiver's
+// basis geometry; src.Genes must fit the capacity NewPanelWeights
+// reserved.
+func (wm *WeightMatrix) FillView(src *WeightMatrix, idx []int32) {
+	n, m := src.Genes, wm.Samples
+	k, bins := wm.Basis.Order(), wm.Basis.Bins()
+	if len(idx) != m {
+		panic(fmt.Sprintf("bspline: view of %d indices into a %d-sample matrix", len(idx), m))
+	}
+	if src.Basis.Order() != k || src.Basis.Bins() != bins {
+		panic("bspline: FillView across basis geometries")
+	}
+	if n*m > len(wm.Offsets) {
+		panic(fmt.Sprintf("bspline: view of %d genes exceeds capacity %d", n, len(wm.Offsets)/m))
+	}
+	wm.Genes = n
+	mSrc := src.Samples
+	for g := 0; g < n; g++ {
+		for t, s := range idx {
+			i, j := g*m+t, g*mSrc+int(s)
+			wm.Offsets[i] = src.Offsets[j]
+			copy(wm.Sparse[i*k:(i+1)*k], src.Sparse[j*k:(j+1)*k])
+		}
+		// Dense rows gather every column, zeros included, so no clear of
+		// the previous fill is needed.
+		for u := 0; u < bins; u++ {
+			dst, from := wm.Dense.Row(g*bins+u), src.Dense.Row(g*bins+u)
+			for t, s := range idx {
+				dst[t] = from[s]
+			}
+		}
+	}
+}
+
 // PanelBytes returns the weight-matrix footprint NewPanelWeights
 // allocates for maxGenes genes — the per-worker precompute term of the
 // out-of-core memory budget.

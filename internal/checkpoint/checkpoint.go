@@ -64,6 +64,17 @@ type Fingerprint struct {
 	// not, so mixing sessions would corrupt the counters (and the Phi
 	// time model built on them). Old checkpoints decode to false.
 	Prescreen bool
+	// Bootstraps, SubsampleFrac, and EnsembleSeed identify an ensemble
+	// run (all zero for single-network scans, which is what old
+	// checkpoints decode to). They fix the bootstrap count and the
+	// per-bootstrap sample-index draws, so an ensemble checkpoint never
+	// resumes under a different subsampling plan. The support cutoff is
+	// deliberately excluded: it only thresholds the already-aggregated
+	// support counts at the end, so resuming with a different cutoff is
+	// sound (and useful — re-derive a consensus without rescanning).
+	Bootstraps    int
+	SubsampleFrac float64
+	EnsembleSeed  uint64
 }
 
 // State is the resumable scan state.
@@ -88,6 +99,17 @@ type State struct {
 	// with prescreening off). Same nil-normalization as
 	// PairEvalsPerTile.
 	ScreenedPerTile []int64
+	// EnsembleEdges snapshots the bootstrap support aggregate of an
+	// ensemble run. For ensemble checkpoints the unit of work is a whole
+	// bootstrap, not a tile: Done is the per-bootstrap bitmap (length
+	// Fingerprint.Bootstraps), the per-tile arrays hold per-bootstrap
+	// totals, and this table carries the (support, weight-sum) fold of
+	// every completed bootstrap in ascending order. nil for
+	// single-network scans.
+	EnsembleEdges []grn.SupportEdge
+	// EnsembleThresholds[b] is bootstrap b's pooled-null I_alpha (0
+	// until the bootstrap completes). nil for single-network scans.
+	EnsembleThresholds []float64
 }
 
 // NewState initializes an empty state for nTiles tiles.
@@ -140,6 +162,10 @@ func (s *State) Validate(fp Fingerprint, nTiles int) error {
 	if len(s.PairEvalsPerTile) != nTiles || len(s.ScreenedPerTile) != nTiles {
 		return fmt.Errorf("checkpoint: split-counter length mismatch: saved %d/%d, run %d",
 			len(s.PairEvalsPerTile), len(s.ScreenedPerTile), nTiles)
+	}
+	if fp.Bootstraps > 0 && len(s.EnsembleThresholds) != nTiles {
+		return fmt.Errorf("checkpoint: ensemble threshold length mismatch: saved %d, run %d",
+			len(s.EnsembleThresholds), nTiles)
 	}
 	return nil
 }
@@ -239,6 +265,13 @@ func Decode(data []byte) (*State, error) {
 	if len(s.PairEvalsPerTile) != len(s.Done) || len(s.ScreenedPerTile) != len(s.Done) {
 		return nil, fmt.Errorf("%w: inconsistent state: %d done flags, %d/%d split counts",
 			diskfault.ErrCorrupt, len(s.Done), len(s.PairEvalsPerTile), len(s.ScreenedPerTile))
+	}
+	// Ensemble snapshots carry one threshold slot per bootstrap; a
+	// mismatched length means the file does not describe its own Done
+	// bitmap.
+	if s.EnsembleThresholds != nil && len(s.EnsembleThresholds) != len(s.Done) {
+		return nil, fmt.Errorf("%w: inconsistent state: %d done flags, %d ensemble thresholds",
+			diskfault.ErrCorrupt, len(s.Done), len(s.EnsembleThresholds))
 	}
 	return &s, nil
 }

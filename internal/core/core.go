@@ -32,6 +32,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 
 	"repro/internal/bspline"
@@ -148,6 +149,74 @@ const (
 	DefaultCMIRatio     = 0.3
 )
 
+// Ensemble-mode defaults: the customary bootstrap recipe subsamples
+// 80% of the experiments per network and keeps edges present in at
+// least half the bootstraps.
+const (
+	DefaultSubsampleFrac = 0.8
+	DefaultSupportCutoff = 0.5
+)
+
+// EnsembleConfig turns one inference run into a bootstrap consensus:
+// Bootstraps networks are inferred over seeded sample-index subsets of
+// the experiments, per-edge support frequencies are aggregated, and
+// the consensus network keeps edges whose frequency reaches
+// SupportCutoff. The expensive whole-genome apparatus — rank
+// normalization, the B-spline stencil precompute, the permutation
+// pool, and each worker's estimator arenas and permuted-row cache — is
+// built once and shared across all bootstraps; each bootstrap only
+// gathers a column view of the precomputed weights.
+//
+// Determinism contract: for a fixed (Seed, Bootstraps, SubsampleFrac)
+// the support matrix and consensus network are bit-identical across
+// every engine, precision, and worker count, and across resume from a
+// mid-ensemble checkpoint — bootstraps always fold in ascending order
+// (float64 accumulation is not associative, so the order is part of
+// the contract).
+type EnsembleConfig struct {
+	// Bootstraps is B, the number of bootstrap networks; 0 disables
+	// ensemble mode entirely (every other field is then ignored).
+	Bootstraps int
+	// SubsampleFrac is the fraction of experiments each bootstrap
+	// samples (without replacement); 0 resolves to
+	// DefaultSubsampleFrac. The realized subset size
+	// round(SubsampleFrac·m) must be at least 4 (the pipeline's
+	// experiment floor) and is constant across bootstraps.
+	SubsampleFrac float64
+	// Seed drives the per-bootstrap subsample draws, independently of
+	// Config.Seed (which keeps driving the permutation pool and the
+	// null-pair sample).
+	Seed uint64
+	// SupportCutoff is the consensus frequency threshold in (0,1]; 0
+	// resolves to DefaultSupportCutoff. It is applied after the last
+	// bootstrap and is deliberately not part of the checkpoint
+	// fingerprint: re-deriving a consensus at a different cutoff from
+	// the same ensemble is sound.
+	SupportCutoff float64
+	// Start and Count restrict the run to the bootstrap range
+	// [Start, Start+Count) — the fleet coordinator's unit of ensemble
+	// fan-out (one chunk per bootstrap keeps the ascending fold order
+	// at merge). Count == 0 runs every bootstrap. Partial runs skip the
+	// consensus (Result.EnsembleNetworks carries the per-bootstrap
+	// networks instead) and do not compose with a checkpoint.
+	Start, Count int
+}
+
+// Enabled reports whether ensemble mode is on.
+func (e EnsembleConfig) Enabled() bool { return e.Bootstraps > 0 }
+
+// sampleCount resolves the per-bootstrap subset size for m experiments.
+func (e EnsembleConfig) sampleCount(m int) (int, error) {
+	mSub := int(math.Round(e.SubsampleFrac * float64(m)))
+	if mSub > m {
+		mSub = m
+	}
+	if mSub < 4 {
+		return 0, fmt.Errorf("core: subsample fraction %v of %d experiments leaves %d < 4", e.SubsampleFrac, m, mSub)
+	}
+	return mSub, nil
+}
+
 // Config parameterizes a network-inference run. The zero value plus
 // Validate yields the paper's defaults (order-3 splines, 10 bins, 30
 // permutations) — except DPITolerance, whose zero value is strict DPI
@@ -249,6 +318,13 @@ type Config struct {
 	// fans chunks out to plain host workers.
 	ChunkStart int
 	ChunkTiles int
+
+	// Ensemble, when Ensemble.Bootstraps > 0, runs the whole pipeline
+	// as a bootstrap consensus workload (see EnsembleConfig). All five
+	// engines support it; tile chunking (ChunkTiles) does not compose
+	// with it — the fleet fans ensembles out at bootstrap granularity
+	// via Ensemble.Start/Count instead.
+	Ensemble EnsembleConfig
 
 	// MemoryBudget caps the out-of-core scan's total in-memory working
 	// set in bytes: resident store panels plus every worker's scratch
@@ -373,6 +449,39 @@ func (c *Config) Validate() error {
 		}
 		if c.MemoryBudget > 0 {
 			return fmt.Errorf("core: chunked scans do not compose with a memory budget")
+		}
+	}
+	if c.Ensemble.Bootstraps < 0 {
+		return fmt.Errorf("core: negative bootstrap count %d", c.Ensemble.Bootstraps)
+	}
+	if c.Ensemble.Enabled() {
+		e := &c.Ensemble
+		if e.SubsampleFrac == 0 {
+			e.SubsampleFrac = DefaultSubsampleFrac
+		}
+		if e.SubsampleFrac < 0 || e.SubsampleFrac > 1 {
+			return fmt.Errorf("core: subsample fraction %v out of (0,1]", e.SubsampleFrac)
+		}
+		if e.SupportCutoff == 0 {
+			e.SupportCutoff = DefaultSupportCutoff
+		}
+		if e.SupportCutoff < 0 || e.SupportCutoff > 1 {
+			return fmt.Errorf("core: support cutoff %v out of (0,1]", e.SupportCutoff)
+		}
+		if e.Start < 0 || e.Count < 0 {
+			return fmt.Errorf("core: negative bootstrap range [%d,+%d)", e.Start, e.Count)
+		}
+		if e.Start > 0 && e.Count == 0 {
+			return fmt.Errorf("core: bootstrap start %d without a bootstrap count", e.Start)
+		}
+		if e.Count > 0 && e.Start+e.Count > e.Bootstraps {
+			return fmt.Errorf("core: bootstrap range [%d,%d) exceeds %d bootstraps", e.Start, e.Start+e.Count, e.Bootstraps)
+		}
+		if c.ChunkTiles > 0 {
+			return fmt.Errorf("core: ensemble runs do not compose with tile chunking")
+		}
+		if e.Count > 0 && c.CheckpointPath != "" {
+			return fmt.Errorf("core: partial ensemble runs do not compose with a checkpoint")
 		}
 	}
 	if c.Engine == Phi || c.Engine == Hybrid {
@@ -548,6 +657,34 @@ type Result struct {
 	// FaultDelayedMessages and FaultDroppedMessages report what an
 	// injected Config.Fault plan actually did to the message stream.
 	FaultDelayedMessages, FaultDroppedMessages int64
+	// Ensemble is the bootstrap support aggregate of an ensemble run
+	// (nil otherwise). On a full-range run Network holds the consensus
+	// at Config.Ensemble.SupportCutoff; on a partial (Start/Count) run
+	// Network is empty and the per-bootstrap networks ride in
+	// EnsembleNetworks. RawEdges sums the per-bootstrap pre-filter edge
+	// counts; DPI/CMI removal counts likewise accumulate across
+	// bootstraps (filters run per bootstrap, before folding — the
+	// consensus itself is never filtered).
+	Ensemble *grn.Ensemble
+	// EnsembleNetworks holds the filtered per-bootstrap networks of a
+	// partial ensemble run, aligned with [Start, Start+Count) — the
+	// fleet wire payload. Full-range runs leave it nil (the aggregate
+	// is the product; resumed bootstraps' individual networks are not
+	// recoverable from a checkpoint).
+	EnsembleNetworks []*grn.Network
+	// EnsembleThresholds holds each bootstrap's pooled-null I_alpha:
+	// full-range runs carry all Bootstraps entries (resumed ones from
+	// the checkpoint), partial runs the Count entries of their range.
+	EnsembleThresholds []float64
+	// EnsembleBootstrapsRun counts bootstraps inferred in this session
+	// (excluding any restored from a checkpoint).
+	EnsembleBootstrapsRun int
+	// EnsembleStencilsReused counts (gene, sample) B-spline stencils
+	// served from the shared full-set precompute via the column-gather
+	// view instead of being recomputed — n·mSub per resident bootstrap
+	// (0 for the out-of-core path, which recomputes per tile by
+	// design). The amortization regression test pins its growth.
+	EnsembleStencilsReused int64
 	// CheckpointRecoveries counts checkpoint loads that failed integrity
 	// checks on every copy (primary and ".prev" rotation) and were
 	// handled by starting the scan fresh instead of failing the run. A
@@ -644,6 +781,15 @@ func InferContext(ctx context.Context, exprMat *mat.Dense, cfg Config) (*Result,
 	})
 
 	res := &Result{Timer: timer}
+	if cfg.Ensemble.Enabled() {
+		// Ensemble mode: the full-set normalization and precompute above
+		// are the shared apparatus; the per-bootstrap loop gathers column
+		// views of wm and folds the resulting networks.
+		if err := ensembleResident(ctx, norm, wm, basis, cfg, res); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
 	switch cfg.Engine {
 	case Host:
 		err = runHost(ctx, wm, cfg, res)
@@ -712,6 +858,9 @@ func InferStoreContext(ctx context.Context, store *panelstore.Store, cfg Config)
 // their own store, and the CMI filter's expression rows are fetched
 // from the panel store on demand.
 func inferStore(ctx context.Context, store *panelstore.Store, cfg Config, timer *stats.Timer) (*Result, error) {
+	if cfg.Ensemble.Enabled() {
+		return oocEnsemble(ctx, store, cfg, timer)
+	}
 	res := &Result{Timer: timer}
 	if err := oocScan(ctx, store, cfg, res); err != nil {
 		return nil, err

@@ -12,6 +12,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/diskfault"
 	"repro/internal/grn"
+	"repro/internal/mi"
 	"repro/internal/perm"
 	"repro/internal/tile"
 )
@@ -110,6 +111,9 @@ func fingerprintDims(genes, samples int, cfg Config) checkpoint.Fingerprint {
 		Seed:            cfg.Seed,
 		Precision:       uint8(cfg.Precision),
 		Prescreen:       cfg.Prescreen,
+		Bootstraps:      cfg.Ensemble.Bootstraps,
+		SubsampleFrac:   cfg.Ensemble.SubsampleFrac,
+		EnsembleSeed:    cfg.Ensemble.Seed,
 	}
 }
 
@@ -121,7 +125,22 @@ func fingerprintDims(genes, samples int, cfg Config) checkpoint.Fingerprint {
 // kernel evaluation counts (full history across resumed sessions —
 // the basis of the Phi engine's time model) plus the tile list.
 func hostScan(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Result) ([]int64, []tile.Tile, error) {
-	k := newPairKernel(wm, cfg)
+	return hostScanKit(ctx, wm, cfg, res, nil)
+}
+
+// hostScanKit is hostScan with an optional pre-built scanKit — the
+// ensemble loop's amortization seam: the kit's kernel, per-worker
+// workspaces, and permuted-row caches are built once and rebound per
+// bootstrap instead of reallocated per scan. A nil kit builds the
+// apparatus fresh (the single-scan path). Cache hit/miss counters are
+// reported as this scan's deltas, so a shared kit never double-counts.
+func hostScanKit(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Result, kit *scanKit) ([]int64, []tile.Tile, error) {
+	var k *pairKernel
+	if kit != nil {
+		k = kit.k
+	} else {
+		k = newPairKernel(wm, cfg)
+	}
 	n := wm.Genes
 	tiles := tile.Decompose(n, cfg.TileSize)
 
@@ -163,7 +182,12 @@ func hostScan(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Re
 				wg.Add(1)
 				go func(w int) {
 					defer wg.Done()
-					ws := k.newWorkspace()
+					var ws *mi.Workspace
+					if kit != nil {
+						ws = kit.ws[w]
+					} else {
+						ws = k.newWorkspace()
+					}
 					lo := w * len(pairs) / workers
 					hi := (w + 1) * len(pairs) / workers
 					for _, pr := range pairs[lo:hi] {
@@ -222,11 +246,19 @@ func hostScan(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Re
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				ws := k.newWorkspace()
-				pc := k.newPermCache(cfg)
+				var ws *mi.Workspace
+				var pc *mi.PermCache
+				if kit != nil {
+					ws, pc = kit.ws[w], kit.pc[w]
+				} else {
+					ws = k.newWorkspace()
+					pc = k.newPermCache(cfg)
+				}
 				tileBytes[w] = int64(ws.Bytes())
+				var hits0, misses0 int64
 				if pc != nil {
 					tileBytes[w] += int64(pc.Bytes())
+					hits0, misses0 = pc.Hits(), pc.Misses()
 				}
 				start := time.Now()
 				var local []grn.Edge
@@ -313,8 +345,8 @@ func hostScan(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Re
 				atomic.AddInt64(&totalSkipped, skipped)
 				atomic.AddInt64(&totalScreenNanos, screenNanos)
 				if pc != nil {
-					atomic.AddInt64(&cacheHits, pc.Hits())
-					atomic.AddInt64(&cacheMisses, pc.Misses())
+					atomic.AddInt64(&cacheHits, pc.Hits()-hits0)
+					atomic.AddInt64(&cacheMisses, pc.Misses()-misses0)
 				}
 			}(w)
 		}

@@ -19,7 +19,13 @@ import (
 // finish its accumulated share sooner — the steady state of the
 // paper's dynamic host/device work distribution.
 func runHybrid(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Result) error {
-	evalsPerTile, tiles, err := hostScan(ctx, wm, cfg, res)
+	return runHybridKit(ctx, wm, cfg, res, nil)
+}
+
+// runHybridKit is runHybrid over an optional shared scanKit (see
+// hostScanKit) — the ensemble loop's entry.
+func runHybridKit(ctx context.Context, wm *bspline.WeightMatrix, cfg Config, res *Result, kit *scanKit) error {
+	evalsPerTile, tiles, err := hostScanKit(ctx, wm, cfg, res, kit)
 	if err != nil {
 		return err
 	}

@@ -36,8 +36,18 @@ func MinMemoryBudget(genes, samples int, cfg Config) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	pool := perm.MustNewPool(cfg.Seed, samples, cfg.Permutations)
-	wk := newOOCWorker(basis, pool, cfg, samples)
+	var idx []int32
+	width := samples
+	if cfg.Ensemble.Enabled() {
+		mSub, serr := cfg.Ensemble.sampleCount(samples)
+		if serr != nil {
+			return 0, serr
+		}
+		idx = make([]int32, mSub)
+		width = mSub
+	}
+	pool := perm.MustNewPool(cfg.Seed, width, cfg.Permutations)
+	wk := newOOCWorker(basis, pool, cfg, samples, idx)
 	panelBytes := int64(cfg.PanelRows) * int64(samples) * 4
 	scratch := wk.bytes(basis, cfg)*int64(cfg.Workers) + 3*panelBytes
 	maxPins := int64(2 * cfg.Workers)
@@ -63,10 +73,25 @@ type oocWorker struct {
 	normBuf []float32   // 2·TileSize rank-normalized row copies
 	rows    [][]float32 // row views into normBuf for FillPanel
 	samples int
+	// idx, when non-nil, is the ensemble scan's sample-index view: every
+	// staged row is rank-normalized at full width into fullBuf and the
+	// idx columns are gathered into the tile-local copy — the exact
+	// transform the resident ensemble's FillView applies, so the two
+	// paths stay bit-identical. The slice is shared by all workers and
+	// rewritten between bootstraps (never mid-scan).
+	idx     []int32
+	fullBuf []float32
 }
 
-func newOOCWorker(basis *bspline.Basis, pool *perm.Pool, cfg Config, samples int) *oocWorker {
-	tileWM := bspline.NewPanelWeights(basis, 2*cfg.TileSize, samples)
+// newOOCWorker builds one worker's fixed scratch. samples is the store
+// row width; idx, when non-nil, is the ensemble sample-index view (the
+// worker's kernels then run at len(idx) width).
+func newOOCWorker(basis *bspline.Basis, pool *perm.Pool, cfg Config, samples int, idx []int32) *oocWorker {
+	width := samples
+	if idx != nil {
+		width = len(idx)
+	}
+	tileWM := bspline.NewPanelWeights(basis, 2*cfg.TileSize, width)
 	est := mi.NewEstimator(tileWM)
 	w := &oocWorker{
 		pk: &pairKernel{
@@ -78,9 +103,13 @@ func newOOCWorker(basis *bspline.Basis, pool *perm.Pool, cfg Config, samples int
 		},
 		tileWM:  tileWM,
 		ws:      mi.NewWorkspacePrec(est, cfg.Precision),
-		normBuf: make([]float32, 2*cfg.TileSize*samples),
+		normBuf: make([]float32, 2*cfg.TileSize*width),
 		rows:    make([][]float32, 0, 2*cfg.TileSize),
-		samples: samples,
+		samples: width,
+		idx:     idx,
+	}
+	if idx != nil {
+		w.fullBuf = make([]float32, samples)
 	}
 	if cfg.Prescreen {
 		// Reserve the screener arena for a full tile's gene capacity and
@@ -105,6 +134,7 @@ func (w *oocWorker) bytes(basis *bspline.Basis, cfg Config) int64 {
 		b += int64(w.pk.screen.Bytes())
 	}
 	b += int64(len(w.normBuf)) * 4
+	b += int64(len(w.fullBuf)) * 4
 	b += int64(2*cfg.TileSize) * 12 // estimator marginal-entropy slices
 	return b
 }
@@ -114,8 +144,19 @@ func (w *oocWorker) bytes(basis *bspline.Basis, cfg Config) int64 {
 // panel rows are shared with other workers and must stay raw.
 func (w *oocWorker) stage(p *panelstore.Panel, g, r int) {
 	dst := w.normBuf[r*w.samples : (r+1)*w.samples]
-	copy(dst, p.Row(g))
-	mat.RankNormalizeValues(dst)
+	if w.idx == nil {
+		copy(dst, p.Row(g))
+		mat.RankNormalizeValues(dst)
+	} else {
+		// Ensemble view: normalize over the FULL sample set, then gather
+		// the bootstrap's columns — matching the resident path, whose
+		// FillView gathers stencils of full-set-normalized values.
+		copy(w.fullBuf, p.Row(g))
+		mat.RankNormalizeValues(w.fullBuf)
+		for t, s := range w.idx {
+			dst[t] = w.fullBuf[s]
+		}
+	}
 	w.rows = append(w.rows, dst)
 }
 
@@ -198,6 +239,31 @@ func (w *oocWorker) loadPair(store *panelstore.Store, a, b int) error {
 	return nil
 }
 
+// oocWorkers builds the per-worker kits and carves the store's panel
+// budget out of cfg.MemoryBudget: worker scratch is a fixed cost the
+// resident panels must make room for. idx is the ensemble sample view
+// (nil for plain scans). It returns the workers and the total scratch
+// charge (worker kits plus the store's three fixed buffers).
+func oocWorkers(store *panelstore.Store, cfg Config, basis *bspline.Basis, pool *perm.Pool, idx []int32) ([]*oocWorker, int64, error) {
+	workers := make([]*oocWorker, cfg.Workers)
+	for w := range workers {
+		workers[w] = newOOCWorker(basis, pool, cfg, store.Cols(), idx)
+	}
+	perWorker := workers[0].bytes(basis, cfg)
+	scratch := perWorker*int64(cfg.Workers) + 3*store.PanelBytes() // + staging/transpose/io buffers
+	maxPins := int64(2 * cfg.Workers)
+	if np := int64(store.NumPanels()); np < maxPins {
+		maxPins = np
+	}
+	storeBudget := cfg.MemoryBudget - scratch
+	if floor := maxPins * store.PanelBytes(); storeBudget < floor {
+		return nil, 0, fmt.Errorf("core: memory budget %d too small: %d workers need %d scratch + %d pinned panel bytes (minimum %d)",
+			cfg.MemoryBudget, cfg.Workers, scratch, floor, scratch+floor)
+	}
+	store.SetBudget(storeBudget)
+	return workers, scratch, nil
+}
+
 // oocScan is the disk-backed counterpart of hostScan: the same
 // threshold estimation and pair-tile scan, but every gene row is
 // fetched from the panel store on demand and normalized/precomputed
@@ -211,24 +277,10 @@ func oocScan(ctx context.Context, store *panelstore.Store, cfg Config, res *Resu
 	pool := perm.MustNewPool(cfg.Seed, m, cfg.Permutations)
 	tiles := tile.Decompose(n, cfg.TileSize)
 
-	// Build the worker kits first: their scratch is a fixed cost the
-	// store's panel budget must make room for.
-	workers := make([]*oocWorker, cfg.Workers)
-	for w := range workers {
-		workers[w] = newOOCWorker(basis, pool, cfg, m)
+	workers, scratch, err := oocWorkers(store, cfg, basis, pool, nil)
+	if err != nil {
+		return err
 	}
-	perWorker := workers[0].bytes(basis, cfg)
-	scratch := perWorker*int64(cfg.Workers) + 3*store.PanelBytes() // + staging/transpose/io buffers
-	maxPins := int64(2 * cfg.Workers)
-	if np := int64(store.NumPanels()); np < maxPins {
-		maxPins = np
-	}
-	storeBudget := cfg.MemoryBudget - scratch
-	if floor := maxPins * store.PanelBytes(); storeBudget < floor {
-		return fmt.Errorf("core: memory budget %d too small: %d workers need %d scratch + %d pinned panel bytes (minimum %d)",
-			cfg.MemoryBudget, cfg.Workers, scratch, floor, scratch+floor)
-	}
-	store.SetBudget(storeBudget)
 	// The peak so far belongs to the ingest phase, whose fixed overhead
 	// is the store's three buffers, not the workers' scratch. Account
 	// the phases separately and report the larger ceiling at the end.
@@ -247,6 +299,37 @@ func oocScan(ctx context.Context, store *panelstore.Store, cfg Config, res *Resu
 		resumed = res2
 		ck = &ckptManager{fsys: cfg.FS, path: cfg.CheckpointPath, every: cfg.CheckpointEvery, state: state}
 	}
+
+	if err := oocScanPass(ctx, store, cfg, res, workers, tiles, ck, resumed); err != nil {
+		return err
+	}
+
+	st := store.Stats()
+	res.PanelHits = st.Hits
+	res.PanelLoads = st.Misses
+	res.PanelEvictions = st.Evictions
+	res.PanelBytesSpilled = st.BytesSpilled
+	res.PanelBytesLoaded = st.BytesLoaded
+	res.SpillReadRetries += st.LoadRetries
+	res.StorePeakBytes = st.PeakBytes
+	// The true ceiling is the larger of the two phase peaks: resident
+	// panels plus the store's own buffers during ingest, resident panels
+	// plus every worker's fixed scratch (and those buffers) during the
+	// scan. The phases never overlap, so they are not summed.
+	res.PeakTileBytes = st.PeakBytes + scratch
+	if p := ingestPeak + 3*store.PanelBytes(); p > res.PeakTileBytes {
+		res.PeakTileBytes = p
+	}
+	return nil
+}
+
+// oocScanPass runs phases 3 and 4 of the out-of-core scan with
+// pre-built workers — one full scan for the plain path, one bootstrap
+// for the ensemble loop (which reuses the workers across passes and
+// reads the store/budget counters once at the end). Cache counters are
+// reported as this pass's deltas.
+func oocScanPass(ctx context.Context, store *panelstore.Store, cfg Config, res *Result, workers []*oocWorker, tiles []tile.Tile, ck *ckptManager, resumed bool) error {
+	n := store.Rows()
 
 	// Phase 3: pooled-null threshold over sampled pairs. Each permuted
 	// MI value is bit-identical to the resident computation and the
@@ -352,6 +435,10 @@ func oocScan(ctx context.Context, store *panelstore.Store, cfg Config, res *Resu
 			go func(w int) {
 				defer wg.Done()
 				wk := workers[w]
+				var hits0, misses0 int64
+				if wk.pc != nil {
+					hits0, misses0 = wk.pc.Hits(), wk.pc.Misses()
+				}
 				start := time.Now()
 				var local []grn.Edge
 				var evals, permEvals, screened, skipped int64
@@ -434,8 +521,8 @@ func oocScan(ctx context.Context, store *panelstore.Store, cfg Config, res *Resu
 				atomic.AddInt64(&totalSkipped, skipped)
 				atomic.AddInt64(&totalScreenNanos, screenNanos)
 				if wk.pc != nil {
-					atomic.AddInt64(&cacheHits, wk.pc.Hits())
-					atomic.AddInt64(&cacheMisses, wk.pc.Misses())
+					atomic.AddInt64(&cacheHits, wk.pc.Hits()-hits0)
+					atomic.AddInt64(&cacheMisses, wk.pc.Misses()-misses0)
 				}
 			}(w)
 		}
@@ -464,23 +551,6 @@ func oocScan(ctx context.Context, store *panelstore.Store, cfg Config, res *Resu
 		res.Timer.Add("screen", d)
 	}
 	res.Imbalance = tile.Imbalance(busy)
-
-	st := store.Stats()
-	res.PanelHits = st.Hits
-	res.PanelLoads = st.Misses
-	res.PanelEvictions = st.Evictions
-	res.PanelBytesSpilled = st.BytesSpilled
-	res.PanelBytesLoaded = st.BytesLoaded
-	res.SpillReadRetries += st.LoadRetries
-	res.StorePeakBytes = st.PeakBytes
-	// The true ceiling is the larger of the two phase peaks: resident
-	// panels plus the store's own buffers during ingest, resident panels
-	// plus every worker's fixed scratch (and those buffers) during the
-	// scan. The phases never overlap, so they are not summed.
-	res.PeakTileBytes = st.PeakBytes + scratch
-	if p := ingestPeak + 3*store.PanelBytes(); p > res.PeakTileBytes {
-		res.PeakTileBytes = p
-	}
 
 	net := grn.New(n)
 	if ck != nil {

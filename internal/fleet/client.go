@@ -33,10 +33,18 @@ func (c *Coordinator) runChunk(s *scan, w *workerState, ch Chunk) (*server.Resul
 	defer cancel()
 
 	workerCfg := s.cfg
-	workerCfg.DPI = false
-	workerCfg.CMIFilter = false
-	workerCfg.ChunkStart = ch.TileStart
-	workerCfg.ChunkTiles = ch.TileCount
+	if s.cfg.Ensemble.Enabled() {
+		// Ensemble chunk: one bootstrap of the full triangle. The worker
+		// keeps the submitted filters — DPI/CMI are per-bootstrap passes
+		// in ensemble mode, applied before folding.
+		workerCfg.Ensemble.Start = ch.Index
+		workerCfg.Ensemble.Count = 1
+	} else {
+		workerCfg.DPI = false
+		workerCfg.CMIFilter = false
+		workerCfg.ChunkStart = ch.TileStart
+		workerCfg.ChunkTiles = ch.TileCount
+	}
 	url := w.base + "/jobs?" + server.ConfigParams(workerCfg).Encode()
 
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(s.body))

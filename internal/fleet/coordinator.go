@@ -135,13 +135,23 @@ type scan struct {
 	chunks  []Chunk
 	tileIdx map[[2]int]int // (rowBlock, colBlock) -> tile index, for edge validation
 
-	mu         sync.Mutex
-	state      ScanState
-	err        string
-	progress   float64
-	result     *core.Result
-	resumed    int // chunks skipped via the persisted ledger
-	ledger     *checkpoint.State
+	mu       sync.Mutex
+	state    ScanState
+	err      string
+	progress float64
+	result   *core.Result
+	resumed  int // chunks skipped via the persisted ledger
+	ledger   *checkpoint.State
+	// Ensemble fan-out state (cfg.Ensemble.Enabled()): each chunk is one
+	// bootstrap. SupportEdge.WeightSum accumulates in ascending bootstrap
+	// order, so out-of-order worker results wait in bootEdges until the
+	// fold prefix (folded) reaches them; only the folded prefix is
+	// persisted to the ledger.
+	ens        *grn.Ensemble
+	bootEdges  [][]grn.Edge
+	bootThresh []float64
+	bootDone   []bool
+	folded     int
 	attempts   []int       // per-chunk attempt counts
 	lastWorker []int       // per-chunk index of the last worker tried (-1 none)
 	sums       core.Result // counter accumulator across chunks
@@ -293,6 +303,9 @@ func (c *Coordinator) Submit(body []byte, cfg core.Config) (id string, hit bool,
 	if cfg.ChunkTiles > 0 {
 		return "", false, fmt.Errorf("fleet: submissions cannot carry a chunk range")
 	}
+	if cfg.Ensemble.Count > 0 {
+		return "", false, fmt.Errorf("fleet: submissions cannot carry a bootstrap range")
+	}
 	key := server.JobKey(body, cfg)
 
 	c.mu.Lock()
@@ -406,41 +419,80 @@ func (c *Coordinator) prepare(s *scan) error {
 	}
 	s.genes = data.Genes
 	s.n = data.Expr.Rows()
-	s.chunks = PlanChunks(s.n, s.cfg.TileSize, c.ChunksPerScan)
-	if len(s.chunks) == 0 {
-		return fmt.Errorf("empty chunk plan for %d genes", s.n)
-	}
-	// The CMI merge filter needs rank-normalized rows; prepare them up
-	// front (cheap next to the scan) and let the matrix itself go.
-	if s.cfg.CMIFilter {
-		norm := data.Expr.Clone()
-		norm.RankNormalize()
-		s.norm = norm
-	}
-	// (rowBlock, colBlock) -> tile index, to verify that every edge a
-	// worker returns belongs to the chunk it was asked to scan.
-	tiles := tile.Decompose(s.n, s.cfg.TileSize)
-	s.tileIdx = make(map[[2]int]int, len(tiles))
-	for i, t := range tiles {
-		s.tileIdx[[2]int{t.I0 / s.cfg.TileSize, t.J0 / s.cfg.TileSize}] = i
+	if s.cfg.Ensemble.Enabled() {
+		// Ensemble fan-out: one chunk per bootstrap, each a worker job
+		// with bstart=b, bcount=1 over the full pair triangle. The worker
+		// runs its bootstrap's filters itself (they are per-bootstrap
+		// passes), so the merge only folds and thresholds.
+		b := s.cfg.Ensemble.Bootstraps
+		s.chunks = make([]Chunk, b)
+		for i := range s.chunks {
+			s.chunks[i] = Chunk{Index: i}
+		}
+		s.ens = grn.NewEnsemble(s.n)
+		s.bootEdges = make([][]grn.Edge, b)
+		s.bootThresh = make([]float64, b)
+		s.bootDone = make([]bool, b)
+	} else {
+		s.chunks = PlanChunks(s.n, s.cfg.TileSize, c.ChunksPerScan)
+		if len(s.chunks) == 0 {
+			return fmt.Errorf("empty chunk plan for %d genes", s.n)
+		}
+		// The CMI merge filter needs rank-normalized rows; prepare them up
+		// front (cheap next to the scan) and let the matrix itself go.
+		if s.cfg.CMIFilter {
+			norm := data.Expr.Clone()
+			norm.RankNormalize()
+			s.norm = norm
+		}
+		// (rowBlock, colBlock) -> tile index, to verify that every edge a
+		// worker returns belongs to the chunk it was asked to scan.
+		tiles := tile.Decompose(s.n, s.cfg.TileSize)
+		s.tileIdx = make(map[[2]int]int, len(tiles))
+		for i, t := range tiles {
+			s.tileIdx[[2]int{t.I0 / s.cfg.TileSize, t.J0 / s.cfg.TileSize}] = i
+		}
 	}
 
 	// Chunk ledger: one checkpoint.State slot per chunk — the same
 	// pending-tile recovery log the cluster engine uses, so a dead
 	// worker's chunks (or a restarted coordinator's) are reassigned,
-	// never lost.
+	// never lost. Ensemble scans use one slot per bootstrap.
 	fp := checkpoint.Fingerprint{
 		Genes: s.n, Samples: data.Expr.Cols(),
 		Order: s.cfg.Order, Bins: s.cfg.Bins,
 		Permutations: s.cfg.Permutations, NullSamplePairs: s.cfg.NullSamplePairs,
 		TileSize: s.cfg.TileSize, Alpha: s.cfg.Alpha, Seed: s.cfg.Seed,
 		Precision: uint8(s.cfg.Precision), Prescreen: s.cfg.Prescreen,
+		Bootstraps:    s.cfg.Ensemble.Bootstraps,
+		SubsampleFrac: s.cfg.Ensemble.SubsampleFrac,
+		EnsembleSeed:  s.cfg.Ensemble.Seed,
 	}
 	s.ledger = checkpoint.NewState(fp, len(s.chunks))
+	if s.cfg.Ensemble.Enabled() {
+		s.ledger.EnsembleThresholds = make([]float64, len(s.chunks))
+	}
 	if c.CheckpointDir != "" {
 		saved, err := checkpoint.LoadFile(c.ledgerPath(s.key))
 		if err == nil && saved != nil && saved.Validate(fp, len(s.chunks)) == nil {
 			s.ledger = saved
+			if s.cfg.Ensemble.Enabled() {
+				// Only the contiguous ascending-fold prefix is trustworthy
+				// (WeightSum order); anything past it is redispatched.
+				prefix := 0
+				for prefix < len(saved.Done) && saved.Done[prefix] {
+					prefix++
+				}
+				for i := prefix; i < len(saved.Done); i++ {
+					saved.Done[i] = false
+				}
+				s.ens.Restore(saved.EnsembleEdges, prefix)
+				s.folded = prefix
+				for i := 0; i < prefix; i++ {
+					s.bootDone[i] = true
+					s.bootThresh[i] = saved.EnsembleThresholds[i]
+				}
+			}
 			s.resumed = len(s.chunks) - saved.Remaining()
 			// Fold the resumed chunks' evaluation counters into the merge
 			// sums — they were committed by a previous coordinator life.
@@ -602,6 +654,9 @@ func (c *Coordinator) workerLoop(s *scan, wi int, queue chan int, remaining chan
 // protocol violation (a confused or corrupted worker) and fails the
 // scan rather than poisoning the merge.
 func (c *Coordinator) commitChunk(s *scan, ci int, res *server.ResultResponse) error {
+	if s.cfg.Ensemble.Enabled() {
+		return c.commitBootstrap(s, ci, res)
+	}
 	ch := s.chunks[ci]
 	edges := make([]grn.Edge, 0, len(res.Edges))
 	for _, e := range res.Edges {
@@ -680,6 +735,98 @@ func (c *Coordinator) commitChunk(s *scan, ci int, res *server.ResultResponse) e
 	return nil
 }
 
+// commitBootstrap records one bootstrap's partial-ensemble result and
+// advances the ascending fold prefix. A worker that returns anything
+// but exactly one bootstrap network is a protocol violation.
+func (c *Coordinator) commitBootstrap(s *scan, ci int, res *server.ResultResponse) error {
+	if len(res.BootstrapEdges) != 1 || len(res.EnsembleThresholds) != 1 {
+		return fmt.Errorf("fleet: bootstrap %d returned %d edge lists and %d thresholds, want 1",
+			ci, len(res.BootstrapEdges), len(res.EnsembleThresholds))
+	}
+	edges := make([]grn.Edge, 0, len(res.BootstrapEdges[0]))
+	for _, e := range res.BootstrapEdges[0] {
+		i, j := int(e[0]), int(e[1])
+		if i < 0 || j <= i || j >= s.n {
+			return fmt.Errorf("fleet: bootstrap %d returned out-of-range edge (%d,%d)", ci, i, j)
+		}
+		edges = append(edges, grn.Edge{I: i, J: j, Weight: e[2]})
+	}
+
+	s.mu.Lock()
+	if s.bootDone[ci] {
+		s.mu.Unlock()
+		return nil // duplicate completion
+	}
+	s.bootDone[ci] = true
+	s.bootEdges[ci] = edges
+	s.bootThresh[ci] = res.EnsembleThresholds[0]
+	s.ledger.EvalsPerTile[ci] = res.PairsEvaluated + res.PermEvaluations
+	s.ledger.PairEvalsPerTile[ci] = res.PairsEvaluated
+	s.ledger.ScreenedPerTile[ci] = res.PairsScreenedOut
+	s.sums.PairsEvaluated += res.PairsEvaluated
+	s.sums.PermEvaluations += res.PermEvaluations
+	s.sums.PairsScreenedOut += res.PairsScreenedOut
+	s.sums.PermutationsSkipped += res.PermutationsSkipped
+	s.sums.PermCacheHits += res.PermCacheHits
+	s.sums.PermCacheMisses += res.PermCacheMisses
+	s.sums.CheckpointRecoveries += res.CheckpointRecoveries
+	s.sums.SpillReadRetries += res.SpillReadRetries
+	// Advance the fold prefix: bootstraps must enter the aggregate in
+	// ascending order (WeightSum is order-sensitive), so results that
+	// arrived early wait in bootEdges until their turn.
+	advanced := false
+	for s.folded < len(s.bootDone) && s.bootDone[s.folded] {
+		net := grn.New(s.n)
+		for _, e := range s.bootEdges[s.folded] {
+			net.AddEdge(e.I, e.J, e.Weight)
+		}
+		s.ens.Fold(net)
+		s.bootEdges[s.folded] = nil
+		s.ledger.Done[s.folded] = true
+		s.ledger.EnsembleThresholds[s.folded] = s.bootThresh[s.folded]
+		s.folded++
+		advanced = true
+	}
+	if advanced {
+		s.ledger.EnsembleEdges = s.ens.Edges()
+	}
+	done := 0
+	for _, d := range s.bootDone {
+		if d {
+			done++
+		}
+	}
+	if p := progressOf(done, len(s.chunks)); p > s.progress {
+		s.progress = p
+	}
+	var ledgerCopy *checkpoint.State
+	prefix := s.folded
+	if advanced && c.CheckpointDir != "" {
+		cp := *s.ledger
+		cp.Done = append([]bool(nil), s.ledger.Done...)
+		cp.EnsembleEdges = append([]grn.SupportEdge(nil), s.ledger.EnsembleEdges...)
+		cp.EnsembleThresholds = append([]float64(nil), s.ledger.EnsembleThresholds...)
+		cp.EvalsPerTile = append([]int64(nil), s.ledger.EvalsPerTile...)
+		cp.PairEvalsPerTile = append([]int64(nil), s.ledger.PairEvalsPerTile...)
+		cp.ScreenedPerTile = append([]int64(nil), s.ledger.ScreenedPerTile...)
+		ledgerCopy = &cp
+	}
+	s.mu.Unlock()
+
+	if ledgerCopy != nil {
+		s.saveMu.Lock()
+		if prefix > s.savedDone {
+			if err := checkpoint.SaveFile(c.ledgerPath(s.key), ledgerCopy); err != nil {
+				c.Logger.Warn("ledger save failed", "key", s.key, "error", err)
+			} else {
+				s.savedDone = prefix
+			}
+		}
+		s.saveMu.Unlock()
+	}
+	return nil
+}
+
 func progressOf(done, total int) float64 {
 	if total <= 0 {
 		return 0
@@ -693,6 +840,10 @@ func progressOf(done, total int) float64 {
 // threshold, sum the counters, then run the phase-5 filters exactly
 // once over the merged network.
 func (c *Coordinator) merge(s *scan) {
+	if s.cfg.Ensemble.Enabled() {
+		c.mergeEnsemble(s)
+		return
+	}
 	timer := stats.NewTimer()
 	var net *grn.Network
 	var buildErr error
@@ -733,6 +884,57 @@ func (c *Coordinator) merge(s *scan) {
 	if err := core.ApplyFilters(s.cfg, res, rows); err != nil {
 		c.mScansFailed.Inc()
 		c.finishScan(s, StateFailed, err.Error())
+		return
+	}
+	s.mu.Lock()
+	s.result = res
+	s.mu.Unlock()
+	if c.CheckpointDir != "" {
+		checkpoint.Remove(c.ledgerPath(s.key))
+	}
+	c.finishScan(s, StateDone, "")
+}
+
+// mergeEnsemble closes out an ensemble scan: every bootstrap has been
+// folded in ascending order as it committed, so all that remains is the
+// consensus cut. No outer filters run — each worker already filtered
+// its bootstrap network.
+func (c *Coordinator) mergeEnsemble(s *scan) {
+	timer := stats.NewTimer()
+	var res *core.Result
+	var buildErr error
+	timer.Time("merge", func() {
+		defer func() {
+			if r := recover(); r != nil {
+				buildErr = fmt.Errorf("fleet: ensemble merge failed: %v", r)
+			}
+		}()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.folded != len(s.chunks) {
+			buildErr = fmt.Errorf("fleet: ensemble merge with %d of %d bootstraps folded", s.folded, len(s.chunks))
+			return
+		}
+		res = &core.Result{
+			Network:               s.ens.Consensus(s.cfg.Ensemble.SupportCutoff),
+			Ensemble:              s.ens,
+			EnsembleThresholds:    append([]float64(nil), s.bootThresh...),
+			EnsembleBootstrapsRun: len(s.chunks) - s.resumed,
+			Threshold:             s.bootThresh[len(s.bootThresh)-1],
+			Timer:                 timer,
+			PairsEvaluated:        s.sums.PairsEvaluated,
+			PermEvaluations:       s.sums.PermEvaluations,
+			PairsScreenedOut:      s.sums.PairsScreenedOut,
+			PermutationsSkipped:   s.sums.PermutationsSkipped,
+			PermCacheHits:         s.sums.PermCacheHits,
+			PermCacheMisses:       s.sums.PermCacheMisses,
+			CheckpointRecoveries:  s.sums.CheckpointRecoveries,
+			SpillReadRetries:      s.sums.SpillReadRetries,
+		}
+	})
+	if buildErr != nil {
+		c.mScansFailed.Inc()
+		c.finishScan(s, StateFailed, buildErr.Error())
 		return
 	}
 	s.mu.Lock()

@@ -84,6 +84,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", c.instrument("/jobs/{id}", c.handleStatus))
 	mux.HandleFunc("GET /jobs/{id}/network", c.instrument("/jobs/{id}/network", c.handleNetwork))
 	mux.HandleFunc("GET /jobs/{id}/result", c.instrument("/jobs/{id}/result", c.handleResult))
+	mux.HandleFunc("GET /jobs/{id}/support", c.instrument("/jobs/{id}/support", c.handleSupport))
 	mux.HandleFunc("GET /jobs/{id}/events", c.instrument("/jobs/{id}/events", c.handleEvents))
 	mux.HandleFunc("DELETE /jobs/{id}", c.instrument("/jobs/{id}", c.handleCancel))
 	mux.Handle("GET /metrics", c.Metrics.Handler())
@@ -263,8 +264,50 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	for _, e := range res.Network.Edges() {
 		out.Edges = append(out.Edges, [3]float64{float64(e.I), float64(e.J), e.Weight})
 	}
+	if res.Ensemble != nil {
+		out.EnsembleBootstraps = res.Ensemble.Bootstraps()
+		for _, se := range res.Ensemble.Edges() {
+			out.Support = append(out.Support, [4]float64{
+				float64(se.I), float64(se.J), float64(se.Support), se.WeightSum,
+			})
+		}
+	}
+	out.EnsembleThresholds = res.EnsembleThresholds
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out)
+}
+
+// handleSupport serves the merged ensemble support table as TSV — the
+// same contract as the single server's route (409 until done, 404 for
+// jobs that did not run in ensemble mode), so clients read support
+// tables from a coordinator and a worker identically.
+func (c *Coordinator) handleSupport(w http.ResponseWriter, r *http.Request) {
+	j := c.lookup(w, r)
+	if j == nil {
+		return
+	}
+	s := j.scan
+	s.mu.Lock()
+	st := s.state
+	var ens *grn.Ensemble
+	var names []string
+	if s.result != nil {
+		ens = s.result.Ensemble
+		names = s.genes
+	}
+	s.mu.Unlock()
+	if st != StateDone {
+		http.Error(w, fmt.Sprintf("job is %s", st), http.StatusConflict)
+		return
+	}
+	if ens == nil {
+		http.Error(w, "job was not an ensemble run", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/tab-separated-values")
+	if err := ens.WriteSupportTSV(w, names); err != nil && !strings.Contains(err.Error(), "broken pipe") {
+		return
+	}
 }
 
 // handleEvents is the coordinator's SSE stream: "progress" events on

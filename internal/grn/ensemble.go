@@ -1,0 +1,222 @@
+package grn
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SupportEdge is one edge of a bootstrap ensemble: how many bootstrap
+// networks contained it and the sum of its MI weights over those
+// bootstraps. I < J always.
+type SupportEdge struct {
+	I, J int
+	// Support is the number of bootstrap networks containing the edge.
+	Support int
+	// WeightSum is the sum of the edge's MI over its supporting
+	// bootstraps, accumulated in ascending bootstrap order (the order is
+	// part of the determinism contract: float64 addition is not
+	// associative, so every path — direct run, checkpoint resume, fleet
+	// merge — folds bootstraps in the same ascending order).
+	WeightSum float64
+}
+
+// MeanWeight is the edge's mean MI over its supporting bootstraps.
+func (e SupportEdge) MeanWeight() float64 {
+	if e.Support == 0 {
+		return 0
+	}
+	return e.WeightSum / float64(e.Support)
+}
+
+// Ensemble aggregates B bootstrap networks into per-edge support
+// counts — the scTenifold/ARACNE-bootstrap consensus recipe. Fold each
+// bootstrap's (already filtered) network in ascending bootstrap order;
+// Consensus then keeps edges whose support frequency reaches the
+// cutoff. Construction is single-goroutine.
+type Ensemble struct {
+	n     int
+	folds int
+	index map[int64]int
+	cells []SupportEdge
+}
+
+// NewEnsemble creates an empty aggregate over n genes.
+func NewEnsemble(n int) *Ensemble {
+	if n < 0 {
+		panic(fmt.Sprintf("grn: negative gene count %d", n))
+	}
+	return &Ensemble{n: n, index: make(map[int64]int)}
+}
+
+// N returns the gene-universe size.
+func (e *Ensemble) N() int { return e.n }
+
+// Bootstraps returns the number of networks folded so far.
+func (e *Ensemble) Bootstraps() int { return e.folds }
+
+// Len returns the number of distinct edges seen across all bootstraps.
+func (e *Ensemble) Len() int { return len(e.cells) }
+
+// Fold absorbs one bootstrap network. Networks must be folded in
+// ascending bootstrap order (see SupportEdge.WeightSum).
+func (e *Ensemble) Fold(net *Network) {
+	if net.N() != e.n {
+		panic(fmt.Sprintf("grn: folding a %d-gene network into a %d-gene ensemble", net.N(), e.n))
+	}
+	e.folds++
+	for _, ed := range net.Edges() {
+		key := int64(ed.I)*int64(e.n) + int64(ed.J)
+		if c, ok := e.index[key]; ok {
+			e.cells[c].Support++
+			e.cells[c].WeightSum += ed.Weight
+		} else {
+			e.index[key] = len(e.cells)
+			e.cells = append(e.cells, SupportEdge{I: ed.I, J: ed.J, Support: 1, WeightSum: ed.Weight})
+		}
+	}
+}
+
+// Edges returns the support table sorted by (I, J). The slice is a
+// copy; mutating it does not affect the aggregate.
+func (e *Ensemble) Edges() []SupportEdge {
+	out := append([]SupportEdge(nil), e.cells...)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].I != out[b].I {
+			return out[a].I < out[b].I
+		}
+		return out[a].J < out[b].J
+	})
+	return out
+}
+
+// Restore replaces the aggregate with a previously snapshotted support
+// table (checkpoint resume / fleet ledger). folds is the number of
+// bootstraps the snapshot covers.
+func (e *Ensemble) Restore(edges []SupportEdge, folds int) {
+	e.folds = folds
+	e.cells = append(e.cells[:0], edges...)
+	e.index = make(map[int64]int, len(edges))
+	for c, ed := range e.cells {
+		e.index[int64(ed.I)*int64(e.n)+int64(ed.J)] = c
+	}
+}
+
+// Consensus returns the consensus network at the given support cutoff:
+// edges present in at least cutoff·Bootstraps() of the folded networks,
+// weighted by their mean MI over the supporting bootstraps. cutoff is a
+// frequency in (0, 1]; edges are added in (I, J) order so the result is
+// deterministic.
+func (e *Ensemble) Consensus(cutoff float64) *Network {
+	if cutoff <= 0 || cutoff > 1 {
+		panic(fmt.Sprintf("grn: support cutoff %v out of (0,1]", cutoff))
+	}
+	net := New(e.n)
+	if e.folds == 0 {
+		return net
+	}
+	total := float64(e.folds)
+	for _, ed := range e.Edges() {
+		if float64(ed.Support)/total >= cutoff {
+			net.AddEdge(ed.I, ed.J, ed.MeanWeight())
+		}
+	}
+	return net
+}
+
+// WriteSupportTSV emits the support-weighted edge table:
+//
+//	# bootstraps<TAB>B
+//	i<TAB>j<TAB>support<TAB>frequency<TAB>mean_mi
+//
+// in (I, J) order, with gene names substituted when names is non-nil.
+// This is the ensemble counterpart of Network.WriteTSV: downstream
+// tools (netstat) read the support and frequency columns back.
+func (e *Ensemble) WriteSupportTSV(w io.Writer, names []string) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# bootstraps\t%d\n", e.folds); err != nil {
+		return err
+	}
+	total := float64(e.folds)
+	if total == 0 {
+		total = 1
+	}
+	for _, ed := range e.Edges() {
+		var err error
+		freq := float64(ed.Support) / total
+		if names != nil {
+			_, err = fmt.Fprintf(bw, "%s\t%s\t%d\t%.6g\t%.6g\n", names[ed.I], names[ed.J], ed.Support, freq, ed.MeanWeight())
+		} else {
+			_, err = fmt.Fprintf(bw, "%d\t%d\t%d\t%.6g\t%.6g\n", ed.I, ed.J, ed.Support, freq, ed.MeanWeight())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSupportTSV parses a numeric support table written by
+// WriteSupportTSV into an Ensemble over n genes. Weight sums are
+// reconstructed as mean·support, so they round-trip only to the
+// writer's precision — fine for analysis tools, not for bit-identity
+// checks (those compare in-memory aggregates).
+func ReadSupportTSV(r io.Reader, n int) (*Ensemble, error) {
+	e := NewEnsemble(n)
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(strings.TrimPrefix(text, "#"))
+			if len(fields) == 2 && fields[0] == "bootstraps" {
+				b, err := strconv.Atoi(fields[1])
+				if err != nil || b < 0 {
+					return nil, fmt.Errorf("grn: line %d: bad bootstraps header %q", line, text)
+				}
+				e.folds = b
+			}
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("grn: line %d: %d fields, want 5", line, len(fields))
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("grn: line %d: %w", line, err)
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("grn: line %d: %w", line, err)
+		}
+		sup, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("grn: line %d: %w", line, err)
+		}
+		mean, err := strconv.ParseFloat(fields[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("grn: line %d: %w", line, err)
+		}
+		if i >= j || i < 0 || j >= n || sup < 1 {
+			return nil, fmt.Errorf("grn: line %d: invalid support edge (%d,%d)x%d for n=%d", line, i, j, sup, n)
+		}
+		key := int64(i)*int64(n) + int64(j)
+		if _, dup := e.index[key]; dup {
+			return nil, fmt.Errorf("grn: line %d: duplicate edge (%d,%d)", line, i, j)
+		}
+		e.index[key] = len(e.cells)
+		e.cells = append(e.cells, SupportEdge{I: i, J: j, Support: sup, WeightSum: mean * float64(sup)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

@@ -1,0 +1,118 @@
+package grn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestEnsembleFoldConsensus exercises the aggregate: support counts,
+// mean weights, cutoff semantics, and the sorted edge listing.
+func TestEnsembleFoldConsensus(t *testing.T) {
+	e := NewEnsemble(5)
+	nets := [][]Edge{
+		{{I: 0, J: 1, Weight: 1.0}, {I: 2, J: 3, Weight: 0.5}},
+		{{I: 0, J: 1, Weight: 2.0}, {I: 1, J: 4, Weight: 0.25}},
+		{{I: 0, J: 1, Weight: 3.0}, {I: 2, J: 3, Weight: 0.7}},
+	}
+	for _, edges := range nets {
+		g := New(5)
+		for _, ed := range edges {
+			g.AddEdge(ed.I, ed.J, ed.Weight)
+		}
+		e.Fold(g)
+	}
+	if e.Bootstraps() != 3 || e.Len() != 3 {
+		t.Fatalf("folds=%d len=%d, want 3/3", e.Bootstraps(), e.Len())
+	}
+	edges := e.Edges()
+	want := []SupportEdge{
+		{I: 0, J: 1, Support: 3, WeightSum: 6.0},
+		{I: 1, J: 4, Support: 1, WeightSum: 0.25},
+		{I: 2, J: 3, Support: 2, WeightSum: 1.2},
+	}
+	for i, w := range want {
+		if edges[i] != w {
+			t.Fatalf("edge %d = %+v, want %+v", i, edges[i], w)
+		}
+	}
+
+	// Cutoff 2/3 keeps the support>=2 edges with mean-MI weights.
+	cons := e.Consensus(2.0 / 3.0)
+	if cons.Len() != 2 {
+		t.Fatalf("consensus has %d edges, want 2", cons.Len())
+	}
+	if w, ok := cons.Weight(0, 1); !ok || w != 2.0 {
+		t.Fatalf("consensus (0,1) weight %v/%v, want 2", w, ok)
+	}
+	if w, ok := cons.Weight(2, 3); !ok || w != 1.2/2 {
+		t.Fatalf("consensus (2,3) weight %v/%v, want %v", w, ok, 1.2/2)
+	}
+	// Cutoff 1.0 keeps only unanimous edges.
+	if got := e.Consensus(1.0).Len(); got != 1 {
+		t.Fatalf("unanimous consensus has %d edges, want 1", got)
+	}
+
+	// Restore rebuilds an equal aggregate.
+	r := NewEnsemble(5)
+	r.Restore(edges, e.Bootstraps())
+	re := r.Edges()
+	for i := range edges {
+		if re[i] != edges[i] {
+			t.Fatalf("restored edge %d = %+v, want %+v", i, re[i], edges[i])
+		}
+	}
+	g := New(5)
+	g.AddEdge(0, 1, 4.0)
+	r.Fold(g)
+	if got := r.Edges()[0]; got.Support != 4 || got.WeightSum != 10.0 {
+		t.Fatalf("fold after restore: %+v", got)
+	}
+}
+
+// TestEnsembleSupportTSVRoundTrip pins the writer format and the reader
+// parse: header carries the bootstrap count, rows carry support,
+// frequency, and mean MI.
+func TestEnsembleSupportTSVRoundTrip(t *testing.T) {
+	e := NewEnsemble(4)
+	for b := 0; b < 4; b++ {
+		g := New(4)
+		g.AddEdge(0, 1, 0.5)
+		if b%2 == 0 {
+			g.AddEdge(2, 3, 1.5)
+		}
+		e.Fold(g)
+	}
+	var buf bytes.Buffer
+	if err := e.WriteSupportTSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# bootstraps\t4\n") {
+		t.Fatalf("missing bootstraps header in %q", out)
+	}
+	if !strings.Contains(out, "0\t1\t4\t1\t0.5\n") || !strings.Contains(out, "2\t3\t2\t0.5\t1.5\n") {
+		t.Fatalf("unexpected rows:\n%s", out)
+	}
+	back, err := ReadSupportTSV(strings.NewReader(out), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Bootstraps() != 4 || back.Len() != 2 {
+		t.Fatalf("round trip: folds=%d len=%d", back.Bootstraps(), back.Len())
+	}
+	be, ee := back.Edges(), e.Edges()
+	for i := range ee {
+		if be[i].I != ee[i].I || be[i].J != ee[i].J || be[i].Support != ee[i].Support {
+			t.Fatalf("round-trip edge %d = %+v, want %+v", i, be[i], ee[i])
+		}
+	}
+	// Named output substitutes gene labels.
+	buf.Reset()
+	if err := e.WriteSupportTSV(&buf, []string{"a", "b", "c", "d"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "a\tb\t4\t1\t0.5\n") {
+		t.Fatalf("named rows missing:\n%s", buf.String())
+	}
+}

@@ -94,6 +94,37 @@ func FisherYates(rng *RNG, dst []int32) {
 	}
 }
 
+// subsampleStream tags the ensemble subsample RNG streams so bootstrap
+// index draws never collide with the permutation pool (stream = perm
+// index) or the null-pair sampler (stream = 0xD1CE) derived from the
+// same run seed.
+const subsampleStream = 0x5AB5A317
+
+// SubsampleIndices draws a without-replacement subsample of count
+// sample indices from [0, m) for bootstrap round `round`, returned in
+// ascending order. The draw is a partial Fisher–Yates selection over a
+// stream split on (seed, round): deterministic for fixed arguments,
+// independent across rounds, and scheduling-free — every engine and
+// worker count sees the same index set. It panics if count is outside
+// [0, m].
+func SubsampleIndices(seed, round uint64, m, count int) []int32 {
+	if m < 0 || count < 0 || count > m {
+		panic(fmt.Sprintf("perm: SubsampleIndices(m=%d, count=%d)", m, count))
+	}
+	rng := NewRNG(seed).Split(subsampleStream).Split(round)
+	idx := make([]int32, m)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	for i := 0; i < count; i++ {
+		j := i + rng.Intn(m-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	out := idx[:count:count]
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
 // Pool is a fixed set of q permutations of m samples, generated
 // deterministically from a seed and shared by every pair computation in
 // a run (the paper reuses the same permutations for all pairs, which

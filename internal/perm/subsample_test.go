@@ -1,0 +1,86 @@
+package perm
+
+import "testing"
+
+// TestSubsampleIndicesDeterministic pins the generator's contract:
+// identical arguments reproduce the draw bit for bit, different rounds
+// and seeds decorrelate, and the result is a sorted duplicate-free
+// subset of [0, m).
+func TestSubsampleIndicesDeterministic(t *testing.T) {
+	const m, count = 337, 270
+	a := SubsampleIndices(7, 3, m, count)
+	b := SubsampleIndices(7, 3, m, count)
+	if len(a) != count || len(b) != count {
+		t.Fatalf("got %d/%d indices, want %d", len(a), len(b), count)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("index %d differs across identical calls: %d vs %d", i, a[i], b[i])
+		}
+	}
+	differs := func(label string, other []int32) {
+		t.Helper()
+		for i := range a {
+			if a[i] != other[i] {
+				return
+			}
+		}
+		t.Fatalf("%s does not influence the draw", label)
+	}
+	differs("round", SubsampleIndices(7, 4, m, count))
+	differs("seed", SubsampleIndices(8, 3, m, count))
+
+	// Full draw is the identity set.
+	full := SubsampleIndices(7, 0, 16, 16)
+	for i, v := range full {
+		if v != int32(i) {
+			t.Fatalf("full draw index %d = %d, want %d", i, v, i)
+		}
+	}
+	if got := SubsampleIndices(7, 0, 9, 0); len(got) != 0 {
+		t.Fatalf("count=0 returned %d indices", len(got))
+	}
+}
+
+// FuzzSubsampleIndices drives the subsample generator over arbitrary
+// (seed, round, m, count) and enforces its invariants: every index in
+// range, strictly ascending (therefore duplicate-free — without
+// replacement), exactly count of them, and deterministic per seed.
+func FuzzSubsampleIndices(f *testing.F) {
+	f.Add(uint64(1), uint64(0), 100, 80)
+	f.Add(uint64(0), uint64(7), 337, 270)
+	f.Add(uint64(42), uint64(9), 1, 1)
+	f.Add(uint64(3), uint64(2), 64, 0)
+	f.Fuzz(func(t *testing.T, seed, round uint64, m, count int) {
+		if m < 0 || m > 1<<16 {
+			t.Skip()
+		}
+		if count < 0 || count > m {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("out-of-range count %d for m=%d did not panic", count, m)
+				}
+			}()
+			SubsampleIndices(seed, round, m, count)
+			return
+		}
+		idx := SubsampleIndices(seed, round, m, count)
+		if len(idx) != count {
+			t.Fatalf("got %d indices, want %d", len(idx), count)
+		}
+		for i, v := range idx {
+			if v < 0 || int(v) >= m {
+				t.Fatalf("index %d out of range [0,%d)", v, m)
+			}
+			if i > 0 && idx[i-1] >= v {
+				t.Fatalf("indices not strictly ascending at %d: %d >= %d", i, idx[i-1], v)
+			}
+		}
+		again := SubsampleIndices(seed, round, m, count)
+		for i := range idx {
+			if idx[i] != again[i] {
+				t.Fatalf("draw not deterministic at %d: %d vs %d", i, idx[i], again[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestConfigParamsEnsembleRoundTrip extends the wire-format inverse to
+// the ensemble parameters the fleet coordinator round-trips to workers:
+// re-parsing ConfigParams(cfg) must land on the identical content
+// address for ensemble configs, bootstrap ranges included.
+func TestConfigParamsEnsembleRoundTrip(t *testing.T) {
+	cases := []url.Values{
+		{"bootstraps": {"4"}},
+		{"bootstraps": {"4"}, "subsample": {"0.75"}, "eseed": {"3"}, "support": {"0.5"}},
+		{"bootstraps": {"6"}, "bstart": {"2"}, "bcount": {"2"}, "seed": {"11"}, "dpi": {"1"}},
+		{"bootstraps": {"10"}, "subsample": {"0.61803398875"}, "support": {"0.9"}, "precision": {"float32"}},
+		{"bootstraps": {"3"}, "engine": {"hybrid"}},
+	}
+	body := []byte("g1\t1\t2\t3\t4\ng2\t4\t5\t6\t7\n")
+	for i, q := range cases {
+		cfg, err := ParseConfigValues(q)
+		if err != nil {
+			t.Fatalf("case %d: parse: %v", i, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("case %d: validate: %v", i, err)
+		}
+		cfg2, err := ParseConfigValues(ConfigParams(cfg))
+		if err != nil {
+			t.Fatalf("case %d: reparse: %v", i, err)
+		}
+		if err := cfg2.Validate(); err != nil {
+			t.Fatalf("case %d: revalidate: %v", i, err)
+		}
+		if cfg.Ensemble != cfg2.Ensemble {
+			t.Fatalf("case %d: ensemble params drifted: %+v != %+v", i, cfg.Ensemble, cfg2.Ensemble)
+		}
+		if a, b := JobKey(body, cfg), JobKey(body, cfg2); a != b {
+			t.Fatalf("case %d: round-trip changed the content address:\n  %+v\n  %+v", i, cfg, cfg2)
+		}
+	}
+}
+
+// TestJobKeyEnsembleSensitivity: every ensemble knob is part of the
+// content address. Two jobs differing only in bootstrap count,
+// subsample fraction, ensemble seed, support cutoff, or bootstrap range
+// must never share a cache entry or checkpoint.
+func TestJobKeyEnsembleSensitivity(t *testing.T) {
+	body := []byte("g1\t1\t2\t3\t4\ng2\t4\t5\t6\t7\n")
+	base := core.Config{Permutations: 8, TileSize: 4, Seed: 11, DPITolerance: -1,
+		Ensemble: core.EnsembleConfig{Bootstraps: 4, SubsampleFrac: 0.75, Seed: 3, SupportCutoff: 0.5}}
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	plain := base
+	plain.Ensemble = core.EnsembleConfig{}
+	if err := plain.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	variants := map[string]core.Config{
+		"plain":      plain,
+		"base":       base,
+		"bootstraps": base,
+		"subsample":  base,
+		"eseed":      base,
+		"support":    base,
+		"range01":    base,
+		"range12":    base,
+	}
+	mut := func(name string, f func(*core.Config)) {
+		c := base
+		f(&c)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		variants[name] = c
+	}
+	mut("bootstraps", func(c *core.Config) { c.Ensemble.Bootstraps = 5 })
+	mut("subsample", func(c *core.Config) { c.Ensemble.SubsampleFrac = 0.6 })
+	mut("eseed", func(c *core.Config) { c.Ensemble.Seed = 9 })
+	mut("support", func(c *core.Config) { c.Ensemble.SupportCutoff = 0.75 })
+	mut("range01", func(c *core.Config) { c.Ensemble.Start, c.Ensemble.Count = 0, 1 })
+	mut("range12", func(c *core.Config) { c.Ensemble.Start, c.Ensemble.Count = 1, 2 })
+
+	seen := make(map[string]string, len(variants))
+	for name, cfg := range variants {
+		key := JobKey(body, cfg)
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("job keys collide: %q and %q both map to %s", prev, name, key)
+		}
+		seen[key] = name
+	}
+}
+
+// TestSubmitEnsembleJob drives an ensemble job through the full tinged
+// lifecycle: submit with bootstrap params, watch bootstrapsRun/
+// supportEdges appear in status, then fetch the JSON result and the
+// support TSV.
+func TestSubmitEnsembleJob(t *testing.T) {
+	ts := httptest.NewServer(New().Handler())
+	defer ts.Close()
+
+	const b = 3
+	id := startJob(t, ts, tsvBody(t, 25, 60),
+		"permutations=5&seed=1&dpi=1&bootstraps=3&subsample=0.75&eseed=3&support=0.5")
+
+	// /support before completion refuses with 409.
+	resp, err := http.Get(ts.URL + "/jobs/" + id + "/support")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict && resp.StatusCode != http.StatusOK {
+		t.Fatalf("early support status = %d", resp.StatusCode)
+	}
+
+	st := waitFor(t, ts, id, StateDone)
+	if st.Bootstraps != b {
+		t.Fatalf("status bootstrapsRun = %d, want %d", st.Bootstraps, b)
+	}
+	if st.Support == 0 {
+		t.Fatal("status reports no support edges")
+	}
+
+	resp, err = http.Get(ts.URL + "/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result status = %d", resp.StatusCode)
+	}
+	var res ResultResponse
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.EnsembleBootstraps != b {
+		t.Fatalf("result ensembleBootstraps = %d, want %d", res.EnsembleBootstraps, b)
+	}
+	if len(res.EnsembleThresholds) != b {
+		t.Fatalf("result carries %d thresholds, want %d", len(res.EnsembleThresholds), b)
+	}
+	for i, th := range res.EnsembleThresholds {
+		if th <= 0 {
+			t.Fatalf("bootstrap %d threshold %v", i, th)
+		}
+	}
+	if len(res.Support) != st.Support {
+		t.Fatalf("result has %d support edges, status reports %d", len(res.Support), st.Support)
+	}
+	consensus := 0
+	for i, e := range res.Support {
+		if e[0] >= e[1] || e[2] < 1 || e[2] > b || e[3] <= 0 {
+			t.Fatalf("support row %d malformed: %v", i, e)
+		}
+		if e[2]/b >= 0.5 {
+			consensus++
+		}
+	}
+	if consensus != len(res.Edges) {
+		t.Fatalf("consensus edges %d inconsistent with support table (%d rows pass the cutoff)",
+			len(res.Edges), consensus)
+	}
+
+	resp, err = http.Get(ts.URL + "/jobs/" + id + "/support")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("support status = %d", resp.StatusCode)
+	}
+	buf := new(bytes.Buffer)
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if lines[0] != "# bootstraps\t3" {
+		t.Fatalf("support TSV header = %q", lines[0])
+	}
+	if len(lines)-1 != st.Support {
+		t.Fatalf("support TSV has %d rows, status says %d", len(lines)-1, st.Support)
+	}
+	// Gene names substituted, like the network TSV.
+	if !strings.HasPrefix(lines[1], "G") {
+		t.Fatalf("support TSV should use gene names: %q", lines[1])
+	}
+
+	// A non-ensemble job 404s on /support.
+	plain := startJob(t, ts, tsvBody(t, 25, 60), "permutations=5&seed=1")
+	waitFor(t, ts, plain, StateDone)
+	resp, err = http.Get(ts.URL + "/jobs/" + plain + "/support")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("support for non-ensemble job = %d, want 404", resp.StatusCode)
+	}
+}

@@ -169,6 +169,8 @@ type Server struct {
 	mCkptCorrupt, mSpillRetries      *metrics.Counter
 	mFaultDelayed, mFaultDropped     *metrics.Counter
 	mDPIRemoved, mCMIRemoved         *metrics.Counter
+	mEnsBootstraps, mEnsStencils     *metrics.Counter
+	mEnsSupportEdges                 *metrics.Counter
 	mTerminal                        map[JobState]*metrics.Counter
 	hJobSeconds                      *metrics.Histogram
 }
@@ -232,6 +234,9 @@ func (s *Server) init() {
 		s.mFaultDropped = r.Counter("tinge_fault_dropped_messages_total", "Messages dropped by fault injection.", nil)
 		s.mDPIRemoved = r.Counter("tinge_dpi_edges_removed_total", "Edges pruned by the DPI filter.", nil)
 		s.mCMIRemoved = r.Counter("tinge_cmi_edges_removed_total", "Edges pruned by the CMI successor filter.", nil)
+		s.mEnsBootstraps = r.Counter("tinge_ensemble_bootstraps_total", "Bootstrap networks inferred by ensemble jobs.", nil)
+		s.mEnsStencils = r.Counter("tinge_ensemble_stencils_reused_total", "B-spline stencils reused from the shared precompute instead of recomputed.", nil)
+		s.mEnsSupportEdges = r.Counter("tinge_ensemble_support_edges_total", "Support-matrix cells produced by completed ensemble jobs.", nil)
 		s.hJobSeconds = r.Histogram("tinge_job_seconds", "Job wall time from start to terminal state.",
 			nil, []float64{0.1, 0.5, 1, 5, 15, 60, 300, 1800, 7200})
 		for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
@@ -273,6 +278,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.instrument("/jobs/{id}", s.handleStatus))
 	mux.HandleFunc("GET /jobs/{id}/network", s.instrument("/jobs/{id}/network", s.handleNetwork))
 	mux.HandleFunc("GET /jobs/{id}/result", s.instrument("/jobs/{id}/result", s.handleResult))
+	mux.HandleFunc("GET /jobs/{id}/support", s.instrument("/jobs/{id}/support", s.handleSupport))
 	mux.HandleFunc("GET /jobs/{id}/events", s.instrument("/jobs/{id}/events", s.handleEvents))
 	mux.HandleFunc("DELETE /jobs/{id}", s.instrument("/jobs/{id}", s.handleCancel))
 	mux.Handle("GET /metrics", s.Metrics.Handler())
@@ -350,6 +356,9 @@ func ParseConfigValues(q url.Values) (core.Config, error) {
 		"panelrows":     &cfg.PanelRows,
 		"tilestart":     &cfg.ChunkStart,
 		"tilecount":     &cfg.ChunkTiles,
+		"bootstraps":    &cfg.Ensemble.Bootstraps,
+		"bstart":        &cfg.Ensemble.Start,
+		"bcount":        &cfg.Ensemble.Count,
 	} {
 		if err := intParam(name, dst); err != nil {
 			return cfg, err
@@ -376,6 +385,8 @@ func ParseConfigValues(q url.Values) (core.Config, error) {
 		"alpha":        &cfg.Alpha,
 		"dpitolerance": &cfg.DPITolerance,
 		"cmiratio":     &cfg.CMIRatio,
+		"subsample":    &cfg.Ensemble.SubsampleFrac,
+		"support":      &cfg.Ensemble.SupportCutoff,
 	} {
 		if err := floatParam(name, dst); err != nil {
 			return cfg, err
@@ -387,6 +398,13 @@ func ParseConfigValues(q url.Values) (core.Config, error) {
 			return cfg, fmt.Errorf("bad seed: %v", err)
 		}
 		cfg.Seed = sd
+	}
+	if v := q.Get("eseed"); v != "" {
+		sd, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return cfg, fmt.Errorf("bad eseed: %v", err)
+		}
+		cfg.Ensemble.Seed = sd
 	}
 	if v := q.Get("dpi"); v == "1" || v == "true" {
 		cfg.DPI = true
@@ -404,6 +422,8 @@ func ParseConfigValues(q url.Values) (core.Config, error) {
 		cfg.Engine = core.Phi
 	case "cluster":
 		cfg.Engine = core.Cluster
+	case "hybrid":
+		cfg.Engine = core.Hybrid
 	case "ooc":
 		cfg.Engine = core.OutOfCore
 	default:
@@ -479,6 +499,20 @@ func ConfigParams(cfg core.Config) url.Values {
 	if cfg.CMIRatio != 0 {
 		q.Set("cmiratio", strconv.FormatFloat(cfg.CMIRatio, 'g', -1, 64))
 	}
+	if cfg.Ensemble.Enabled() {
+		setInt("bootstraps", cfg.Ensemble.Bootstraps)
+		setInt("bstart", cfg.Ensemble.Start)
+		setInt("bcount", cfg.Ensemble.Count)
+		if cfg.Ensemble.SubsampleFrac != 0 {
+			q.Set("subsample", strconv.FormatFloat(cfg.Ensemble.SubsampleFrac, 'g', -1, 64))
+		}
+		if cfg.Ensemble.SupportCutoff != 0 {
+			q.Set("support", strconv.FormatFloat(cfg.Ensemble.SupportCutoff, 'g', -1, 64))
+		}
+		if cfg.Ensemble.Seed != 0 {
+			q.Set("eseed", strconv.FormatUint(cfg.Ensemble.Seed, 10))
+		}
+	}
 	return q
 }
 
@@ -497,6 +531,17 @@ func JobKey(body []byte, cfg core.Config) string {
 		cfg.Precision, cfg.Prescreen, cfg.DPITolerance, cfg.CMIFilter, cfg.CMIRatio)
 	if cfg.ChunkTiles > 0 {
 		fmt.Fprintf(h, "|chunk %d+%d", cfg.ChunkStart, cfg.ChunkTiles)
+	}
+	if cfg.Ensemble.Enabled() {
+		// Every ensemble knob changes the scan's output: the bootstrap
+		// count and subsample shape the support matrix, the ensemble seed
+		// picks the subsets, and the cutoff picks the consensus network.
+		fmt.Fprintf(h, "|ens %d %v %d %v",
+			cfg.Ensemble.Bootstraps, cfg.Ensemble.SubsampleFrac,
+			cfg.Ensemble.Seed, cfg.Ensemble.SupportCutoff)
+		if cfg.Ensemble.Count > 0 {
+			fmt.Fprintf(h, "|brange %d+%d", cfg.Ensemble.Start, cfg.Ensemble.Count)
+		}
 	}
 	return hex.EncodeToString(h.Sum(nil))[:16]
 }
@@ -523,7 +568,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Every engine checkpoints now — the cluster engine also uses the
 	// same state for rank recovery.
 	key := JobKey(body, cfg)
-	if s.CheckpointDir != "" {
+	// Partial ensemble runs (fleet bootstrap chunks) are not
+	// checkpointable — the bootstrap IS the checkpoint granularity.
+	if s.CheckpointDir != "" && cfg.Ensemble.Count == 0 {
 		cfg.CheckpointPath = filepath.Join(s.CheckpointDir, key+".ckpt")
 	}
 
@@ -665,6 +712,11 @@ func (s *Server) finish(j *job, st JobState, errMsg string, res *core.Result) {
 		s.mFaultDropped.Add(float64(res.FaultDroppedMessages))
 		s.mDPIRemoved.Add(float64(res.DPIEdgesRemoved))
 		s.mCMIRemoved.Add(float64(res.CMIEdgesRemoved))
+		s.mEnsBootstraps.Add(float64(res.EnsembleBootstrapsRun))
+		s.mEnsStencils.Add(float64(res.EnsembleStencilsReused))
+		if res.Ensemble != nil {
+			s.mEnsSupportEdges.Add(float64(res.Ensemble.Len()))
+		}
 		for phase, secs := range res.Timer.Seconds() {
 			s.Metrics.Counter("tinge_phase_seconds_total",
 				"Pipeline wall seconds by phase, summed over jobs.",
@@ -807,6 +859,8 @@ type statusResponse struct {
 	CMIRemoved int      `json:"cmiEdgesRemoved,omitempty"`
 	SimSecs    float64  `json:"simSeconds,omitempty"`
 	CkptRecov  int64    `json:"checkpointRecoveries,omitempty"`
+	Bootstraps int      `json:"bootstrapsRun,omitempty"`
+	Support    int      `json:"supportEdges,omitempty"`
 }
 
 // status snapshots a job into the response shape. Callers must not
@@ -832,6 +886,10 @@ func (j *job) status() statusResponse {
 		resp.CMIRemoved = j.result.CMIEdgesRemoved
 		resp.SimSecs = j.result.SimSeconds
 		resp.CkptRecov = j.result.CheckpointRecoveries
+		resp.Bootstraps = j.result.EnsembleBootstrapsRun
+		if j.result.Ensemble != nil {
+			resp.Support = j.result.Ensemble.Len()
+		}
 	}
 	return resp
 }
@@ -911,6 +969,36 @@ func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleSupport serves the ensemble support-weighted edge table as TSV
+// (409 until done, 404 for jobs that did not run in ensemble mode).
+func (s *Server) handleSupport(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	state := j.state
+	var ens *grn.Ensemble
+	var names []string
+	if j.result != nil {
+		ens = j.result.Ensemble
+		names = j.geneNames
+	}
+	j.mu.Unlock()
+	if state != StateDone {
+		http.Error(w, fmt.Sprintf("job is %s", state), http.StatusConflict)
+		return
+	}
+	if ens == nil {
+		http.Error(w, "job was not an ensemble run", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/tab-separated-values")
+	if err := ens.WriteSupportTSV(w, names); err != nil && !strings.Contains(err.Error(), "broken pipe") {
+		return
+	}
+}
+
 // ResultResponse is the machine-readable scan result served at
 // GET /jobs/{id}/result. The network TSV rounds weights to 6
 // significant digits — fine for humans, fatal for the fleet
@@ -932,6 +1020,17 @@ type ResultResponse struct {
 	PermCacheMisses      int64        `json:"permCacheMisses"`
 	CheckpointRecoveries int64        `json:"checkpointRecoveries"`
 	SpillReadRetries     int64        `json:"spillReadRetries"`
+
+	// Ensemble extensions. Full ensemble runs serve the support table as
+	// [i, j, support, weightSum] rows (weightSum, not the rounded mean:
+	// the fleet's bit-identity contract extends to float64 sums) plus the
+	// per-bootstrap thresholds; partial runs (bcount > 0) additionally
+	// serve each bootstrap's edge list so the coordinator can fold them
+	// in ascending bootstrap order.
+	EnsembleBootstraps int            `json:"ensembleBootstraps,omitempty"`
+	EnsembleThresholds []float64      `json:"ensembleThresholds,omitempty"`
+	Support            [][4]float64   `json:"support,omitempty"`
+	BootstrapEdges     [][][3]float64 `json:"bootstrapEdges,omitempty"`
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -965,6 +1064,22 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, e := range res.Network.Edges() {
 		out.Edges = append(out.Edges, [3]float64{float64(e.I), float64(e.J), e.Weight})
+	}
+	if res.Ensemble != nil {
+		out.EnsembleBootstraps = res.Ensemble.Bootstraps()
+		for _, se := range res.Ensemble.Edges() {
+			out.Support = append(out.Support, [4]float64{
+				float64(se.I), float64(se.J), float64(se.Support), se.WeightSum,
+			})
+		}
+	}
+	out.EnsembleThresholds = res.EnsembleThresholds
+	for _, net := range res.EnsembleNetworks {
+		edges := make([][3]float64, 0, net.Len())
+		for _, e := range net.Edges() {
+			edges = append(edges, [3]float64{float64(e.I), float64(e.J), e.Weight})
+		}
+		out.BootstrapEdges = append(out.BootstrapEdges, edges)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out)

@@ -59,7 +59,38 @@ type (
 	KernelKind = core.KernelKind
 	// Precision selects the MI compute precision.
 	Precision = core.Precision
+	// EnsembleConfig turns a run into a bootstrap consensus workload:
+	// B seeded sample subsets, one network each, folded into per-edge
+	// support frequencies plus a consensus network at the cutoff.
+	EnsembleConfig = core.EnsembleConfig
 )
+
+// Ensemble types.
+type (
+	// Ensemble aggregates bootstrap networks into per-edge support.
+	Ensemble = grn.Ensemble
+	// SupportEdge is one edge's support count and weight sum.
+	SupportEdge = grn.SupportEdge
+)
+
+// Ensemble defaults (EnsembleConfig zero values resolve to these).
+const (
+	// DefaultSubsampleFrac is the fraction of experiments each
+	// bootstrap samples.
+	DefaultSubsampleFrac = core.DefaultSubsampleFrac
+	// DefaultSupportCutoff is the consensus support frequency cutoff.
+	DefaultSupportCutoff = core.DefaultSupportCutoff
+)
+
+// NewEnsemble creates an empty support aggregate over n genes
+// (exposed for tools that fold externally computed bootstrap
+// networks; fold in ascending bootstrap order for reproducible
+// weight sums).
+func NewEnsemble(n int) *Ensemble { return grn.NewEnsemble(n) }
+
+// ReadSupportTSV parses a numeric support table written by
+// Ensemble.WriteSupportTSV (or tinge -ensemble-out) over n genes.
+func ReadSupportTSV(r io.Reader, n int) (*Ensemble, error) { return grn.ReadSupportTSV(r, n) }
 
 // Fault-tolerance types (cluster engine). A FaultPlan assigned to
 // Config.Fault injects deterministic rank kills, message delays, and
